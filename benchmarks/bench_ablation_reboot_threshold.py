@@ -1,0 +1,35 @@
+"""Ablation: the unsuccessful-recovery reboot threshold.
+
+The paper leaves the threshold unspecified; DESIGN.md documents the
+default of retrying indefinitely (a small threshold would force a
+whole-system reboot on nearly every correlated burst and contradict
+Figure 7's insensitivity). This bench measures that contradiction.
+"""
+
+from repro.core import HOUR, YEAR, ModelParameters, SimulationPlan, simulate
+
+PLAN = SimulationPlan(warmup=10 * HOUR, observation=150 * HOUR, replications=2)
+BASE = ModelParameters(
+    n_processors=262144,
+    mttf_node=3 * YEAR,
+    prob_correlated_failure=0.2,
+    frate_correlated_factor=1600.0,
+)
+
+
+def test_reboot_threshold_ablation(benchmark):
+    def run():
+        unlimited = simulate(BASE, PLAN, seed=10)
+        strict = simulate(
+            BASE.with_overrides(recovery_failure_threshold=3), PLAN, seed=10
+        )
+        return unlimited, strict
+
+    unlimited, strict = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert unlimited.counters.reboots == 0
+    assert strict.counters.reboots > 0
+    # Rebooting on bursts costs useful work.
+    assert (
+        strict.useful_work_fraction.mean
+        <= unlimited.useful_work_fraction.mean + 0.02
+    )

@@ -1,0 +1,33 @@
+"""Extension bench: terminating job-completion analysis.
+
+A job of fixed size in *processor-hours* completes in J / TUW wall
+hours, so the machine size minimising completion time is the one
+maximising total useful work — Section 7.1's optimum, rediscovered
+from the terminating view. (The ledger accrues whole-machine hours:
+a J processor-hour job is J/n machine-hours on n processors.)
+"""
+
+from repro.core import ModelParameters, YEAR, completion_study
+
+#: Job size in processor-hours (~100 h of a 32K machine).
+JOB_PROCESSOR_HOURS = 32768 * 100.0
+
+
+def test_completion_time_vs_machine_size(benchmark):
+    def run():
+        times = {}
+        for n in (32768, 131072, 262144):
+            study = completion_study(
+                ModelParameters(n_processors=n, mttf_node=1 * YEAR),
+                JOB_PROCESSOR_HOURS / n,
+                replications=5,
+                seed=31,
+            )
+            times[n] = study.mean_time.mean
+        return times
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The TUW-optimal machine (128K) finishes the job fastest...
+    assert times[131072] < times[32768]
+    # ...and doubling past the optimum makes it slower again.
+    assert times[262144] > times[131072]

@@ -1,0 +1,12 @@
+"""Section 5: the max-of-exponentials coordination law, validated
+against the message-level cluster simulator."""
+
+import pytest
+
+
+def test_coordination_law(quick_figure):
+    figure = quick_figure("coordination-law", seed=5, validate=False)
+    measured = dict((x, y) for x, y, _ in figure.series["cluster simulator (measured)"])
+    predicted = dict((x, y) for x, y, _ in figure.series["MTTQ * H_n (predicted)"])
+    for nodes, value in measured.items():
+        assert value == pytest.approx(predicted[nodes], rel=0.15)

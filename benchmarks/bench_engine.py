@@ -1,0 +1,46 @@
+"""Engine microbenchmarks: event throughput of both simulators."""
+
+from repro.core import HOUR, ModelParameters, SimulationPlan
+from repro.core.simulation import run_single
+from repro.cluster import ClusterSimulator, Engine, SharedLink
+from repro.core import YEAR
+
+
+def test_san_event_throughput(benchmark):
+    """Events per second of the SAN executive on the full model."""
+    plan = SimulationPlan(warmup=2 * HOUR, observation=40 * HOUR, replications=1)
+
+    def run():
+        return run_single(ModelParameters(), plan, seed=1)
+
+    measures = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert measures["_events"] > 1000
+
+
+def test_cluster_event_throughput(benchmark):
+    """Events per second of the message-level cluster simulator."""
+    params = ModelParameters(
+        n_processors=1024, processors_per_node=8, mttf_node=1000 * YEAR
+    )
+
+    def run():
+        return ClusterSimulator(params, seed=1).run(10 * HOUR)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.rounds > 0
+
+
+def test_shared_link_throughput(benchmark):
+    """Processor-sharing link with 64 concurrent transfers."""
+
+    def run():
+        engine = Engine()
+        link = SharedLink(engine, bandwidth=350e6)
+        done = []
+        for _ in range(64):
+            link.transfer(256e6, lambda: done.append(engine.now))
+        engine.run()
+        return done
+
+    done = benchmark(run)
+    assert len(done) == 64

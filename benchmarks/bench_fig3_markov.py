@@ -1,0 +1,22 @@
+"""Figure 3 / Section 6: the correlated-failure birth-death chain."""
+
+import pytest
+
+from repro.analytical import markov
+from repro.core import MINUTE, YEAR
+
+
+def test_fig3_exact_chain(quick_figure):
+    figure = quick_figure("fig3", seed=3, validate=False)
+    probabilities = [y for _, y, _ in figure.series["P(F_i)"]]
+    assert probabilities[0] > 0.99
+    assert probabilities == sorted(probabilities, reverse=True)
+    assert any("r = " in note for note in figure.notes)
+
+
+def test_r_calibration(benchmark):
+    """The paper's worked identity r = p*mu/((1-p)*n*lambda) - 1."""
+    r = benchmark(
+        markov.frate_factor, 0.3, 1 / (10 * MINUTE), 1024, 1 / (25 * YEAR)
+    )
+    assert 450 < r < 650

@@ -1,0 +1,6 @@
+"""Figure 4a: total useful work vs processors for different MTTFs."""
+
+def test_fig4a(quick_figure):
+    figure = quick_figure("fig4a", seed=40)
+    # The paper's headline: at MTTF 1 yr the peak sits at 128K procs.
+    assert figure.peak_x("MTTF (yrs) = 1") in (65536, 131072)

@@ -1,0 +1,9 @@
+"""Figure 4b: total useful work vs checkpoint interval per system size."""
+
+def test_fig4b(quick_figure):
+    figure = quick_figure("fig4b", seed=41)
+    # No interior optimum within 15 min - 4 h: the best interval is the
+    # smallest for every large system.
+    for label in ("processors = 131072", "processors = 262144"):
+        ys = figure.y_values(label)
+        assert max(ys) == ys[0] or max(ys) == ys[1]  # 15 or 30 minutes

@@ -1,0 +1,14 @@
+"""Figure 4c: total useful work vs processors for different MTTRs."""
+
+from repro.experiments.validation import peak_shifts_left
+
+
+def test_fig4c(quick_figure):
+    figure = quick_figure("fig4c", seed=42)
+    # Larger MTTR pushes the optimum processor count down.
+    check = peak_shifts_left(
+        figure,
+        ["MTTR (mins) = 10", "MTTR (mins) = 40", "MTTR (mins) = 80"],
+        "optimum shrinks with MTTR",
+    )
+    assert check.passed, check.detail

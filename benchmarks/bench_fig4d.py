@@ -1,0 +1,8 @@
+"""Figure 4d: total useful work vs interval for different MTTRs."""
+
+def test_fig4d(quick_figure):
+    figure = quick_figure("fig4d", seed=43)
+    # At every interval, a smaller MTTR gives at least as much work.
+    fast = figure.y_values("MTTR (mins) = 10")
+    slow = figure.y_values("MTTR (mins) = 80")
+    assert all(f > s for f, s in zip(fast, slow))

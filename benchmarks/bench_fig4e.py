@@ -1,0 +1,17 @@
+"""Figure 4e: total useful work vs processors per checkpoint interval."""
+
+from repro.experiments.validation import peak_shifts_left
+
+
+def test_fig4e(quick_figure):
+    figure = quick_figure("fig4e", seed=44)
+    check = peak_shifts_left(
+        figure,
+        [
+            "chkpt_interval (mins) = 30",
+            "chkpt_interval (mins) = 120",
+            "chkpt_interval (mins) = 240",
+        ],
+        "optimum shrinks with interval",
+    )
+    assert check.passed, check.detail

@@ -1,0 +1,22 @@
+"""Figure 4f: total useful work vs interval for different MTTFs.
+
+Note: the paper quotes "for an MTTF of 8 years, TUW drops from 43000
+to 40000 to 30000 job units" — numbers that match a per-PROCESSOR
+MTTF of 8 years (i.e. a per-node MTTF of 1 year at 8 processors per
+node, which is this harness's fig4a MTTF=1 curve), not the per-node
+reading of the series labels. This bench asserts the per-node reading
+the labels state; EXPERIMENTS.md documents the discrepancy.
+"""
+
+
+def test_fig4f(quick_figure):
+    figure = quick_figure("fig4f", seed=45)
+    # Stressed curves decline with the interval; lightly-stressed ones
+    # (MTTF 16 yr) barely move, exactly as a per-node reading implies.
+    for mttf_years in (1, 2):
+        ys = figure.y_values(f"MTTF per node (yrs) = {mttf_years}")
+        assert ys[-1] < 0.8 * max(ys[0], ys[1])
+    # Better reliability dominates at every interval.
+    worst = figure.y_values("MTTF per node (yrs) = 1")
+    best = figure.y_values("MTTF per node (yrs) = 16")
+    assert all(b > w for b, w in zip(best, worst))

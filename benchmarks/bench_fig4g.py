@@ -1,0 +1,8 @@
+"""Figure 4g: total useful work vs nodes at 32 processors per node."""
+
+def test_fig4g(quick_figure):
+    figure = quick_figure("fig4g", seed=46)
+    # Higher per-node MTTF dominates at every node count.
+    one = figure.y_values("MTTF per node (yrs) = 1")
+    two = figure.y_values("MTTF per node (yrs) = 2")
+    assert all(b > a for a, b in zip(one, two))

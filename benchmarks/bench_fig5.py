@@ -1,0 +1,29 @@
+"""Figure 5: pure coordination effect (no failures, no timeout)."""
+
+import pytest
+
+from repro.analytical import coordination
+from repro.core import MINUTE
+
+
+def test_fig5(quick_figure):
+    figure = quick_figure("fig5", seed=50)
+    # Coordination overhead is logarithmic: the drop from 1 processor
+    # to 2^30 must track the closed form within simulation noise.
+    for mttq in (10.0, 2.0, 0.5):
+        label = f"MTTQ={mttq:g}s"
+        xs = figure.x_values(label)
+        ys = figure.y_values(label)
+        predicted_first = coordination.coordination_only_useful_fraction(
+            int(xs[0]), mttq, 30 * MINUTE, 0.002, 46.8
+        )
+        predicted_last = coordination.coordination_only_useful_fraction(
+            int(xs[-1]), mttq, 30 * MINUTE, 0.002, 46.8
+        )
+        assert ys[0] == pytest.approx(predicted_first, abs=0.01)
+        assert ys[-1] == pytest.approx(predicted_last, abs=0.01)
+    # Smaller MTTQ -> uniformly better useful work fraction.
+    assert all(
+        fast >= slow - 1e-3
+        for fast, slow in zip(figure.y_values("MTTQ=0.5s"), figure.y_values("MTTQ=10s"))
+    )

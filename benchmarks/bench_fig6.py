@@ -1,0 +1,17 @@
+"""Figure 6: coordination with timeouts, under failures."""
+
+def test_fig6(quick_figure):
+    figure = quick_figure("fig6", seed=60)
+    # Small timeouts collapse the useful work fraction (probabilistic
+    # checkpoint abort); generous timeouts track the no-timeout curve.
+    for n_index in range(3):  # 8K, 16K, 32K processors
+        tight = figure.y_values("timeout=20s")[n_index]
+        loose = figure.y_values("timeout=120s")[n_index]
+        none = figure.y_values("no timeout")[n_index]
+        assert tight < 0.7 * none
+        assert abs(loose - none) < 0.12
+    # Coordination itself (no timeout) costs little vs no-coordination.
+    for n_index in range(3):
+        coordinated = figure.y_values("no timeout")[n_index]
+        baseline = figure.y_values("no coordination")[n_index]
+        assert abs(coordinated - baseline) < 0.12

@@ -1,0 +1,8 @@
+"""Figure 7: error-propagation correlated failures."""
+
+def test_fig7(quick_figure):
+    figure = quick_figure("fig7", seed=70)
+    # The useful work fraction is insensitive to p_e and r (the bursts
+    # only strike recoveries); validate_figure asserts the spread.
+    values = [y for points in figure.series.values() for _, y, _ in points]
+    assert min(values) > 0.35

@@ -1,0 +1,11 @@
+"""Figure 8: generic correlated failures."""
+
+def test_fig8(quick_figure):
+    figure = quick_figure("fig8", seed=80)
+    without = dict(
+        (x, y) for x, y, _ in figure.series["without correlated failure"]
+    )
+    with_cf = dict((x, y) for x, y, _ in figure.series["with correlated failure"])
+    # The absolute drop at 256K processors is the paper's headline 0.24.
+    drop = without[262144] - with_cf[262144]
+    assert 0.12 <= drop <= 0.4

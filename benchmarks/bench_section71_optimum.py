@@ -1,0 +1,8 @@
+"""Section 7.1 headline: the optimum processor count."""
+
+def test_section71(quick_figure):
+    figure = quick_figure("section7.1", seed=71)
+    assert any("optimum processors" in note for note in figure.notes)
+    # The base model peaks at 64K-128K processors at quick precision
+    # (the paper reports 128K).
+    assert figure.peak_x("MTTF (yrs) = 1") in (65536, 131072)

@@ -1,0 +1,21 @@
+"""Table 3: parameter construction and derived-quantity rendering."""
+
+import pytest
+
+from repro.core import ModelParameters
+from repro.experiments import render_table3
+
+
+def test_table3_render(benchmark):
+    """Regenerate Table 3 (all parameters and derived latencies)."""
+    text = benchmark(render_table3)
+    assert "Checkpoint interval" in text
+    assert "46.8" in text  # derived dump latency
+    assert "131" in text  # derived FS write latency
+
+
+def test_table3_parameter_construction(benchmark):
+    """Validated construction of the full parameter set."""
+    params = benchmark(ModelParameters)
+    assert params.n_nodes == 8192
+    assert params.checkpoint_dump_time == pytest.approx(46.8, abs=0.1)

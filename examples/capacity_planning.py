@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Capacity planning: how many processors should the machine have?
+
+The paper's central observation is that beyond an optimum processor
+count, adding hardware *reduces* the work a system completes, because
+the system-wide failure rate grows with the node count. This example
+answers the capacity question for a machine specification three ways:
+
+1. a fast renewal-model prediction (`repro.analytical.useful_work`),
+2. the full SAN simulation across the candidate grid,
+3. the sensitivity of the optimum to the per-node MTTF.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analytical import useful_work as renewal
+from repro.core import (
+    HOUR,
+    MINUTE,
+    YEAR,
+    ModelParameters,
+    SimulationPlan,
+    simulate,
+)
+
+CANDIDATES = (16384, 32768, 65536, 131072, 262144)
+PLAN = SimulationPlan(warmup=30 * HOUR, observation=300 * HOUR, replications=3)
+
+
+def blocking_overhead(params: ModelParameters) -> float:
+    """Per-checkpoint time stolen from computation: quiesce + dump
+    (the file-system write happens in the background)."""
+    return params.mttq + params.checkpoint_dump_time
+
+
+def main() -> None:
+    base = ModelParameters(mttf_node=1 * YEAR, mttr=10 * MINUTE)
+
+    print("Renewal-model prediction")
+    print("------------------------")
+    predicted = renewal.optimal_processors(
+        processors_per_node=base.processors_per_node,
+        mttf_node=base.mttf_node,
+        interval=base.checkpoint_interval,
+        overhead=blocking_overhead(base),
+        mttr=base.mttr,
+        candidates=list(CANDIDATES),
+    )
+    print(f"  predicted optimum: {predicted} processors")
+    print()
+
+    print("Simulation across the candidate grid")
+    print("------------------------------------")
+    best = None
+    for n in CANDIDATES:
+        result = simulate(base.with_overrides(n_processors=n), PLAN, seed=11)
+        tuw = result.total_useful_work.mean
+        uwf = result.useful_work_fraction.mean
+        print(f"  {n:>7} processors: UWF {uwf:.3f}, TUW {tuw:8.0f} job units")
+        if best is None or tuw > best[1]:
+            best = (n, tuw)
+    print(f"  simulated optimum: {best[0]} processors ({best[1]:.0f} job units)")
+    print()
+
+    print("Sensitivity of the optimum to the per-node MTTF")
+    print("-----------------------------------------------")
+    for mttf_years in (0.5, 1, 2, 4):
+        optimum = renewal.optimal_processors(
+            processors_per_node=base.processors_per_node,
+            mttf_node=mttf_years * YEAR,
+            interval=base.checkpoint_interval,
+            overhead=blocking_overhead(base),
+            mttr=base.mttr,
+            candidates=list(CANDIDATES),
+        )
+        print(f"  MTTF {mttf_years:>4} yr -> optimum {optimum} processors")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Checkpoint-interval tuning: classic formulas vs the full model.
+
+Young's and Daly's closed forms prescribe an optimum checkpoint
+interval from the overhead and MTBF alone. The paper argues that for
+large-scale systems with background checkpoint write-back, the loss
+from failures dominates the overhead of checkpointing often — so over
+any *practical* range there is no interior optimum, and intervals of
+15–30 minutes beat today's hour-scale practice.
+
+This example puts all three side by side for a 64K-processor machine.
+
+Run:  python examples/checkpoint_interval_tuning.py
+"""
+
+from repro.analytical import daly, young
+from repro.core import (
+    HOUR,
+    MINUTE,
+    YEAR,
+    ModelParameters,
+    SimulationPlan,
+    simulate,
+)
+
+INTERVALS_MIN = (15, 30, 60, 120, 240)
+PLAN = SimulationPlan(warmup=30 * HOUR, observation=300 * HOUR, replications=3)
+
+
+def main() -> None:
+    base = ModelParameters(n_processors=65536, mttf_node=1 * YEAR)
+    mtbf = base.system_mtbf
+    overhead = base.mttq + base.checkpoint_dump_time  # blocking part only
+
+    print(f"system MTBF: {mtbf / MINUTE:.1f} min, "
+          f"blocking checkpoint overhead: {overhead:.1f} s")
+    print()
+    print("Closed-form optima")
+    print("------------------")
+    print(f"  Young: {young.optimal_interval(overhead, mtbf) / MINUTE:6.1f} min")
+    print(f"  Daly:  {daly.optimal_interval(overhead, mtbf) / MINUTE:6.1f} min")
+    print("  (both below the 15-minute practicality floor, as the paper notes)")
+    print()
+
+    print("Full model across the practical range")
+    print("-------------------------------------")
+    print("interval   simulated UWF    Daly UWF    Young UWF")
+    for interval_min in INTERVALS_MIN:
+        interval = interval_min * MINUTE
+        result = simulate(
+            base.with_overrides(checkpoint_interval=interval), PLAN, seed=23
+        )
+        daly_uwf = daly.useful_fraction(interval, overhead, base.mttr, mtbf)
+        young_uwf = young.useful_fraction(interval, overhead, mtbf, base.mttr)
+        print(
+            f"{interval_min:>5} min   "
+            f"{result.useful_work_fraction.mean:12.3f}  "
+            f"{daly_uwf:10.3f}  {young_uwf:10.3f}"
+        )
+    print()
+    print("Reading: simulated UWF is ~flat from 15 to 30 minutes and falls")
+    print("steeply past 30 — no interior optimum in the practical range.")
+
+
+if __name__ == "__main__":
+    main()

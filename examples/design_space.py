@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Design-space exploration: pick interval and machine size together.
+
+Uses the renewal-model optimizer (`repro.analytical.design`) to sweep
+the joint space, then re-validates the winning corner with the full
+SAN simulation.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.analytical.design import DesignSpec, explore
+from repro.core import (
+    HOUR,
+    MINUTE,
+    YEAR,
+    ModelParameters,
+    SimulationPlan,
+    simulate,
+)
+
+
+def main() -> None:
+    spec = DesignSpec(
+        processors_per_node=8,
+        mttf_node=1 * YEAR,
+        mttr=10 * MINUTE,
+        blocking_overhead=57.0,  # quiesce (10 s) + dump (46.8 s)
+    )
+    grid = [2**k for k in range(13, 19)]
+
+    print("Renewal-model design space (interval optimised per size)")
+    print("--------------------------------------------------------")
+    print("rank  processors  interval     predicted UWF   predicted TUW")
+    points = explore(spec, processor_grid=grid)
+    for rank, point in enumerate(points, start=1):
+        print(
+            f"{rank:>4}  {point.n_processors:>10}  "
+            f"{point.interval / MINUTE:6.1f} min   "
+            f"{point.useful_work_fraction:13.3f}   "
+            f"{point.total_useful_work:13.0f}"
+        )
+
+    winner = points[0]
+    print()
+    print("Validating the winner by full simulation")
+    print("----------------------------------------")
+    params = ModelParameters(
+        n_processors=winner.n_processors,
+        processors_per_node=spec.processors_per_node,
+        mttf_node=spec.mttf_node,
+        mttr=spec.mttr,
+        checkpoint_interval=winner.interval,
+    )
+    plan = SimulationPlan(warmup=30 * HOUR, observation=400 * HOUR, replications=3)
+    result = simulate(params, plan, seed=77)
+    print(f"  predicted UWF: {winner.useful_work_fraction:.3f}")
+    print(f"  simulated UWF: {result.useful_work_fraction}")
+    print(f"  simulated TUW: {result.total_useful_work.mean:.0f} job units")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Job completion time: from steady-state fractions to deadlines.
+
+The paper's useful-work fraction answers "what fraction of the machine
+am I getting?" — but a scientist asks "when will my job finish?".
+This example runs the *terminating* analysis: simulate the full system
+until a job of fixed size — measured in **processor-hours**, so the
+same job is compared across machine sizes — is durably checkpointed,
+and report completion-time statistics.
+
+Two things to notice:
+
+* the machine size minimising completion time coincides with the
+  steady-state optimum (the job takes ``J / TUW`` wall hours, so
+  maximum total useful work = fastest completion);
+* completion times spread — the p10–p90 band matters for deadline
+  planning in a way no steady-state average can express.
+
+The work ledger accrues whole-machine hours, so a ``J``
+processor-hour job is ``J / n`` machine-hours on ``n`` processors.
+
+Run:  python examples/job_completion.py
+"""
+
+from repro.core import (
+    HOUR,
+    YEAR,
+    ModelParameters,
+    completion_study,
+)
+
+#: Job size in processor-hours (about four days of a 32K machine).
+JOB_PROCESSOR_HOURS = 32768 * 100.0
+
+
+def main() -> None:
+    print(f"Job: {JOB_PROCESSOR_HOURS / 1e6:.2f}M processor-hours")
+    print("(per-node MTTF 1 year, MTTR 10 min, 30-minute checkpoints)\n")
+    print("processors   mean completion   p10      p90      stretch  incomplete")
+    print("----------   ---------------   ------   ------   -------  ----------")
+    for n in (32768, 65536, 131072, 262144):
+        params = ModelParameters(n_processors=n, mttf_node=1 * YEAR)
+        study = completion_study(
+            params, JOB_PROCESSOR_HOURS / n, replications=7, seed=101
+        )
+        mean_h = study.mean_time.mean / HOUR
+        p10 = study.percentile(10) / HOUR
+        p90 = study.percentile(90) / HOUR
+        print(
+            f"{n:>10}   {mean_h:12.1f} h   {p10:5.1f} h  {p90:5.1f} h  "
+            f"{study.mean_stretch:7.2f}  {study.incomplete:>10}"
+        )
+    print()
+    print("Reading: the job finishes fastest near 128K processors — the")
+    print("steady-state total-useful-work optimum — and slows down again on")
+    print("a 256K machine whose extra hardware only adds failures. The")
+    print("stretch column is the slowdown vs a failure-free, overhead-free")
+    print("machine of the same size.")
+
+
+if __name__ == "__main__":
+    main()

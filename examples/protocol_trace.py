@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Protocol deep-dive: watch the six-step protocol run per node.
+
+Uses the message-level cluster simulator on a small machine (256 nodes)
+to show what the aggregate SAN model abstracts away: the spread of
+per-node quiesce times, the coordination time as their maximum, the
+effect of a timeout, and the bandwidth-shared checkpoint dump.
+
+Run:  python examples/protocol_trace.py
+"""
+
+import numpy as np
+
+from repro.analytical import coordination
+from repro.cluster import ClusterSimulator
+from repro.core import HOUR, YEAR, ModelParameters
+
+
+def run(timeout, label: str) -> None:
+    params = ModelParameters(
+        n_processors=2048,  # 256 nodes at 8 processors each
+        processors_per_node=8,
+        mttf_node=50 * YEAR,  # keep failures out of the way
+        mttq=10.0,
+        timeout=timeout,
+    )
+    sim = ClusterSimulator(params, seed=99)
+    result = sim.run(duration=30 * HOUR)
+
+    coords = np.array(result.coordination_times)
+    print(f"{label}")
+    print(f"  checkpoint rounds: {result.rounds}, aborted: {result.aborts}, "
+          f"committed to FS: {result.commits}")
+    if coords.size:
+        print(f"  coordination time: mean {coords.mean():6.1f} s, "
+              f"min {coords.min():6.1f} s, max {coords.max():6.1f} s")
+    expected = coordination.expected_coordination_time(256, 10.0)
+    print(f"  order-statistic prediction (MTTQ * H_256): {expected:.1f} s")
+    if timeout is not None:
+        predicted_abort = coordination.abort_probability(256, 10.0, timeout)
+        print(f"  predicted abort probability at timeout {timeout:.0f} s: "
+              f"{predicted_abort:.2%}, observed: "
+              f"{result.aborts / max(1, result.rounds):.2%}")
+    print(f"  useful work fraction: {result.useful_work_fraction:.4f}")
+    print()
+
+
+def main() -> None:
+    print("256-node cluster, per-node exponential quiesce times (MTTQ 10 s)\n")
+    run(timeout=None, label="No timeout (master waits for every 'ready')")
+    run(timeout=70.0, label="Timeout 70 s (some rounds abort)")
+    run(timeout=40.0, label="Timeout 40 s (most rounds abort)")
+    print("A timeout well above MTTQ * H_n costs nothing; below it, the")
+    print("protocol degenerates into a probabilistic checkpoint-abort —")
+    print("the paper's Figure 6 phenomenon, here at per-message fidelity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one supercomputer configuration.
+
+Builds the paper's base system (64K processors, 8 per node, per-node
+MTTF of 1 year, 30-minute coordinated checkpoints), runs a
+steady-state simulation, and reports the two headline metrics —
+useful work fraction and total useful work — plus where the time went.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    HOUR,
+    MINUTE,
+    YEAR,
+    ModelParameters,
+    SimulationPlan,
+    simulate,
+)
+
+
+def main() -> None:
+    params = ModelParameters(
+        n_processors=65536,
+        processors_per_node=8,
+        mttf_node=1 * YEAR,
+        mttr=10 * MINUTE,
+        checkpoint_interval=30 * MINUTE,
+    )
+
+    print("Configuration")
+    print("-------------")
+    for key, value in params.describe().items():
+        print(f"  {key}: {value}")
+    print()
+
+    plan = SimulationPlan(
+        warmup=50 * HOUR, observation=500 * HOUR, replications=3
+    )
+    result = simulate(params, plan, seed=2025)
+
+    print("Results (95% confidence)")
+    print("------------------------")
+    print(f"  useful work fraction: {result.useful_work_fraction}")
+    print(f"  total useful work:    {result.total_useful_work} job units")
+    print()
+    print("Where the time went")
+    print("-------------------")
+    for name, interval in sorted(result.breakdown.items()):
+        print(f"  {name}: {interval.mean:.4f}")
+    print()
+    counters = result.counters
+    print("Event counts (last replication)")
+    print("-------------------------------")
+    print(f"  failures: {counters.failures}, recoveries: {counters.recoveries}")
+    print(
+        f"  checkpoints buffered/committed: "
+        f"{counters.checkpoints_buffered}/{counters.checkpoints_committed}"
+    )
+
+
+if __name__ == "__main__":
+    main()

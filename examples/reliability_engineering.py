@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Reliability engineering with the library's analysis toolbox.
+
+Beyond regenerating the paper, the repository is a small reliability
+workbench. This example strings four of its tools together on one
+question — "how does a correlated-failure burst actually behave?":
+
+1. calibrate the burst model from a target conditional probability
+   (Section 6's arithmetic);
+2. solve the resulting birth-death chain exactly (state-space CTMC);
+3. solve its *transient* behaviour (uniformization): how quickly does
+   a burst die out?
+4. generate a synthetic failure trace with those parameters and check
+   the burstiness is visible in trace statistics.
+
+Run:  python examples/reliability_engineering.py
+"""
+
+import numpy as np
+
+from repro.analytical import markov
+from repro.failures import CorrelationSpec, clustering_coefficient, generate_trace
+from repro.core import HOUR, MINUTE, YEAR
+from repro.san import StateSpaceGenerator, TransientSolver
+
+
+def main() -> None:
+    n_nodes, mttf, mttr = 1024, 25 * YEAR, 10 * MINUTE
+    lam, mu = 1.0 / mttf, 1.0 / mttr
+
+    print("1. Calibration (Section 6)")
+    print("--------------------------")
+    spec = CorrelationSpec.from_conditional_probability(
+        p=0.3, mu=mu, n_nodes=n_nodes, lam=lam
+    )
+    print(f"   target p = 0.3  =>  r = {spec.r:.1f} (the paper rounds to ~600)")
+    print(f"   expected recovery attempts per burst: "
+          f"{markov.expected_recoveries_per_burst(0.3):.2f}")
+    print()
+
+    print("2. Exact steady state of the birth-death chain")
+    print("-----------------------------------------------")
+    model = markov.build_birth_death_model(n_nodes, lam, spec.r, mu, max_failures=8)
+    space = StateSpaceGenerator(model).generate()
+    steady = space.steady_state()
+    for i in range(4):
+        p = steady.probability_of(lambda m, i=i: m["failures"] == i)
+        print(f"   P(F_{i}) = {p:.6f}")
+    print()
+
+    print("3. Transient: how fast does a burst die out?")
+    print("---------------------------------------------")
+    # Start *inside* a burst (one failure outstanding) and watch the
+    # probability of being back to healthy F_0.
+    start_index = next(
+        i for i, marking in enumerate(space.markings)
+        if dict(zip(space.place_names, marking))["failures"] == 1
+    )
+    pi0 = [0.0] * space.size
+    pi0[start_index] = 1.0
+    solver = TransientSolver(space, initial=pi0)
+    for minutes in (5, 10, 20, 40):
+        p_healthy = solver.solve(minutes * MINUTE).probability_of(
+            lambda m: m["failures"] == 0
+        )
+        print(f"   P(healthy after {minutes:>2} min) = {p_healthy:.3f}")
+    print()
+
+    print("4. Synthetic trace statistics")
+    print("------------------------------")
+    horizon = 20000 * HOUR
+    plain = generate_trace(n_nodes, mttf, horizon, seed=1)
+    bursty = generate_trace(
+        n_nodes, mttf, horizon, seed=1, p_e=0.3, r=spec.r, window=3 * MINUTE
+    )
+    window = 5 * MINUTE
+    print(f"   failures (independent): {len(plain)}, "
+          f"clustering within 5 min: {clustering_coefficient(plain, window):.3f}")
+    print(f"   failures (correlated):  {len(bursty)}, "
+          f"clustering within 5 min: {clustering_coefficient(bursty, window):.3f}")
+    print()
+    print("Reading: the burst decays on the recovery timescale (minutes),")
+    print("which is why propagation-correlated failures barely dent useful")
+    print("work (Figure 7) while a permanent rate increase is ruinous")
+    print("(Figure 8).")
+
+
+if __name__ == "__main__":
+    main()

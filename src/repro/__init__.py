@@ -1,0 +1,44 @@
+"""repro — reproduction of "Modeling Coordinated Checkpointing for
+Large-Scale Supercomputers" (Wang et al., DSN 2005).
+
+Subpackages
+-----------
+``repro.san``
+    Stochastic Activity Network formalism, discrete-event simulator,
+    reward variables, replication statistics and an exact CTMC solver
+    (the repository's Möbius replacement).
+``repro.core``
+    The paper's model: twelve composed submodels of a coordinated
+    checkpointing supercomputer, with useful-work accounting.
+``repro.analytical``
+    Baselines and closed forms: Young, Daly, Vaidya, coordination
+    order statistics, the correlated-failure birth–death chain.
+``repro.cluster``
+    A message-level discrete-event simulator of the actual 6-step
+    checkpoint protocol over per-node state machines (ground truth for
+    the aggregate SAN model).
+``repro.failures``
+    Failure arrival processes and synthetic trace tooling.
+``repro.workload``
+    The BSP application workload model.
+``repro.experiments``
+    The evaluation harness regenerating every figure of the paper.
+"""
+
+from ._version import __version__
+from .core import (
+    CoordinationMode,
+    ModelParameters,
+    SimulationPlan,
+    SimulationResult,
+    simulate,
+)
+
+__all__ = [
+    "__version__",
+    "ModelParameters",
+    "CoordinationMode",
+    "SimulationPlan",
+    "SimulationResult",
+    "simulate",
+]

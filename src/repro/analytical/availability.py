@@ -1,0 +1,89 @@
+"""Plank–Thomason-style availability of parallel checkpointing systems
+(reference [10]).
+
+Plank & Thomason (FTCS 1999) analyse the *average availability* of a
+parallel checkpointing system — the long-run fraction of time spent on
+useful computation — under exponential failures, deterministic
+checkpoint overhead ``C`` and rollback ``R``, with failures allowed
+during checkpointing and recovery. Their recursion is equivalent to a
+renewal argument over checkpoint segments; we implement that renewal
+form (it matches :mod:`repro.analytical.useful_work` with overhead
+folded in) plus their headline derived quantities.
+
+The paper under reproduction extends this line of work with
+coordination overhead and correlated failures; these functions are the
+"prior work" baseline the benches compare against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+from .useful_work import useful_work_fraction
+
+__all__ = ["availability", "best_interval", "availability_curve"]
+
+
+def availability(
+    interval: float,
+    overhead: float,
+    rollback: float,
+    mtbf: float,
+) -> float:
+    """Long-run fraction of time doing useful computation.
+
+    Parameters mirror Plank–Thomason: checkpoint every ``interval`` of
+    useful time, overhead ``overhead`` per checkpoint, ``rollback``
+    time per failure (their ``R`` includes re-reading the checkpoint),
+    system MTBF ``mtbf``.
+    """
+    return useful_work_fraction(interval, overhead, mtbf, rollback)
+
+
+def best_interval(
+    overhead: float,
+    rollback: float,
+    mtbf: float,
+    low: float = 1.0,
+    high: float = None,
+    tolerance: float = 1e-6,
+) -> float:
+    """The interval maximising :func:`availability` (golden-section).
+
+    ``high`` defaults to ``10 * mtbf`` which safely brackets the
+    optimum for every realistic configuration.
+    """
+    if high is None:
+        high = 10.0 * mtbf
+    if low <= 0 or high <= low:
+        raise ValueError(f"need 0 < low < high, got [{low}, {high}]")
+    golden = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = low, high
+    c = b - golden * (b - a)
+    d = a + golden * (b - a)
+    for _ in range(300):
+        if availability(c, overhead, rollback, mtbf) > availability(
+            d, overhead, rollback, mtbf
+        ):
+            b = d
+        else:
+            a = c
+        c = b - golden * (b - a)
+        d = a + golden * (b - a)
+        if abs(b - a) < tolerance * max(1.0, abs(b)):
+            break
+    return 0.5 * (a + b)
+
+
+def availability_curve(
+    intervals: Iterable[float],
+    overhead: float,
+    rollback: float,
+    mtbf: float,
+) -> List[Tuple[float, float]]:
+    """``[(interval, availability), ...]`` over a grid of intervals."""
+    return [
+        (interval, availability(interval, overhead, rollback, mtbf))
+        for interval in intervals
+    ]

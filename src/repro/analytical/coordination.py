@@ -1,0 +1,93 @@
+"""Closed forms for checkpoint coordination (paper Section 5, 7.2).
+
+With ``n`` coordinating units whose quiesce times are iid exponential
+with mean MTTQ (rate ``lam = 1/MTTQ``), the coordination time is the
+maximum order statistic ``Y = max{X_i}``:
+
+* CDF: ``F_Y(y) = (1 - e^{-lam y}) ** n``
+* expectation: ``E[Y] = H_n / lam`` (harmonic number — hence the
+  paper's observation that coordination overhead grows only
+  *logarithmically* in the number of units)
+* inversion sampling: ``Y = -(1/lam) log(1 - U^{1/n})``
+
+The timeout-abort probability and the coordination-only useful work
+fraction (Figure 5's closed form) follow directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..san.distributions import harmonic_number
+
+__all__ = [
+    "expected_coordination_time",
+    "coordination_cdf",
+    "abort_probability",
+    "coordination_only_useful_fraction",
+    "required_timeout",
+]
+
+
+def expected_coordination_time(n: int, mttq: float) -> float:
+    """``E[max of n iid Exp(1/mttq)] = mttq * H_n``."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if mttq <= 0:
+        raise ValueError(f"mttq must be > 0, got {mttq}")
+    return mttq * harmonic_number(n)
+
+
+def coordination_cdf(y: float, n: int, mttq: float) -> float:
+    """``P(Y <= y) = (1 - e^{-y/mttq}) ** n``, evaluated stably for
+    huge ``n``."""
+    if n < 1 or mttq <= 0:
+        raise ValueError("need n >= 1 and mttq > 0")
+    if y <= 0:
+        return 0.0
+    return math.exp(n * math.log1p(-math.exp(-y / mttq)))
+
+
+def abort_probability(n: int, mttq: float, timeout: float) -> float:
+    """Probability the master times out before all units are ready:
+    ``1 - F_Y(timeout)``."""
+    if timeout <= 0:
+        return 1.0
+    return 1.0 - coordination_cdf(timeout, n, mttq)
+
+
+def required_timeout(n: int, mttq: float, abort_target: float) -> float:
+    """The smallest timeout keeping the abort probability at or below
+    ``abort_target`` — the design rule behind the paper's "threshold
+    timeout" observation.
+
+    Solves ``1 - (1 - e^{-T/mttq})^n = abort_target`` for ``T``.
+    """
+    if not 0 < abort_target < 1:
+        raise ValueError(f"abort_target must be in (0, 1), got {abort_target}")
+    if n < 1 or mttq <= 0:
+        raise ValueError("need n >= 1 and mttq > 0")
+    # (1 - e^{-T/mttq})^n = 1 - abort_target
+    inner = math.exp(math.log1p(-abort_target) / n)  # e^{-T/mttq} = 1 - inner
+    complement = 1.0 - inner
+    if complement <= 0.0:
+        complement = 5e-324
+    return -mttq * math.log(complement)
+
+
+def coordination_only_useful_fraction(
+    n: int,
+    mttq: float,
+    interval: float,
+    broadcast_overhead: float = 0.0,
+    dump_time: float = 0.0,
+) -> float:
+    """Figure 5's closed form: with no failures and no timeout, each
+    checkpoint steals ``broadcast + E[Y] + dump`` from computation, so
+
+        ``UWF = interval / (interval + broadcast + E[Y] + dump)``.
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be > 0, got {interval}")
+    overhead = broadcast_overhead + expected_coordination_time(n, mttq) + dump_time
+    return interval / (interval + overhead)

@@ -1,0 +1,89 @@
+"""Daly's higher-order checkpoint-interval model (reference [8]).
+
+Daly (2003, later JPDC 2006) refines Young's result for systems where
+the checkpoint overhead is not negligible relative to the MTBF. Two
+pieces are implemented:
+
+* the **expected total wall time** of a job with ``T_s`` of productive
+  work, checkpoint overhead ``delta``, restart time ``R`` and
+  exponential failures of mean ``M``::
+
+      T(tau) = M * exp(R / M) * (exp((tau + delta) / M) - 1) * T_s / tau
+
+  which accounts for failures striking *during* checkpointing and
+  recovery and for multiple failures per interval;
+
+* the **optimum interval**, via Daly's perturbation solution::
+
+      tau_opt = sqrt(2 delta M) * [1 + (1/3) sqrt(delta / (2M))
+                                     + (1/9) (delta / (2M))] - delta
+      (for delta < 2M; tau_opt = M otherwise)
+
+Both are used as baselines against the SAN simulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["expected_total_time", "useful_fraction", "optimal_interval"]
+
+
+def expected_total_time(
+    solve_time: float,
+    interval: float,
+    overhead: float,
+    restart: float,
+    mtbf: float,
+) -> float:
+    """Daly's expected wall time to complete ``solve_time`` of work.
+
+    Parameters
+    ----------
+    solve_time:
+        Failure-free productive time the job needs (``T_s``).
+    interval:
+        Checkpoint interval ``tau`` (productive time between
+        checkpoints).
+    overhead:
+        Checkpoint overhead ``delta``.
+    restart:
+        Rollback/restart time ``R`` after a failure.
+    mtbf:
+        System mean time between failures ``M``.
+    """
+    if min(solve_time, interval, mtbf) <= 0:
+        raise ValueError("solve_time, interval and mtbf must be > 0")
+    if overhead < 0 or restart < 0:
+        raise ValueError("overhead and restart must be >= 0")
+    segments = solve_time / interval
+    per_segment = mtbf * math.exp(restart / mtbf) * math.expm1((interval + overhead) / mtbf)
+    return per_segment * segments
+
+
+def useful_fraction(
+    interval: float, overhead: float, restart: float, mtbf: float
+) -> float:
+    """Steady-state useful work fraction implied by Daly's wall-time
+    model: productive time over expected elapsed time."""
+    total = expected_total_time(1.0, interval, overhead, restart, mtbf)
+    return 1.0 / total
+
+
+def optimal_interval(overhead: float, mtbf: float) -> float:
+    """Daly's higher-order optimum checkpoint interval.
+
+    Reduces to Young's ``sqrt(2 delta M)`` as ``delta / M -> 0`` (the
+    ``- delta`` term converts checkpoint *period* to productive
+    interval and vanishes in the comparison of leading orders).
+    """
+    if overhead <= 0 or mtbf <= 0:
+        raise ValueError("overhead and mtbf must be > 0")
+    if overhead >= 2.0 * mtbf:
+        return mtbf
+    ratio = overhead / (2.0 * mtbf)
+    return (
+        math.sqrt(2.0 * overhead * mtbf)
+        * (1.0 + math.sqrt(ratio) / 3.0 + ratio / 9.0)
+        - overhead
+    )

@@ -1,0 +1,133 @@
+"""Joint design-space exploration: interval x processor count.
+
+The paper studies one knob at a time; this module closes the design
+loop it implies: given a machine specification (per-node MTTF,
+processors per node, recovery time, checkpoint overheads), jointly
+choose the checkpoint interval and the processor count that maximise
+total useful work — subject to the practical constraints the paper
+calls out (intervals below ~15 minutes overwhelm the I/O subsystem).
+
+The search uses the renewal predictor (:mod:`.useful_work`) for speed:
+a grid over processor counts with a golden-section refinement of the
+interval per count. Results carry the predicted UWF/TUW so a caller
+can re-validate the winning corner by full simulation (see
+``examples/design_space.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .useful_work import useful_work_fraction
+
+__all__ = ["DesignPoint", "DesignSpec", "best_interval_for", "explore"]
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """A machine specification (times in seconds).
+
+    Attributes
+    ----------
+    processors_per_node:
+        Processors integrated per node.
+    mttf_node:
+        Per-node mean time to failure.
+    mttr:
+        Recovery time after a failure.
+    blocking_overhead:
+        Per-checkpoint time stolen from computation (quiesce + dump).
+    min_interval / max_interval:
+        Practical interval bounds (the paper's 15 min – 4 h).
+    """
+
+    processors_per_node: int = 8
+    mttf_node: float = 365.0 * 86400.0
+    mttr: float = 600.0
+    blocking_overhead: float = 57.0
+    min_interval: float = 15 * 60.0
+    max_interval: float = 4 * 3600.0
+
+    def __post_init__(self) -> None:
+        if self.processors_per_node < 1:
+            raise ValueError("processors_per_node must be >= 1")
+        if min(self.mttf_node, self.mttr, self.blocking_overhead) < 0:
+            raise ValueError("times must be >= 0")
+        if self.mttf_node <= 0:
+            raise ValueError("mttf_node must be > 0")
+        if not 0 < self.min_interval <= self.max_interval:
+            raise ValueError("need 0 < min_interval <= max_interval")
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated design: configuration plus predicted performance."""
+
+    n_processors: int
+    interval: float
+    useful_work_fraction: float
+
+    @property
+    def total_useful_work(self) -> float:
+        """Predicted total useful work (job units)."""
+        return self.useful_work_fraction * self.n_processors
+
+
+def best_interval_for(
+    spec: DesignSpec, n_processors: int, tolerance: float = 1e-3
+) -> DesignPoint:
+    """The best practical checkpoint interval for one machine size.
+
+    Golden-section search over ``[min_interval, max_interval]`` on the
+    renewal-model UWF. The optimum often sits on the lower bound for
+    large systems (the paper's "no optimum within the practical
+    range").
+    """
+    if n_processors < spec.processors_per_node:
+        raise ValueError(
+            f"n_processors ({n_processors}) below processors_per_node "
+            f"({spec.processors_per_node})"
+        )
+    n_nodes = n_processors / spec.processors_per_node
+    mtbf = spec.mttf_node / n_nodes
+
+    def value(interval: float) -> float:
+        return useful_work_fraction(
+            interval, spec.blocking_overhead, mtbf, spec.mttr
+        )
+
+    golden = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = spec.min_interval, spec.max_interval
+    c = b - golden * (b - a)
+    d = a + golden * (b - a)
+    for _ in range(200):
+        if value(c) > value(d):
+            b = d
+        else:
+            a = c
+        c = b - golden * (b - a)
+        d = a + golden * (b - a)
+        if abs(b - a) <= tolerance * max(1.0, b):
+            break
+    interval = 0.5 * (a + b)
+    # The unimodal search can stall just inside a boundary optimum;
+    # compare against the bounds explicitly.
+    candidates = [spec.min_interval, interval, spec.max_interval]
+    interval = max(candidates, key=value)
+    return DesignPoint(n_processors, interval, value(interval))
+
+
+def explore(
+    spec: DesignSpec,
+    processor_grid: Optional[Sequence[int]] = None,
+) -> List[DesignPoint]:
+    """Evaluate the whole design space; sorted by predicted TUW
+    (best first)."""
+    if processor_grid is None:
+        processor_grid = [
+            spec.processors_per_node * 2**k for k in range(10, 18)
+        ]
+    points = [best_interval_for(spec, n) for n in processor_grid]
+    return sorted(points, key=lambda p: -p.total_useful_work)

@@ -1,0 +1,168 @@
+"""The correlated-failure birth–death chain (paper Section 6, Figure 3).
+
+States ``F_i`` count failures since the last successful recovery.
+From ``F_0`` the system fails at the system-wide independent rate
+``lambda_i = n * lam``; inside the burst (``F_i``, ``i >= 1``) it fails
+at the correlated rate ``lambda_c = n * lam * (1 + r)``; every state
+recovers directly to ``F_0`` at rate ``mu``.
+
+The paper's calibration identities connect the conditional probability
+``p`` of a follow-on failure with the rate multiplier ``r``::
+
+    p = lambda_c / (lambda_c + mu)        =>  lambda_c = p mu / (1 - p)
+    lambda_c = n lam (1 + r)              =>  r = p mu / ((1-p) n lam) - 1
+
+(its worked example: n = 1024, p = 0.3, MTTR = 10 min,
+MTTF = 25 years gives r ≈ 600). This module provides those identities,
+the chain itself as a SAN (solvable exactly through
+:mod:`repro.san.statespace`), and closed-form consequences used by the
+tests and benches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..san import Arc, Case, Exponential, InputGate, SANModel, TimedActivity
+from ..san.statespace import StateSpaceGenerator, SteadyStateSolution
+
+__all__ = [
+    "frate_factor",
+    "conditional_probability",
+    "correlated_rate",
+    "generic_system_rate",
+    "expected_recoveries_per_burst",
+    "build_birth_death_model",
+    "solve_birth_death",
+]
+
+
+def correlated_rate(p: float, mu: float) -> float:
+    """``lambda_c = p mu / (1 - p)`` from the conditional probability
+    of a follow-on failure."""
+    if not 0 <= p < 1:
+        raise ValueError(f"p must be in [0, 1), got {p}")
+    if mu <= 0:
+        raise ValueError(f"mu must be > 0, got {mu}")
+    return p * mu / (1.0 - p)
+
+
+def frate_factor(p: float, mu: float, n: int, lam: float) -> float:
+    """The paper's ``r = p mu / ((1 - p) n lam) - 1``.
+
+    Parameters
+    ----------
+    p:
+        Conditional probability of another failure given a failure.
+    mu:
+        Recovery rate (``1 / MTTR``).
+    n:
+        Number of nodes.
+    lam:
+        Independent per-node failure rate (``1 / MTTF``).
+    """
+    if n < 1 or lam <= 0:
+        raise ValueError("need n >= 1 and lam > 0")
+    return correlated_rate(p, mu) / (n * lam) - 1.0
+
+
+def conditional_probability(r: float, mu: float, n: int, lam: float) -> float:
+    """Inverse of :func:`frate_factor`: the conditional follow-on
+    failure probability implied by a rate multiplier ``r``."""
+    if r < 0:
+        raise ValueError(f"r must be >= 0, got {r}")
+    if mu <= 0 or n < 1 or lam <= 0:
+        raise ValueError("need mu > 0, n >= 1 and lam > 0")
+    lambda_c = n * lam * (1.0 + r)
+    return lambda_c / (lambda_c + mu)
+
+
+def generic_system_rate(n: int, lam: float, alpha: float, r: float) -> float:
+    """The generic correlated-failure system rate
+    ``lambda_s = n lam (1 + alpha r)`` (paper Table 2 derivation)."""
+    if not 0 <= alpha <= 1:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    if r < 0 or n < 1 or lam <= 0:
+        raise ValueError("need r >= 0, n >= 1 and lam > 0")
+    return n * lam * (1.0 + alpha * r)
+
+
+def expected_recoveries_per_burst(p: float) -> float:
+    """Expected number of recovery attempts until success when each
+    attempt fails with probability ``p`` (geometric): ``1 / (1 - p)``."""
+    if not 0 <= p < 1:
+        raise ValueError(f"p must be in [0, 1), got {p}")
+    return 1.0 / (1.0 - p)
+
+
+def build_birth_death_model(
+    n: int,
+    lam: float,
+    r: float,
+    mu: float,
+    max_failures: int = 10,
+) -> SANModel:
+    """The Figure 3 chain as a SAN.
+
+    ``failures`` counts failures since the last successful recovery
+    (truncated at ``max_failures`` — with realistic parameters the
+    probability mass beyond a handful of states is negligible, and the
+    truncation error shows up in the exact-vs-simulated tests).
+    """
+    if max_failures < 1:
+        raise ValueError(f"max_failures must be >= 1, got {max_failures}")
+    model = SANModel("correlated_birth_death")
+    failures = model.add_place("failures", initial=0)
+
+    def failure_rate(state) -> float:
+        if state.tokens("failures") == 0:
+            return n * lam
+        return n * lam * (1.0 + r)
+
+    model.add_activity(
+        TimedActivity(
+            "fail",
+            Exponential(failure_rate),
+            input_gates=[
+                InputGate(
+                    "below_truncation",
+                    predicate=lambda s: s.tokens("failures") < max_failures,
+                    reads=["failures"],
+                )
+            ],
+            cases=[Case(output_arcs=[Arc(failures)])],
+            resample_on=["failures"],
+        )
+    )
+
+    def reset_failures(state) -> None:
+        state.place("failures").clear()
+
+    model.add_activity(
+        TimedActivity(
+            "recover",
+            Exponential(mu),
+            input_arcs=[Arc(failures)],
+            input_gates=[
+                InputGate(
+                    "reset_on_recovery",
+                    predicate=lambda s: True,
+                    function=reset_failures,
+                )
+            ],
+        )
+    )
+    return model
+
+
+def solve_birth_death(
+    n: int,
+    lam: float,
+    r: float,
+    mu: float,
+    max_failures: int = 10,
+) -> SteadyStateSolution:
+    """Exact steady state of the (truncated) Figure 3 chain."""
+    model = build_birth_death_model(n, lam, r, mu, max_failures)
+    return StateSpaceGenerator(model).generate().steady_state()

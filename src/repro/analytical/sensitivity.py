@@ -1,0 +1,108 @@
+"""Parameter sensitivities: which knob matters?
+
+The paper's Section 7 is a one-factor-at-a-time sensitivity study.
+This module condenses that into *elasticities* of the renewal-model
+useful work fraction,
+
+    E_theta = d ln UWF / d ln theta
+
+evaluated by central finite differences: the percentage change in
+useful work per percent change of each parameter. Elasticities rank
+the knobs (per-node MTTF vs MTTR vs interval vs overhead) at any
+operating point — a quantitative summary of the paper's qualitative
+findings (e.g. at 256K processors the MTTF elasticity dwarfs the
+others, which is the "failures dominate" conclusion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from .useful_work import useful_work_fraction
+
+__all__ = ["OperatingPoint", "Elasticity", "elasticities", "rank_parameters"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One configuration of the renewal model (times in seconds)."""
+
+    interval: float = 1800.0
+    overhead: float = 57.0
+    mtbf: float = 3852.0
+    mttr: float = 600.0
+
+    def __post_init__(self) -> None:
+        if min(self.interval, self.mtbf) <= 0:
+            raise ValueError("interval and mtbf must be > 0")
+        if self.overhead < 0 or self.mttr < 0:
+            raise ValueError("overhead and mttr must be >= 0")
+
+    def uwf(self) -> float:
+        """Useful work fraction at this point."""
+        return useful_work_fraction(self.interval, self.overhead, self.mtbf, self.mttr)
+
+    def with_scaled(self, parameter: str, factor: float) -> "OperatingPoint":
+        """A copy with one parameter multiplied by ``factor``."""
+        values = {
+            "interval": self.interval,
+            "overhead": self.overhead,
+            "mtbf": self.mtbf,
+            "mttr": self.mttr,
+        }
+        if parameter not in values:
+            raise ValueError(f"unknown parameter {parameter!r}")
+        values[parameter] *= factor
+        return OperatingPoint(**values)
+
+
+@dataclass(frozen=True)
+class Elasticity:
+    """One parameter's elasticity at an operating point."""
+
+    parameter: str
+    value: float
+
+    @property
+    def beneficial_direction(self) -> str:
+        """Whether raising the parameter helps or hurts useful work."""
+        if abs(self.value) < 1e-12:
+            return "neutral"
+        return "increase" if self.value > 0 else "decrease"
+
+    def __str__(self) -> str:
+        return f"{self.parameter}: {self.value:+.4f}"
+
+
+PARAMETERS = ("mtbf", "mttr", "interval", "overhead")
+
+
+def elasticities(
+    point: OperatingPoint, step: float = 0.01
+) -> Dict[str, Elasticity]:
+    """Central-difference elasticities of UWF at ``point``.
+
+    ``step`` is the relative perturbation (1% by default).
+    """
+    if not 0 < step < 1:
+        raise ValueError(f"step must be in (0, 1), got {step}")
+    base = point.uwf()
+    if base <= 0:
+        raise ValueError("UWF is zero at this operating point; elasticity undefined")
+    result: Dict[str, Elasticity] = {}
+    for parameter in PARAMETERS:
+        up = point.with_scaled(parameter, 1.0 + step).uwf()
+        down = point.with_scaled(parameter, 1.0 - step).uwf()
+        # d ln UWF / d ln theta  ~  (ln up - ln down) / (2 step)
+        import math
+
+        value = (math.log(up) - math.log(down)) / (2.0 * step)
+        result[parameter] = Elasticity(parameter, value)
+    return result
+
+
+def rank_parameters(point: OperatingPoint, step: float = 0.01) -> List[Elasticity]:
+    """Elasticities sorted by absolute impact (largest first)."""
+    values = elasticities(point, step)
+    return sorted(values.values(), key=lambda e: -abs(e.value))

@@ -1,0 +1,104 @@
+"""Renewal-theoretic useful-work predictor for the paper's system.
+
+A fast closed-form cross-check of the SAN simulation (used by tests
+and to locate optima before running expensive sweeps). The system is
+approximated as a sequence of *segments*: to bank ``tau`` of useful
+work the system must survive ``tau + delta`` (interval plus blocking
+checkpoint overhead) without a failure; a failure costs the time
+already spent plus a recovery ``R``, after which the segment restarts.
+
+With exponential system failures of mean ``M``::
+
+    p          = exp(-(tau + delta) / M)     (segment survives)
+    E[attempt] = E[min(F, tau + delta)] + (1 - p) R
+               = M (1 - p) + R (1 - p)       (time per try, averaged
+                                              over success and failure)
+    E[cycle]   = E[attempt] / p              (geometric retries)
+
+    UWF = tau / E[cycle] = p tau / ((M + R)(1 - p))
+
+(note ``M (1 - p) -> tau + delta`` as failures become rare, recovering
+``UWF -> tau / (tau + delta)``).
+
+This keeps Daly-style failures-during-checkpoint effects but ignores
+coordination timeouts and I/O contention — the SAN model covers those.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+__all__ = [
+    "segment_survival_probability",
+    "useful_work_fraction",
+    "total_useful_work",
+    "optimal_processors",
+]
+
+
+def segment_survival_probability(interval: float, overhead: float, mtbf: float) -> float:
+    """Probability a whole checkpoint segment completes failure-free:
+    ``exp(-(tau + delta) / M)``."""
+    if interval <= 0 or mtbf <= 0 or overhead < 0:
+        raise ValueError("interval and mtbf must be > 0; overhead >= 0")
+    return math.exp(-(interval + overhead) / mtbf)
+
+
+def useful_work_fraction(
+    interval: float,
+    overhead: float,
+    mtbf: float,
+    mttr: float,
+) -> float:
+    """Renewal-model useful work fraction (see module docstring)."""
+    if mttr < 0:
+        raise ValueError(f"mttr must be >= 0, got {mttr}")
+    p = segment_survival_probability(interval, overhead, mtbf)
+    if p <= 0.0:
+        return 0.0
+    # 1 - p via expm1: at huge MTBF, 1 - exp(-x) loses all precision.
+    one_minus_p = -math.expm1(-(interval + overhead) / mtbf)
+    expected_attempt = (mtbf + mttr) * one_minus_p
+    if expected_attempt <= 0.0:
+        # Failure-free limit: only the checkpoint overhead remains.
+        return interval / (interval + overhead)
+    return min(1.0, p * interval / expected_attempt)
+
+
+def total_useful_work(
+    n_processors: int,
+    processors_per_node: int,
+    mttf_node: float,
+    interval: float,
+    overhead: float,
+    mttr: float,
+) -> float:
+    """Predicted total useful work of a configuration (job units)."""
+    if n_processors < 1 or processors_per_node < 1:
+        raise ValueError("processor counts must be >= 1")
+    n_nodes = n_processors / processors_per_node
+    mtbf = mttf_node / n_nodes
+    return n_processors * useful_work_fraction(interval, overhead, mtbf, mttr)
+
+
+def optimal_processors(
+    processors_per_node: int,
+    mttf_node: float,
+    interval: float,
+    overhead: float,
+    mttr: float,
+    candidates: Optional[list] = None,
+) -> int:
+    """The processor count maximising predicted total useful work over
+    a candidate grid (defaults to the paper's 8K..1M powers of two)."""
+    if candidates is None:
+        candidates = [2**k for k in range(13, 21)]
+    best_n, best_tuw = candidates[0], -1.0
+    for n in candidates:
+        tuw = total_useful_work(
+            n, processors_per_node, mttf_node, interval, overhead, mttr
+        )
+        if tuw > best_tuw:
+            best_n, best_tuw = n, tuw
+    return best_n

@@ -1,0 +1,59 @@
+"""Young's first-order optimum checkpoint interval (reference [7]).
+
+Young (1974) assumes failures are rare relative to the checkpoint
+overhead and recovery time: with checkpoint overhead ``delta`` (time a
+checkpoint steals from computation) and system MTBF ``M``, the wasted
+time per checkpoint interval ``tau`` is approximately
+
+    ``waste(tau) = delta / tau + tau / (2 M)``
+
+per unit of computation, minimised at the classic
+
+    ``tau_opt = sqrt(2 * delta * M)``.
+
+The paper's large-scale regime breaks Young's assumptions (failures
+during checkpointing/recovery, multiple failures per interval), which
+is exactly why its simulated curves diverge from these closed forms —
+the repository reproduces both so the divergence can be measured.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["optimal_interval", "waste_fraction", "useful_fraction"]
+
+
+def optimal_interval(overhead: float, mtbf: float) -> float:
+    """Young's optimum interval ``sqrt(2 * overhead * mtbf)``.
+
+    Parameters
+    ----------
+    overhead:
+        Time consumed by one checkpoint (same unit as ``mtbf``).
+    mtbf:
+        System mean time between failures.
+    """
+    if overhead <= 0:
+        raise ValueError(f"overhead must be > 0, got {overhead}")
+    if mtbf <= 0:
+        raise ValueError(f"mtbf must be > 0, got {mtbf}")
+    return math.sqrt(2.0 * overhead * mtbf)
+
+
+def waste_fraction(interval: float, overhead: float, mtbf: float, mttr: float = 0.0) -> float:
+    """First-order fraction of time wasted at checkpoint interval
+    ``interval``: checkpoint overhead + expected rework (half an
+    interval per failure) + recovery time per failure."""
+    if interval <= 0:
+        raise ValueError(f"interval must be > 0, got {interval}")
+    if overhead < 0 or mtbf <= 0 or mttr < 0:
+        raise ValueError("overhead/mttr must be >= 0 and mtbf > 0")
+    checkpointing = overhead / (interval + overhead)
+    rework = (interval / 2.0 + mttr) / mtbf
+    return min(1.0, checkpointing + rework)
+
+
+def useful_fraction(interval: float, overhead: float, mtbf: float, mttr: float = 0.0) -> float:
+    """First-order useful work fraction: ``1 - waste_fraction``."""
+    return 1.0 - waste_fraction(interval, overhead, mtbf, mttr)

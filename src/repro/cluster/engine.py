@@ -1,0 +1,105 @@
+"""A small discrete-event engine for the message-level cluster
+simulator.
+
+The SAN executive in :mod:`repro.san` is specialised for activity
+networks; the cluster simulator instead wires ordinary Python objects
+(nodes, links, file system) as event-driven state machines. This
+engine provides the shared machinery: a time-ordered event queue with
+cancellable handles.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Engine", "EventHandle"]
+
+
+class EventHandle:
+    """A scheduled callback that can be cancelled before it runs."""
+
+    __slots__ = ("time", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, callback: Callable, args: Tuple[Any, ...]) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:
+        status = "cancelled" if self.cancelled else f"t={self.time:.6g}"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"EventHandle({name}, {status})"
+
+
+class Engine:
+    """Time-ordered event executor.
+
+    Examples
+    --------
+    >>> engine = Engine()
+    >>> seen = []
+    >>> _ = engine.schedule(5.0, seen.append, "five")
+    >>> _ = engine.schedule(1.0, seen.append, "one")
+    >>> engine.run()
+    >>> seen
+    ['one', 'five']
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._sequence = 0
+        self._stopped = False
+        self.event_count = 0
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> EventHandle:
+        """Run ``callback(*args)`` after ``delay`` time units."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        handle = EventHandle(self.now + delay, callback, args)
+        self._sequence += 1
+        heapq.heappush(self._heap, (handle.time, self._sequence, handle))
+        return handle
+
+    def schedule_at(self, time: float, callback: Callable, *args: Any) -> EventHandle:
+        """Run ``callback(*args)`` at absolute time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        return self.schedule(time - self.now, callback, *args)
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events until the queue drains, ``until`` is reached,
+        or ``max_events`` events have run."""
+        self._stopped = False
+        processed = 0
+        while self._heap and not self._stopped:
+            time, _, handle = self._heap[0]
+            if until is not None and time > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            handle.callback(*handle.args)
+            self.event_count += 1
+            processed += 1
+            if max_events is not None and processed >= max_events:
+                return
+        if until is not None and not self._stopped:
+            self.now = max(self.now, until)
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled placeholders)."""
+        return len(self._heap)

@@ -1,0 +1,95 @@
+"""The parallel file system model.
+
+Holds checkpoint *generations*. A new checkpoint generation opens when
+the I/O nodes begin their background write-back and **commits** only
+when every I/O node's stream finishes — until then the previous
+generation remains the valid recovery point (Section 3.2: the current
+checkpoint never overwrites the previous one until it completes and is
+verified). An aborted write-back (I/O-node failure) discards the open
+generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["CheckpointGeneration", "ParallelFileSystem"]
+
+
+@dataclass
+class CheckpointGeneration:
+    """One checkpoint image being (or already) written to the FS.
+
+    ``work_level`` is the amount of application work the image
+    captures — what a recovery from it restores.
+    """
+
+    epoch: int
+    work_level: float
+    streams_pending: int
+
+    @property
+    def complete(self) -> bool:
+        """All I/O-node streams for this generation have finished."""
+        return self.streams_pending == 0
+
+
+class ParallelFileSystem:
+    """Checkpoint-generation bookkeeping for the cluster simulator."""
+
+    def __init__(self) -> None:
+        self._committed: Optional[CheckpointGeneration] = None
+        self._open: Optional[CheckpointGeneration] = None
+        self.commits = 0
+        self.aborts = 0
+
+    # ------------------------------------------------------------------
+    def begin_generation(self, epoch: int, work_level: float, streams: int) -> None:
+        """The I/O nodes start writing a new checkpoint back.
+
+        An already-open generation is superseded (counts as aborted) —
+        this can only happen if a new checkpoint completes its dump
+        while the previous write-back is still running.
+        """
+        if streams < 1:
+            raise ValueError(f"streams must be >= 1, got {streams}")
+        if self._open is not None:
+            self.aborts += 1
+        self._open = CheckpointGeneration(epoch, work_level, streams)
+
+    def stream_complete(self, epoch: int) -> bool:
+        """One I/O node finished its stream; returns True when the
+        generation just committed."""
+        if self._open is None or self._open.epoch != epoch:
+            return False
+        self._open.streams_pending -= 1
+        if self._open.complete:
+            self._committed = self._open
+            self._open = None
+            self.commits += 1
+            return True
+        return False
+
+    def abort_open_generation(self) -> None:
+        """Discard the open generation (I/O failure mid-write-back);
+        the committed generation stays valid."""
+        if self._open is not None:
+            self._open = None
+            self.aborts += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def committed_work_level(self) -> float:
+        """Work level of the last durable checkpoint (0 = job start)."""
+        return self._committed.work_level if self._committed else 0.0
+
+    @property
+    def committed_epoch(self) -> Optional[int]:
+        """Epoch of the last durable checkpoint, if any."""
+        return self._committed.epoch if self._committed else None
+
+    @property
+    def write_in_progress(self) -> bool:
+        """True while a generation is open (being written back)."""
+        return self._open is not None

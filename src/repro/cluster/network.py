@@ -1,0 +1,169 @@
+"""Network primitives: latency messaging and bandwidth-shared links.
+
+Two abstractions back the cluster simulator:
+
+* :class:`Network` — delivers protocol messages with configurable
+  latency; broadcasts model the hardware broadcast tree (one latency
+  to every destination, as in BlueGene/L) and unicasts add the
+  software transmission overhead.
+* :class:`SharedLink` — a processor-sharing bandwidth pipe: concurrent
+  transfers share the capacity equally (64 compute nodes dumping
+  256 MB each through their group's 350 MB/s link all complete at the
+  aggregate time, matching the SAN model's deterministic dump
+  latency).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from .engine import Engine, EventHandle
+
+__all__ = ["Network", "SharedLink", "Transfer"]
+
+#: Residual bytes below this are floating-point noise, not payload:
+#: transfer sizes are megabytes, and the progress arithmetic
+#: (rate * dt) can leave O(1e-6)-byte remainders whose completion
+#: delay underflows the simulation clock.
+COMPLETION_EPSILON_BYTES = 1e-2
+
+
+class Network:
+    """Latency-only message fabric."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        broadcast_latency: float,
+        message_latency: float,
+    ) -> None:
+        if broadcast_latency < 0 or message_latency < 0:
+            raise ValueError("latencies must be >= 0")
+        self._engine = engine
+        self.broadcast_latency = broadcast_latency
+        self.message_latency = message_latency
+        self.messages_sent = 0
+
+    def send(self, receiver: Any, message: Any) -> None:
+        """Unicast with the software transmission latency; the receiver
+        gets ``receiver.receive(message)``."""
+        self.messages_sent += 1
+        self._engine.schedule(self.message_latency, receiver.receive, message)
+
+    def broadcast(self, receivers: List[Any], message: Any) -> None:
+        """Hardware-tree broadcast: one latency to all destinations."""
+        self.messages_sent += len(receivers)
+        for receiver in receivers:
+            self._engine.schedule(self.broadcast_latency, receiver.receive, message)
+
+
+class Transfer:
+    """One in-flight transfer on a :class:`SharedLink`."""
+
+    __slots__ = ("remaining", "on_complete", "cancelled")
+
+    def __init__(self, nbytes: float, on_complete: Callable[[], None]) -> None:
+        self.remaining = float(nbytes)
+        self.on_complete = on_complete
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Abandon the transfer (its callback never runs)."""
+        self.cancelled = True
+
+
+class SharedLink:
+    """A processor-sharing link of fixed total bandwidth.
+
+    ``k`` concurrent transfers each progress at ``bandwidth / k``; the
+    link recomputes the next completion whenever a transfer starts,
+    finishes or is cancelled. Used for the compute→I/O dump channels
+    and the I/O→file-system channels.
+    """
+
+    def __init__(self, engine: Engine, bandwidth: float) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
+        self._engine = engine
+        self.bandwidth = float(bandwidth)
+        self._active: List[Transfer] = []
+        self._last_update = engine.now
+        self._completion_event: Optional[EventHandle] = None
+        self.bytes_delivered = 0.0
+
+    # ------------------------------------------------------------------
+    def transfer(self, nbytes: float, on_complete: Callable[[], None]) -> Transfer:
+        """Start a transfer of ``nbytes``; ``on_complete`` runs when the
+        last byte arrives."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        self._advance()
+        item = Transfer(nbytes, on_complete)
+        self._active.append(item)
+        self._reschedule()
+        return item
+
+    def cancel(self, item: Transfer) -> None:
+        """Abort an in-flight transfer and release its bandwidth share
+        immediately."""
+        if item.cancelled:
+            return
+        self._advance()
+        item.cancel()
+        self._reschedule()
+
+    def cancel_all(self) -> None:
+        """Abort every in-flight transfer (e.g. the I/O nodes failed)."""
+        self._advance()
+        for item in self._active:
+            item.cancel()
+        self._reschedule()
+
+    @property
+    def active_transfers(self) -> int:
+        """Number of in-flight transfers."""
+        return len(self._active)
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Progress every active transfer to the current time."""
+        now = self._engine.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or not self._active:
+            return
+        rate = self.bandwidth / len(self._active)
+        for item in self._active:
+            progressed = min(item.remaining, rate * dt)
+            item.remaining -= progressed
+            self.bytes_delivered += progressed
+
+    def _reschedule(self) -> None:
+        """Schedule the next completion for the smallest remainder."""
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        self._active = [t for t in self._active if not t.cancelled]
+        if not self._active:
+            return
+        smallest = min(item.remaining for item in self._active)
+        delay = smallest * len(self._active) / self.bandwidth
+        self._completion_event = self._engine.schedule(delay, self._complete)
+
+    def _complete(self) -> None:
+        """Finish every transfer whose bytes have drained."""
+        self._completion_event = None
+        self._advance()
+        eps = COMPLETION_EPSILON_BYTES
+        live = [t for t in self._active if not t.cancelled]
+        finished = [t for t in live if t.remaining <= eps]
+        if not finished and live:
+            # Guard against clock underflow: this event was scheduled
+            # for the smallest remainder's completion, so at least that
+            # transfer is done up to floating-point noise.
+            smallest = min(t.remaining for t in live)
+            finished = [t for t in live if t.remaining <= smallest + eps]
+        self._active = [t for t in live if t not in finished]
+        self._reschedule()
+        for item in finished:
+            item.on_complete()

@@ -1,0 +1,305 @@
+"""Per-node state machines of the cluster simulator.
+
+Unlike the SAN model — which aggregates all compute nodes into one
+unit — these classes run the paper's six-step protocol *per node*:
+every compute node has its own exponential quiesce time, its own dump
+transfer on its I/O group's shared link, and its own protocol
+messages. The master collects 'ready'/'done' from every node and
+enforces the timeout. This is the ground truth the aggregate model's
+coordination law (max of n exponentials) is validated against.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from .protocol import Message, MessageType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .simulator import ClusterSimulator
+
+__all__ = ["ComputeNodeState", "ComputeNode", "IONode", "MasterNode"]
+
+
+class ComputeNodeState(enum.Enum):
+    """Protocol state of one compute node."""
+
+    EXECUTING = "executing"
+    QUIESCING = "quiescing"
+    READY = "ready"
+    DUMPING = "dumping"
+    WAITING_PROCEED = "waiting_proceed"
+    DOWN = "down"
+
+
+class ComputeNode:
+    """One compute node: executes, quiesces, dumps, resumes."""
+
+    def __init__(self, node_id: int, group: int, cluster: "ClusterSimulator") -> None:
+        self.node_id = node_id
+        self.group = group
+        self.cluster = cluster
+        self.state = ComputeNodeState.EXECUTING
+        self.epoch = 0
+        self._quiesce_event = None
+        self._dump_transfer = None
+
+    # ------------------------------------------------------------------
+    def receive(self, message: Message) -> None:
+        """Protocol message dispatch; stale-epoch messages are dropped."""
+        if self.state is ComputeNodeState.DOWN:
+            return
+        kind = message.type
+        if kind is MessageType.QUIESCE:
+            self._on_quiesce(message.epoch)
+        elif kind is MessageType.CHECKPOINT:
+            self._on_checkpoint(message.epoch)
+        elif kind is MessageType.PROCEED:
+            self._on_proceed(message.epoch)
+        elif kind is MessageType.ABORT:
+            self._on_abort(message.epoch)
+
+    def _on_quiesce(self, epoch: int) -> None:
+        if self.state is not ComputeNodeState.EXECUTING:
+            return
+        self.epoch = epoch
+        self.state = ComputeNodeState.QUIESCING
+        delay = self.cluster.sample_quiesce_time()
+        self._quiesce_event = self.cluster.engine.schedule(
+            delay, self._quiesced, epoch
+        )
+
+    def _quiesced(self, epoch: int) -> None:
+        self._quiesce_event = None
+        if self.state is not ComputeNodeState.QUIESCING or self.epoch != epoch:
+            return
+        self.state = ComputeNodeState.READY
+        self.cluster.network.send(
+            self.cluster.master, Message(MessageType.READY, self.node_id, epoch)
+        )
+
+    def _on_checkpoint(self, epoch: int) -> None:
+        if self.state is not ComputeNodeState.READY or self.epoch != epoch:
+            return
+        self.state = ComputeNodeState.DUMPING
+        link = self.cluster.dump_link(self.group)
+        self._dump_transfer = link.transfer(
+            self.cluster.params.checkpoint_size_per_node,
+            lambda: self._dump_complete(epoch),
+        )
+
+    def _dump_complete(self, epoch: int) -> None:
+        self._dump_transfer = None
+        if self.state is not ComputeNodeState.DUMPING or self.epoch != epoch:
+            return
+        self.state = ComputeNodeState.WAITING_PROCEED
+        self.cluster.io_node(self.group).buffer_node_checkpoint(self.node_id, epoch)
+        self.cluster.network.send(
+            self.cluster.master, Message(MessageType.DONE, self.node_id, epoch)
+        )
+
+    def _on_proceed(self, epoch: int) -> None:
+        if self.state is ComputeNodeState.WAITING_PROCEED and self.epoch == epoch:
+            self.state = ComputeNodeState.EXECUTING
+
+    def _on_abort(self, epoch: int) -> None:
+        if self.epoch != epoch:
+            return
+        self.cancel_protocol()
+        if self.state is not ComputeNodeState.DOWN:
+            self.state = ComputeNodeState.EXECUTING
+
+    # ------------------------------------------------------------------
+    def cancel_protocol(self) -> None:
+        """Drop any in-flight quiesce timer or dump transfer."""
+        if self._quiesce_event is not None:
+            self._quiesce_event.cancel()
+            self._quiesce_event = None
+        if self._dump_transfer is not None:
+            self.cluster.dump_link(self.group).cancel(self._dump_transfer)
+            self._dump_transfer = None
+
+    def fail(self) -> None:
+        """The node crashed (the cluster handles the global rollback)."""
+        self.cancel_protocol()
+        self.state = ComputeNodeState.DOWN
+
+    def restore(self) -> None:
+        """Recovery finished: resume execution."""
+        self.state = ComputeNodeState.EXECUTING
+
+
+class IONode:
+    """One I/O node: buffers its group's checkpoints, writes them back
+    to the file system in the background."""
+
+    def __init__(self, io_id: int, cluster: "ClusterSimulator") -> None:
+        self.io_id = io_id
+        self.cluster = cluster
+        self.buffered_epoch: Optional[int] = None
+        self._pending_nodes = 0
+        self._writeback_transfer = None
+        self.down = False
+
+    def buffer_node_checkpoint(self, node_id: int, epoch: int) -> None:
+        """A compute node of this group finished its dump."""
+        if self.down:
+            return
+        if self.buffered_epoch != epoch:
+            self.buffered_epoch = epoch
+            self._pending_nodes = 0
+        self._pending_nodes += 1
+
+    def start_writeback(self, epoch: int, nbytes: float) -> None:
+        """Write the buffered group checkpoint to the file system."""
+        if self.down or self.buffered_epoch != epoch:
+            return
+        link = self.cluster.fs_link(self.io_id)
+        self._writeback_transfer = link.transfer(
+            nbytes, lambda: self._writeback_complete(epoch)
+        )
+
+    def _writeback_complete(self, epoch: int) -> None:
+        self._writeback_transfer = None
+        if self.down:
+            return
+        self.cluster.on_stream_complete(epoch)
+
+    def fail(self) -> None:
+        """The I/O node crashed: its buffer and stream are lost."""
+        self.down = True
+        self.buffered_epoch = None
+        self._pending_nodes = 0
+        if self._writeback_transfer is not None:
+            self.cluster.fs_link(self.io_id).cancel(self._writeback_transfer)
+            self._writeback_transfer = None
+
+    def restore(self) -> None:
+        """The I/O nodes restarted (empty buffers)."""
+        self.down = False
+
+    @property
+    def holds_buffered_checkpoint(self) -> bool:
+        """True when a complete group checkpoint sits in memory."""
+        return (
+            not self.down
+            and self.buffered_epoch is not None
+            and self._pending_nodes >= self.cluster.group_size(self.io_id)
+        )
+
+
+class MasterNode:
+    """The checkpoint coordinator.
+
+    Periodically initiates the protocol, collects 'ready' and 'done'
+    responses, enforces the timeout, and measures the coordination
+    time (QUIESCE broadcast → last READY) for the order-statistic
+    validation.
+    """
+
+    def __init__(self, cluster: "ClusterSimulator") -> None:
+        self.cluster = cluster
+        self.epoch = 0
+        self._ready = 0
+        self._done = 0
+        self._phase: Optional[MessageType] = None
+        self._timer = None
+        self._interval_event = None
+        self._quiesce_broadcast_at = 0.0
+        self.coordination_times = []
+        self.aborts = 0
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+    def schedule_next_checkpoint(self) -> None:
+        """Arm the checkpoint-interval timer."""
+        self.cancel_interval()
+        self._interval_event = self.cluster.engine.schedule(
+            self.cluster.params.checkpoint_interval, self.start_checkpoint
+        )
+
+    def cancel_interval(self) -> None:
+        """Disarm the interval timer (failure/rollback)."""
+        if self._interval_event is not None:
+            self._interval_event.cancel()
+            self._interval_event = None
+
+    def start_checkpoint(self) -> None:
+        """Step (1): broadcast 'quiesce' and arm the timeout."""
+        self._interval_event = None
+        if not self.cluster.application_running:
+            return
+        self.epoch += 1
+        self.rounds += 1
+        self._ready = 0
+        self._done = 0
+        self._phase = MessageType.QUIESCE
+        self._quiesce_broadcast_at = self.cluster.engine.now
+        self.cluster.begin_checkpoint_round(self.epoch)
+        self.cluster.network.broadcast(
+            self.cluster.compute_nodes, Message(MessageType.QUIESCE, -1, self.epoch)
+        )
+        timeout = self.cluster.params.timeout
+        if timeout is not None:
+            self._timer = self.cluster.engine.schedule(timeout, self._timed_out)
+
+    def receive(self, message: Message) -> None:
+        """Collect 'ready' and 'done' responses."""
+        if message.epoch != self.epoch:
+            return
+        if message.type is MessageType.READY and self._phase is MessageType.QUIESCE:
+            self._ready += 1
+            if self._ready >= len(self.cluster.compute_nodes):
+                self._all_ready()
+        elif message.type is MessageType.DONE and self._phase is MessageType.CHECKPOINT:
+            self._done += 1
+            if self._done >= len(self.cluster.compute_nodes):
+                self._all_done()
+
+    def _all_ready(self) -> None:
+        """Step (3): every node is quiesced — broadcast 'checkpoint'."""
+        self._disarm_timer()
+        self.coordination_times.append(
+            self.cluster.engine.now - self._quiesce_broadcast_at
+        )
+        self._phase = MessageType.CHECKPOINT
+        self.cluster.network.broadcast(
+            self.cluster.compute_nodes, Message(MessageType.CHECKPOINT, -1, self.epoch)
+        )
+
+    def _all_done(self) -> None:
+        """Step (5): every node dumped — broadcast 'proceed'; the I/O
+        nodes write back in the background."""
+        self._phase = None
+        self.cluster.network.broadcast(
+            self.cluster.compute_nodes, Message(MessageType.PROCEED, -1, self.epoch)
+        )
+        self.cluster.complete_checkpoint_round(self.epoch)
+        self.schedule_next_checkpoint()
+
+    def _timed_out(self) -> None:
+        """The timeout expired before coordination completed: abort."""
+        self._timer = None
+        if self._phase is not MessageType.QUIESCE:
+            return
+        self.aborts += 1
+        self._phase = None
+        self.cluster.network.broadcast(
+            self.cluster.compute_nodes, Message(MessageType.ABORT, -1, self.epoch)
+        )
+        self.cluster.abort_checkpoint_round(self.epoch)
+        self.schedule_next_checkpoint()
+
+    def _disarm_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def reset(self) -> None:
+        """A failure reset the master to its initial state."""
+        self._disarm_timer()
+        self.cancel_interval()
+        self._phase = None
+        self._ready = 0
+        self._done = 0

@@ -1,0 +1,213 @@
+"""The useful-work ledger.
+
+The paper's *useful work* measure needs bookkeeping no marking can
+hold: work accrues continuously while the compute nodes execute, a
+checkpoint *captures* the work accrued so far, the capture becomes
+*buffered* when the dump to the I/O nodes completes and *durable* when
+the background write to the file system completes, and a failure rolls
+the system back to the most recent recoverable capture — losing
+everything accrued past it.
+
+:class:`WorkLedger` implements exactly that state machine. It plugs
+into the simulator as the user context: the simulator calls
+:meth:`integrate` over every inter-event interval (work accrues at
+rate 1 whenever the ``execution`` place is marked), and the submodels'
+gates call the transition methods. The useful-work reward variable is
+then simply "rate 1 while executing, impulse ``-last_lost`` at
+failures".
+
+Checkpoint validity rules (paper Section 3.2/3.4):
+
+* the previous checkpoint is never overwritten until the new one is
+  safely written, so an aborted checkpoint leaves the old one valid;
+* a checkpoint buffered on the I/O nodes is usable for recovery
+  (stage 1 — reading it back from the file system — is skipped);
+* any I/O-node failure loses the I/O nodes' buffer contents, aborting
+  a buffered-but-not-yet-durable checkpoint;
+* a whole-system reboot also clears the buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["WorkLedger", "LedgerCounters"]
+
+
+@dataclass
+class LedgerCounters:
+    """Event counters for diagnostics and tests."""
+
+    failures: int = 0
+    io_failures: int = 0
+    master_failures: int = 0
+    recovery_interruptions: int = 0
+    recoveries: int = 0
+    reboots: int = 0
+    checkpoints_buffered: int = 0
+    checkpoints_committed: int = 0
+    checkpoints_aborted_timeout: int = 0
+    checkpoints_aborted_io: int = 0
+    app_data_losses: int = 0
+
+
+class WorkLedger:
+    """Continuous useful-work accounting for the checkpoint model.
+
+    Parameters
+    ----------
+    execution_place_name:
+        Name of the place whose non-empty marking means "the compute
+        nodes are executing" (work accrues at rate 1).
+
+    Notes
+    -----
+    ``total_work`` is the survivable work accrued so far: it grows
+    during execution and is truncated back to the recovery point at a
+    failure. ``last_lost`` holds the amount removed by the most recent
+    failure so an impulse reward can read it.
+    """
+
+    def __init__(self, execution_place_name: str = "execution") -> None:
+        self._execution_place = execution_place_name
+        self.total_work = 0.0
+        self.durable_work = 0.0
+        self.buffered_work: Optional[float] = None
+        self._pending_fs_writes: List[float] = []
+        self.last_lost = 0.0
+        self.counters = LedgerCounters()
+
+    # ------------------------------------------------------------------
+    # Simulator hook
+    # ------------------------------------------------------------------
+    def integrate(self, state, start: float, end: float) -> None:
+        """Accrue work over ``[start, end]`` when executing.
+
+        Called by the simulator before the clock advances, while the
+        marking still describes the elapsed interval.
+        """
+        if end > start and state.tokens(self._execution_place):
+            self.total_work += end - start
+
+    # ------------------------------------------------------------------
+    # Checkpoint lifecycle
+    # ------------------------------------------------------------------
+    def checkpoint_buffered(self) -> None:
+        """The dump to the I/O nodes completed: the current work level
+        is captured in the I/O nodes' memory and queued for the
+        background file-system write."""
+        self.buffered_work = self.total_work
+        self._pending_fs_writes.append(self.total_work)
+        self.counters.checkpoints_buffered += 1
+
+    def checkpoint_committed(self) -> None:
+        """A background file-system write completed: the oldest queued
+        capture becomes durable."""
+        if not self._pending_fs_writes:
+            # A commit with no pending capture is a model wiring bug.
+            raise RuntimeError("checkpoint_committed with no pending capture")
+        self.durable_work = max(self.durable_work, self._pending_fs_writes.pop(0))
+        self.counters.checkpoints_committed += 1
+
+    def checkpoint_aborted_timeout(self) -> None:
+        """The master timed out and aborted the checkpoint; nothing was
+        captured and the previous checkpoint stays valid."""
+        self.counters.checkpoints_aborted_timeout += 1
+
+    def invalidate_buffer(self, reboot: bool = False) -> None:
+        """An I/O-node failure (or a system reboot) lost the I/O nodes'
+        memory: buffered-but-not-durable captures are gone."""
+        if self._pending_fs_writes or (
+            self.buffered_work is not None and self.buffered_work > self.durable_work
+        ):
+            self.counters.checkpoints_aborted_io += len(self._pending_fs_writes)
+        self._pending_fs_writes.clear()
+        self.buffered_work = None
+        if reboot:
+            self.counters.reboots += 1
+
+    def buffer_restored(self) -> None:
+        """Stage-1 recovery finished: the durable checkpoint is again
+        buffered in the I/O nodes' memory. A still-valid (newer)
+        buffer is never downgraded to the durable level."""
+        if self.buffered_work is None:
+            self.buffered_work = self.durable_work
+
+    @property
+    def buffered_valid(self) -> bool:
+        """True when the I/O nodes hold a usable checkpoint copy (so
+        stage-1 recovery can be skipped)."""
+        return self.buffered_work is not None
+
+    @property
+    def recovery_point(self) -> float:
+        """The work level recovery restores: the buffered capture when
+        valid (it is never older than the durable one), else the
+        durable capture."""
+        if self.buffered_work is not None:
+            return max(self.buffered_work, self.durable_work)
+        return self.durable_work
+
+    @property
+    def unsaved_work(self) -> float:
+        """Work accrued past the current recovery point (what a failure
+        right now would lose)."""
+        return self.total_work - self.recovery_point
+
+    # ------------------------------------------------------------------
+    # Failure / recovery lifecycle
+    # ------------------------------------------------------------------
+    def compute_failure(self) -> float:
+        """A compute-node failure: roll back to the recovery point.
+
+        Returns (and records in :attr:`last_lost`) the lost work.
+        """
+        lost = self.total_work - self.recovery_point
+        self.total_work = self.recovery_point
+        self.last_lost = lost
+        self.counters.failures += 1
+        return lost
+
+    def app_data_lost(self) -> float:
+        """An I/O node failed while writing application data: the
+        results are lost and the system rolls back like a compute
+        failure (paper Section 4)."""
+        lost = self.total_work - self.recovery_point
+        self.total_work = self.recovery_point
+        self.last_lost = lost
+        self.counters.app_data_losses += 1
+        return lost
+
+    def io_failure(self) -> None:
+        """Any I/O-node failure: count it and clear :attr:`last_lost`
+        so impulse readers see zero unless a rollback also happened."""
+        self.counters.io_failures += 1
+        self.last_lost = 0.0
+
+    def master_failed_during_checkpointing(self) -> None:
+        """The master failed mid-protocol: the checkpoint round is
+        aborted (previous checkpoint stays valid) and the master
+        recovers independently — no application rollback."""
+        self.counters.master_failures += 1
+        self.last_lost = 0.0
+
+    def recovery_interrupted(self) -> None:
+        """A failure hit during recovery; no additional work is lost
+        (nothing accrues while recovering) but the recovery restarts."""
+        self.counters.recovery_interruptions += 1
+        self.last_lost = 0.0
+
+    def recovered(self) -> None:
+        """Recovery completed; execution resumes from the recovery
+        point."""
+        self.counters.recoveries += 1
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"WorkLedger(total={self.total_work:.6g}, "
+            f"durable={self.durable_work:.6g}, "
+            f"buffered={self.buffered_work!r}, "
+            f"failures={self.counters.failures})"
+        )

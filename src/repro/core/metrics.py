@@ -1,0 +1,57 @@
+"""Performance metrics (paper Section 7).
+
+* **Useful work fraction** — fraction of time the system makes forward
+  progress towards job completion (work repeated after a rollback does
+  not count).
+* **Total useful work** — useful work fraction times the number of
+  compute processors; "how many processors of the same kind would be
+  required to achieve the same performance, assuming failure-free
+  computation". One *job unit* is the work of one failure-free
+  processor per unit time without checkpointing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["total_useful_work", "PerformanceMetrics"]
+
+
+def total_useful_work(useful_work_fraction: float, n_processors: int) -> float:
+    """Total useful work in job units: ``fraction * n_processors``."""
+    if not 0.0 <= useful_work_fraction <= 1.0 + 1e-9:
+        raise ValueError(
+            f"useful work fraction must be in [0, 1], got {useful_work_fraction}"
+        )
+    return useful_work_fraction * n_processors
+
+
+@dataclass(frozen=True)
+class PerformanceMetrics:
+    """Point metrics of one simulation run.
+
+    Attributes
+    ----------
+    useful_work_fraction:
+        Time-averaged useful work (in [0, 1] up to statistical noise).
+    n_processors:
+        Compute processors in the configuration.
+    breakdown:
+        Time fractions per system state (execution, checkpointing,
+        recovering, rebooting, correlated window).
+    """
+
+    useful_work_fraction: float
+    n_processors: int
+    breakdown: Dict[str, float]
+
+    @property
+    def total_useful_work(self) -> float:
+        """Total useful work in job units."""
+        return self.useful_work_fraction * self.n_processors
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Fraction of time *not* contributing useful work."""
+        return 1.0 - self.useful_work_fraction

@@ -1,0 +1,64 @@
+"""The ``coordination`` submodel (paper Figure 2e, Section 5).
+
+Models the time between the compute nodes starting to quiesce and the
+master having collected every 'ready' response. With ``n``
+coordinating units whose quiesce times are iid exponential with mean
+MTTQ, the coordination time is the maximum order statistic
+
+    ``Y = max{X_i},  F_Y(y) = (1 - e^{-y/MTTQ}) ** n``
+
+sampled by inversion exactly as in the paper. The base model instead
+uses a fixed quiesce time, and Section 7.2's "no coordination"
+reference uses a single system-wide exponential quiesce time — both
+selectable via :class:`~repro.core.parameters.CoordinationMode`.
+"""
+
+from __future__ import annotations
+
+from ...san import (
+    Arc,
+    Case,
+    Deterministic,
+    Distribution,
+    Exponential,
+    MaxOfExponentials,
+    SANModel,
+    TimedActivity,
+)
+from ..ledger import WorkLedger
+from ..parameters import CoordinationMode, ModelParameters
+from . import names
+
+__all__ = ["build_coordination", "coordination_distribution"]
+
+
+def coordination_distribution(params: ModelParameters) -> Distribution:
+    """The coordination-time distribution selected by the parameters."""
+    mode = params.coordination_mode
+    if mode == CoordinationMode.FIXED:
+        return Deterministic(params.mttq)
+    if mode == CoordinationMode.AGGREGATE_EXPONENTIAL:
+        return Exponential.from_mean(params.mttq)
+    if mode == CoordinationMode.MAX_OF_EXPONENTIALS:
+        return MaxOfExponentials(
+            rate=1.0 / params.mttq, n=params.coordination_population
+        )
+    raise ValueError(f"unknown coordination mode {mode!r}")
+
+
+def build_coordination(
+    model: SANModel, params: ModelParameters, ledger: WorkLedger
+) -> None:
+    """Add the coordination places and the ``coord`` activity."""
+    coord_started = model.add_place(names.COORD_STARTED)
+    coord_complete = model.add_place(names.COORD_COMPLETE)
+
+    model.add_activity(
+        TimedActivity(
+            "coord",
+            coordination_distribution(params),
+            input_arcs=[Arc(coord_started)],
+            cases=[Case(output_arcs=[Arc(coord_complete)])],
+        ),
+        submodel="coordination",
+    )

@@ -1,0 +1,74 @@
+"""The ``correlated_failures`` submodel (paper Section 6).
+
+Controls the failure-rate multiplier of every failure activity in the
+system through two shared window places:
+
+* **error-propagation windows** (``prop_corr_window``) open with
+  probability ``p_e`` at each failure (the case structure of the
+  failure activities) and close after the correlated-failure window
+  duration *or* at the first successful recovery, whichever comes
+  first. While open, all failure rates are multiplied by ``1 + r``.
+
+* **generic correlated failures** (``gen_corr_window``) form a
+  two-phase modulated (hyper-exponential) failure process over the
+  whole system life: the system alternates between an independent-rate
+  phase and a correlated-rate phase whose long-run time fraction is
+  the correlated-failure coefficient ``alpha``; the resulting average
+  system failure rate is ``n * lambda * (1 + alpha * r)``, the paper's
+  ``lambda_s``.
+"""
+
+from __future__ import annotations
+
+from ...san import Arc, Case, Deterministic, Exponential, SANModel, TimedActivity
+from ..ledger import WorkLedger
+from ..parameters import ModelParameters
+from . import names
+
+__all__ = ["build_correlated_failures"]
+
+
+def build_correlated_failures(
+    model: SANModel, params: ModelParameters, ledger: WorkLedger
+) -> None:
+    """Add the correlated-failure window machinery to ``model``."""
+    prop_window = model.add_place(names.PROP_WINDOW)
+    model.add_place(names.GEN_WINDOW)
+
+    # The error-propagation burst expires after the window duration
+    # (it also closes early on a successful recovery — the
+    # comp_node_recovery submodel clears the place, which discards
+    # this activity's clock).
+    model.add_activity(
+        TimedActivity(
+            "prop_window_expire",
+            Deterministic(params.correlated_failure_window),
+            input_arcs=[Arc(prop_window)],
+        ),
+        submodel="correlated_failures",
+    )
+
+    if (
+        params.generic_correlated_coefficient > 0.0
+        and params.generic_correlated_mode == "modulated"
+    ):
+        gen_quiet = model.add_place(names.GEN_QUIET, initial=1)
+        gen_window = model.add_place(names.GEN_WINDOW)
+        model.add_activity(
+            TimedActivity(
+                "gen_window_open",
+                Exponential(1.0 / params.generic_quiet_phase_mean),
+                input_arcs=[Arc(gen_quiet)],
+                cases=[Case(output_arcs=[Arc(gen_window)])],
+            ),
+            submodel="correlated_failures",
+        )
+        model.add_activity(
+            TimedActivity(
+                "gen_window_close",
+                Exponential(1.0 / params.correlated_failure_window),
+                input_arcs=[Arc(gen_window)],
+                cases=[Case(output_arcs=[Arc(gen_quiet)])],
+            ),
+            submodel="correlated_failures",
+        )

@@ -1,0 +1,81 @@
+"""The ``io_nodes`` submodel (paper Figure 2b).
+
+All I/O nodes are modeled as one aggregated unit. An I/O node is
+*idle* (which includes receiving data from the compute nodes), writing
+a checkpoint to the file system in the background, or writing
+application data in the background. Checkpoint write-back takes
+priority over application-data write-back; both release the I/O nodes
+back to idle when they complete.
+
+The checkpoint becomes *durable* when its background file-system write
+finishes (``write_chkpt``); until then it is only buffered in the I/O
+nodes' memory and is lost if an I/O node fails.
+"""
+
+from __future__ import annotations
+
+from ...san import (
+    Arc,
+    Case,
+    Deterministic,
+    InstantaneousActivity,
+    SANModel,
+    TimedActivity,
+)
+from ..ledger import WorkLedger
+from ..parameters import ModelParameters
+from . import names
+
+__all__ = ["build_io_nodes"]
+
+
+def build_io_nodes(model: SANModel, params: ModelParameters, ledger: WorkLedger) -> None:
+    """Add the I/O nodes' places and activities to ``model``."""
+    io_idle = model.add_place(names.IO_IDLE, initial=1)
+    io_writing_ckpt = model.add_place(names.IO_WRITING_CKPT)
+    io_writing_app = model.add_place(names.IO_WRITING_APP)
+    model.add_place(names.IO_RESTARTING)
+    enable_chkpt = model.add_place(names.ENABLE_CHKPT)
+    app_pending = model.add_place(names.APP_DATA_PENDING)
+
+    # Checkpoint write-back has priority over application data.
+    model.add_activity(
+        InstantaneousActivity(
+            "start_write_chkpt",
+            input_arcs=[Arc(io_idle), Arc(enable_chkpt)],
+            cases=[Case(output_arcs=[Arc(io_writing_ckpt)])],
+            priority=8,
+        ),
+        submodel="io_nodes",
+    )
+
+    model.add_activity(
+        TimedActivity(
+            "write_chkpt",
+            Deterministic(params.checkpoint_fs_write_time),
+            input_arcs=[Arc(io_writing_ckpt)],
+            cases=[Case(output_arcs=[Arc(io_idle)])],
+            on_fire=lambda state, case: ledger.checkpoint_committed(),
+        ),
+        submodel="io_nodes",
+    )
+
+    model.add_activity(
+        InstantaneousActivity(
+            "start_write_app",
+            input_arcs=[Arc(io_idle), Arc(app_pending)],
+            cases=[Case(output_arcs=[Arc(io_writing_app)])],
+            priority=6,
+        ),
+        submodel="io_nodes",
+    )
+
+    model.add_activity(
+        TimedActivity(
+            "write_app",
+            Deterministic(params.app_io_write_time),
+            input_arcs=[Arc(io_writing_app)],
+            cases=[Case(output_arcs=[Arc(io_idle)])],
+        ),
+        submodel="io_nodes",
+    )

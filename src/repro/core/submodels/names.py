@@ -1,0 +1,72 @@
+"""Shared place names.
+
+Submodels share state by using the same place names (the paper's
+Figure 1 composition). Centralising the names keeps the wiring
+typo-proof and documents the whole shared state space in one screen.
+"""
+
+from __future__ import annotations
+
+# --- compute_nodes -----------------------------------------------------
+#: Compute nodes executing the application (computation or app I/O).
+EXECUTION = "execution"
+#: Compute nodes quiescing (waiting to reach a consistent state).
+QUIESCING = "quiescing"
+#: Compute nodes dumping their checkpoint to the I/O nodes.
+DUMPING = "dumping"
+
+# --- master ------------------------------------------------------------
+#: Master idle between checkpoints.
+MASTER_SLEEP = "master_sleep"
+#: Master running the checkpoint protocol.
+MASTER_CKPT = "master_checkpointing"
+#: The master's timeout timer is armed.
+TIMER_ON = "timer_on"
+#: The master timed out waiting for 'ready' responses.
+TIMEDOUT = "timedout"
+
+# --- app_workload ------------------------------------------------------
+#: Application in its computation phase.
+APP_COMPUTE = "app_compute"
+#: Application in its I/O phase (non-preemptible writes).
+APP_IO = "app_io"
+#: Completed I/O phases whose data awaits background write to the FS.
+APP_DATA_PENDING = "app_io_data_pending"
+
+# --- io_nodes ----------------------------------------------------------
+#: I/O nodes idle (receiving data from compute nodes counts as idle).
+IO_IDLE = "io_idle"
+#: I/O nodes writing a checkpoint to the file system (background).
+IO_WRITING_CKPT = "io_writing_chkpt"
+#: I/O nodes writing application data to the file system (background).
+IO_WRITING_APP = "io_writing_app"
+#: I/O nodes restarting after an I/O-node failure.
+IO_RESTARTING = "io_restarting"
+#: A dumped checkpoint waiting for its background file-system write.
+ENABLE_CHKPT = "enable_chkpt"
+
+# --- coordination ------------------------------------------------------
+#: Coordination (collection of per-node quiesce completions) running.
+COORD_STARTED = "coord_started"
+#: All nodes reported 'ready'.
+COORD_COMPLETE = "complete_coordination"
+
+# --- failure & recovery ------------------------------------------------
+#: Compute nodes down, recovery not yet dispatched.
+COMP_FAILED = "comp_failed"
+#: Recovery stage 1: I/O nodes reading the checkpoint from the FS.
+RECOVERING_S1 = "recovering_stage1"
+#: Recovery stage 2: compute nodes reading the checkpoint from I/O nodes.
+RECOVERING_S2 = "recovering_stage2"
+#: Count of unsuccessful recoveries since the last success.
+RECOVERY_FAILURES = "recovery_failure_count"
+#: Whole-system reboot in progress.
+REBOOTING = "rebooting"
+
+# --- correlated failures -----------------------------------------------
+#: Error-propagation correlated-failure window open.
+PROP_WINDOW = "prop_corr_window"
+#: Generic correlated-failure window open.
+GEN_WINDOW = "gen_corr_window"
+#: Generic correlated modulation in its independent-rate phase.
+GEN_QUIET = "gen_corr_quiet"

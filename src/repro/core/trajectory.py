@@ -1,0 +1,96 @@
+"""Windowed trajectories: watch a measure approach steady state.
+
+The paper discards a 1000-hour transient; our default is far shorter.
+This module provides the evidence for such choices: it runs one
+trajectory and reports each reward's *windowed* time averages, so the
+approach to steady state is visible and a warm-up length can be chosen
+(and defended) empirically. Built on the simulator's run-continuation
+support — each window is one ``run()`` segment of the same trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..san import RewardVariable, Simulator, StreamRegistry
+from .parameters import ModelParameters
+from .submodels import USEFUL_WORK, breakdown_rewards, useful_work_reward
+from .system import build_system
+
+__all__ = ["TrajectoryResult", "trajectory"]
+
+
+@dataclass
+class TrajectoryResult:
+    """Windowed time averages along one trajectory.
+
+    ``series[name][k]`` is the time average of reward ``name`` over
+    window ``k`` (each of length :attr:`window`).
+    """
+
+    window: float
+    times: List[float] = field(default_factory=list)
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def tail_mean(self, name: str, fraction: float = 0.5) -> float:
+        """Mean of the last ``fraction`` of windows — the steady-state
+        reference level."""
+        values = self.series[name]
+        start = int(len(values) * (1.0 - fraction))
+        tail = values[start:]
+        if not tail:
+            raise ValueError("no windows in the requested tail")
+        return float(np.mean(tail))
+
+    def settled_after(
+        self, name: str, tolerance: float = 0.1, fraction: float = 0.5
+    ) -> Optional[float]:
+        """The earliest time from which every window stays within
+        ``tolerance`` (relative) of the tail mean; None if never.
+
+        This is the empirical warm-up requirement for the measure.
+        """
+        reference = self.tail_mean(name, fraction)
+        if reference == 0:
+            return None
+        values = self.series[name]
+        settled_from: Optional[int] = None
+        for index, value in enumerate(values):
+            if abs(value - reference) <= tolerance * abs(reference):
+                if settled_from is None:
+                    settled_from = index
+            else:
+                settled_from = None
+        if settled_from is None:
+            return None
+        return self.times[settled_from] - self.window  # window start
+
+
+def trajectory(
+    params: ModelParameters,
+    window: float,
+    windows: int,
+    seed: int = 0,
+    extra_rewards: Sequence[RewardVariable] = (),
+) -> TrajectoryResult:
+    """Run one trajectory of ``windows * window`` simulated time and
+    collect per-window time averages of the standard rewards."""
+    if window <= 0:
+        raise ValueError(f"window must be > 0, got {window}")
+    if windows < 1:
+        raise ValueError(f"windows must be >= 1, got {windows}")
+    system = build_system(params)
+    rewards = [useful_work_reward(system.ledger)]
+    rewards.extend(breakdown_rewards())
+    rewards.extend(extra_rewards)
+    simulator = Simulator(system.model, ctx=system.ledger, streams=StreamRegistry(seed))
+    result = TrajectoryResult(window=window)
+    for index in range(windows):
+        output = simulator.run(until=(index + 1) * window, rewards=rewards)
+        result.times.append(output.final_time)
+        for name, reward in output.rewards.items():
+            result.series.setdefault(name, []).append(reward.time_average)
+    return result

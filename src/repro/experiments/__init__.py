@@ -1,0 +1,64 @@
+"""The evaluation harness: regenerate every table and figure.
+
+Programmatic use::
+
+    from repro.experiments import figures, render_figure, validate_figure
+    result = figures.figure_4a(preset="quick", seed=1)
+    print(render_figure(result))
+    for check in validate_figure(result):
+        print(check)
+
+Command line: ``python -m repro run-figure fig4a --preset quick``.
+"""
+
+from . import figures
+from .config import FIGURE_IDS, PRESETS, base_parameters, plan_for
+from .figures import FIGURE_RUNNERS
+from .report import (
+    figure_to_json,
+    render_ascii_chart,
+    render_figure,
+    render_table3,
+)
+from .archive import (
+    Discrepancy,
+    compare_archives,
+    compare_figures,
+    load_archive,
+    load_figure,
+    save_archive,
+    save_figure,
+)
+from .paper_claims import CLAIMS, Claim, ClaimOutcome, evaluate_claims, render_claims
+from .runner import FigureResult, SweepPoint, run_sweep
+from .validation import ShapeCheck, validate_figure
+
+__all__ = [
+    "figures",
+    "FIGURE_RUNNERS",
+    "FIGURE_IDS",
+    "PRESETS",
+    "base_parameters",
+    "plan_for",
+    "FigureResult",
+    "SweepPoint",
+    "run_sweep",
+    "render_figure",
+    "render_ascii_chart",
+    "render_table3",
+    "figure_to_json",
+    "ShapeCheck",
+    "validate_figure",
+    "save_figure",
+    "load_figure",
+    "save_archive",
+    "load_archive",
+    "compare_figures",
+    "compare_archives",
+    "Discrepancy",
+    "CLAIMS",
+    "Claim",
+    "ClaimOutcome",
+    "evaluate_claims",
+    "render_claims",
+]

@@ -1,0 +1,166 @@
+"""Result archival and regression comparison.
+
+A reproduction repository needs its numbers to be *diffable*: this
+module persists regenerated figures as JSON and compares two archives
+(e.g. today's run vs the checked-in reference) within statistical
+tolerance, so refactors can prove they did not move the results.
+
+Layout: one ``<figure_id>.json`` per figure inside an archive
+directory, written by :func:`save_figure` / :func:`save_archive` and
+compared by :func:`compare_figures` / :func:`compare_archives`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from .runner import FigureResult
+
+__all__ = [
+    "save_figure",
+    "load_figure",
+    "save_archive",
+    "load_archive",
+    "Discrepancy",
+    "compare_figures",
+    "compare_archives",
+]
+
+
+def save_figure(figure: FigureResult, directory: str) -> str:
+    """Write one figure as ``<directory>/<figure_id>.json``; returns
+    the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{figure.figure_id}.json")
+    payload = {
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "metric": figure.metric,
+        "series": {
+            label: [[x, y, h] for x, y, h in points]
+            for label, points in figure.series.items()
+        },
+        "notes": list(figure.notes),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_figure(path: str) -> FigureResult:
+    """Read a figure written by :func:`save_figure`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    figure = FigureResult(
+        figure_id=payload["figure_id"],
+        title=payload["title"],
+        x_label=payload["x_label"],
+        metric=payload["metric"],
+    )
+    for label, points in payload["series"].items():
+        figure.series[label] = [(float(x), float(y), float(h)) for x, y, h in points]
+    figure.notes = list(payload.get("notes", []))
+    return figure
+
+
+def save_archive(figures: Iterable[FigureResult], directory: str) -> List[str]:
+    """Write many figures; returns the written paths."""
+    return [save_figure(figure, directory) for figure in figures]
+
+
+def load_archive(directory: str) -> Dict[str, FigureResult]:
+    """Read every ``*.json`` figure in a directory, keyed by id."""
+    figures: Dict[str, FigureResult] = {}
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".json"):
+            figure = load_figure(os.path.join(directory, name))
+            figures[figure.figure_id] = figure
+    return figures
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One difference between two archives."""
+
+    figure_id: str
+    kind: str  # "missing-series", "missing-point", "value"
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.figure_id}: [{self.kind}] {self.detail}"
+
+
+def compare_figures(
+    reference: FigureResult,
+    candidate: FigureResult,
+    rel_tolerance: float = 0.15,
+    use_half_widths: bool = True,
+) -> List[Discrepancy]:
+    """Differences between two regenerations of the same figure.
+
+    A point agrees when the values differ by less than
+    ``rel_tolerance`` relative to the reference, *or* (with
+    ``use_half_widths``) when the two confidence intervals overlap —
+    whichever is more permissive, since independent stochastic runs
+    legitimately differ within their own error bars.
+    """
+    if not 0 <= rel_tolerance:
+        raise ValueError(f"rel_tolerance must be >= 0, got {rel_tolerance}")
+    discrepancies: List[Discrepancy] = []
+    fid = reference.figure_id
+    for label, ref_points in reference.series.items():
+        cand_points = candidate.series.get(label)
+        if cand_points is None:
+            discrepancies.append(
+                Discrepancy(fid, "missing-series", f"candidate lacks {label!r}")
+            )
+            continue
+        cand_by_x = {x: (y, h) for x, y, h in cand_points}
+        for x, ref_y, ref_h in ref_points:
+            if x not in cand_by_x:
+                discrepancies.append(
+                    Discrepancy(fid, "missing-point", f"{label!r} lacks x={x:g}")
+                )
+                continue
+            cand_y, cand_h = cand_by_x[x]
+            scale = max(abs(ref_y), 1e-12)
+            within_tolerance = abs(cand_y - ref_y) <= rel_tolerance * scale
+            intervals_overlap = use_half_widths and (
+                abs(cand_y - ref_y) <= ref_h + cand_h
+            )
+            if not (within_tolerance or intervals_overlap):
+                discrepancies.append(
+                    Discrepancy(
+                        fid,
+                        "value",
+                        f"{label!r} at x={x:g}: reference {ref_y:.6g} ± {ref_h:.2g}"
+                        f" vs candidate {cand_y:.6g} ± {cand_h:.2g}",
+                    )
+                )
+    return discrepancies
+
+
+def compare_archives(
+    reference_dir: str,
+    candidate_dir: str,
+    rel_tolerance: float = 0.15,
+) -> List[Discrepancy]:
+    """Compare every figure present in the reference archive."""
+    reference = load_archive(reference_dir)
+    candidate = load_archive(candidate_dir)
+    discrepancies: List[Discrepancy] = []
+    for figure_id, ref_figure in reference.items():
+        cand_figure = candidate.get(figure_id)
+        if cand_figure is None:
+            discrepancies.append(
+                Discrepancy(figure_id, "missing-series", "figure absent from candidate")
+            )
+            continue
+        discrepancies.extend(
+            compare_figures(ref_figure, cand_figure, rel_tolerance)
+        )
+    return discrepancies

@@ -1,0 +1,302 @@
+"""Command-line interface: regenerate any table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro table3
+    python -m repro run-figure fig4a --preset quick --seed 7
+    python -m repro run-all --preset standard --output EXPERIMENTS.out.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import sys
+import time
+from typing import List, Optional
+
+from .config import FIGURE_IDS, PRESETS
+from .figures import FIGURE_RUNNERS
+from .report import (
+    render_ascii_chart,
+    render_figure,
+    render_table3,
+    write_markdown_section,
+)
+from .validation import validate_figure
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation of 'Modeling Coordinated Checkpointing "
+            "for Large-Scale Supercomputers' (DSN 2005)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list every experiment id")
+    sub.add_parser("table3", help="print the model-parameter table")
+
+    run = sub.add_parser("run-figure", help="regenerate one figure")
+    run.add_argument("figure", choices=sorted(FIGURE_RUNNERS))
+    _add_run_options(run)
+
+    run_all = sub.add_parser("run-all", help="regenerate every figure")
+    _add_run_options(run_all)
+    run_all.add_argument(
+        "--output", default=None, help="write a Markdown report to this path"
+    )
+
+    dot = sub.add_parser(
+        "dot", help="print the composed checkpoint model as GraphViz DOT"
+    )
+    dot.add_argument("--no-clusters", action="store_true",
+                     help="do not group activities by submodel")
+
+    claims = sub.add_parser(
+        "claims", help="evaluate the paper's claims against fresh runs"
+    )
+    _add_run_options(claims)
+    claims.add_argument(
+        "--from-json", default=None, metavar="DIR",
+        help="evaluate against an existing JSON archive instead of re-running",
+    )
+
+    compare = sub.add_parser(
+        "compare", help="compare two JSON archives within tolerance"
+    )
+    compare.add_argument("reference", help="reference archive directory")
+    compare.add_argument("candidate", help="candidate archive directory")
+    compare.add_argument("--tolerance", type=float, default=0.15,
+                         help="relative tolerance per point")
+
+    design = sub.add_parser(
+        "design", help="explore the interval x machine-size design space"
+    )
+    design.add_argument("--mttf-years", type=float, default=1.0,
+                        help="per-node MTTF in years")
+    design.add_argument("--mttr-minutes", type=float, default=10.0,
+                        help="system MTTR in minutes")
+    design.add_argument("--processors-per-node", type=int, default=8)
+    design.add_argument("--overhead-seconds", type=float, default=57.0,
+                        help="blocking checkpoint overhead (quiesce + dump)")
+
+    sensitivity = sub.add_parser(
+        "sensitivity", help="rank the parameters by UWF elasticity"
+    )
+    sensitivity.add_argument("--processors", type=int, default=65536)
+    sensitivity.add_argument("--processors-per-node", type=int, default=8)
+    sensitivity.add_argument("--mttf-years", type=float, default=1.0)
+    sensitivity.add_argument("--mttr-minutes", type=float, default=10.0)
+    sensitivity.add_argument("--interval-minutes", type=float, default=30.0)
+    sensitivity.add_argument("--overhead-seconds", type=float, default=57.0)
+
+    completion = sub.add_parser(
+        "completion", help="terminating job-completion-time study"
+    )
+    completion.add_argument("--work-hours", type=float, default=24.0,
+                            help="job size in hours of whole-machine work")
+    completion.add_argument("--processors", type=int, default=65536)
+    completion.add_argument("--mttf-years", type=float, default=1.0)
+    completion.add_argument("--replications", type=int, default=5)
+    completion.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset",
+        default="standard",
+        choices=sorted(PRESETS),
+        help="simulation length/replication preset",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: serial)",
+    )
+    parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the qualitative shape checks",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also draw an ASCII chart of each figure",
+    )
+    parser.add_argument(
+        "--save-json",
+        default=None,
+        metavar="DIR",
+        help="archive each regenerated figure as JSON in this directory",
+    )
+
+
+def _run_one(figure_id: str, args: argparse.Namespace, stream) -> bool:
+    runner = FIGURE_RUNNERS[figure_id]
+    started = time.time()
+    figure = runner(preset=args.preset, seed=args.seed, processes=args.processes)
+    elapsed = time.time() - started
+    print(render_figure(figure))
+    if getattr(args, "chart", False):
+        print()
+        print(render_ascii_chart(figure))
+    print(f"({elapsed:.1f} s, preset={args.preset})")
+    ok = True
+    if not args.no_validate:
+        for check in validate_figure(figure):
+            print(str(check))
+            ok = ok and check.passed
+    if stream is not None:
+        write_markdown_section(figure, stream)
+    if getattr(args, "save_json", None):
+        from .archive import save_figure
+
+        save_figure(figure, args.save_json)
+    print()
+    return ok
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for figure_id in FIGURE_IDS:
+            print(figure_id)
+        return 0
+
+    if args.command == "table3":
+        print(render_table3())
+        return 0
+
+    if args.command == "run-figure":
+        ok = _run_one(args.figure, args, stream=None)
+        return 0 if ok else 1
+
+    if args.command == "dot":
+        from ..core import ModelParameters, build_system
+        from ..san import to_dot
+
+        system = build_system(ModelParameters(timeout=60.0))
+        print(to_dot(system.model, graph_name="coordinated_checkpointing",
+                     group_by_submodel=not args.no_clusters))
+        return 0
+
+    if args.command == "claims":
+        from .archive import load_archive
+        from .paper_claims import evaluate_claims, render_claims
+
+        figures = load_archive(args.from_json) if args.from_json else None
+        outcomes = evaluate_claims(
+            preset=args.preset, seed=args.seed, figures=figures
+        )
+        print(render_claims(outcomes))
+        return 0 if all(outcome.holds for outcome in outcomes) else 1
+
+    if args.command == "compare":
+        from .archive import compare_archives
+
+        discrepancies = compare_archives(
+            args.reference, args.candidate, rel_tolerance=args.tolerance
+        )
+        for discrepancy in discrepancies:
+            print(str(discrepancy))
+        if discrepancies:
+            print(f"{len(discrepancies)} discrepancies")
+            return 1
+        print("archives agree")
+        return 0
+
+    if args.command == "design":
+        from ..analytical.design import DesignSpec, explore
+        from ..core.parameters import MINUTE, YEAR
+
+        spec = DesignSpec(
+            processors_per_node=args.processors_per_node,
+            mttf_node=args.mttf_years * YEAR,
+            mttr=args.mttr_minutes * MINUTE,
+            blocking_overhead=args.overhead_seconds,
+        )
+        print("rank  processors  interval     predicted UWF   predicted TUW")
+        for rank, point in enumerate(explore(spec), start=1):
+            print(
+                f"{rank:>4}  {point.n_processors:>10}  "
+                f"{point.interval / MINUTE:6.1f} min   "
+                f"{point.useful_work_fraction:13.3f}   "
+                f"{point.total_useful_work:13.0f}"
+            )
+        return 0
+
+    if args.command == "sensitivity":
+        from ..analytical.sensitivity import OperatingPoint, rank_parameters
+        from ..core.parameters import MINUTE, YEAR
+
+        n_nodes = args.processors / args.processors_per_node
+        point = OperatingPoint(
+            interval=args.interval_minutes * MINUTE,
+            overhead=args.overhead_seconds,
+            mtbf=args.mttf_years * YEAR / n_nodes,
+            mttr=args.mttr_minutes * MINUTE,
+        )
+        print(f"operating point: UWF = {point.uwf():.4f} "
+              f"({args.processors} processors, system MTBF "
+              f"{point.mtbf / MINUTE:.1f} min)")
+        print("elasticity of UWF (d ln UWF / d ln parameter):")
+        for elasticity in rank_parameters(point):
+            print(f"  {elasticity.parameter:<9} {elasticity.value:+8.4f}  "
+                  f"(UWF improves if you {elasticity.beneficial_direction} it)")
+        return 0
+
+    if args.command == "completion":
+        from ..core import ModelParameters, completion_study
+        from ..core.parameters import HOUR, YEAR
+
+        params = ModelParameters(
+            n_processors=args.processors, mttf_node=args.mttf_years * YEAR
+        )
+        study = completion_study(
+            params,
+            args.work_hours,
+            replications=args.replications,
+            seed=args.seed,
+        )
+        print(f"job: {args.work_hours:g} h of work on {args.processors} processors")
+        if study.times:
+            print(f"mean completion: {study.mean_time.mean / HOUR:.1f} h "
+                  f"(± {study.mean_time.half_width / HOUR:.1f} h)")
+            print(f"p10/p90: {study.percentile(10) / HOUR:.1f} h / "
+                  f"{study.percentile(90) / HOUR:.1f} h")
+            print(f"mean stretch: {study.mean_stretch:.2f}")
+        if study.incomplete:
+            print(f"incomplete replications: {study.incomplete}")
+        return 0
+
+    if args.command == "run-all":
+        stream = io.StringIO()
+        all_ok = True
+        print(render_table3())
+        print()
+        for figure_id in sorted(FIGURE_RUNNERS):
+            all_ok = _run_one(figure_id, args, stream) and all_ok
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write("# Regenerated evaluation\n\n")
+                handle.write(stream.getvalue())
+            print(f"wrote {args.output}")
+        return 0 if all_ok else 1
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

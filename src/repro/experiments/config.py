@@ -1,0 +1,90 @@
+"""Experiment presets and the per-figure parameter grids.
+
+Every figure of the paper's evaluation (Section 7) is described here
+as data: the x-axis grid, the series, and the configuration each point
+runs. Three presets trade accuracy for time:
+
+* ``quick`` — benchmark-suite scale (minutes for everything);
+* ``standard`` — faithful shapes with tight-enough intervals;
+* ``full`` — publication-scale runs.
+
+The paper's simulations use a 1000-hour transient; this model reaches
+steady state far faster (its slowest relaxation is the recovery/reboot
+path, minutes to hours), so shorter transients with longer measured
+windows give the same steady-state estimates at lower cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.parameters import HOUR, MINUTE, YEAR, CoordinationMode, ModelParameters
+from ..core.simulation import SimulationPlan
+
+__all__ = [
+    "PRESETS",
+    "plan_for",
+    "PROCESSOR_GRID",
+    "INTERVAL_GRID_MIN",
+    "FIGURE_IDS",
+    "base_parameters",
+]
+
+#: The paper's processor-count grid (Figures 4a–4f, 6, 8).
+PROCESSOR_GRID: Tuple[int, ...] = (8192, 16384, 32768, 65536, 131072, 262144)
+
+#: The paper's checkpoint-interval grid in minutes (Figures 4b/4d/4f).
+INTERVAL_GRID_MIN: Tuple[int, ...] = (15, 30, 60, 120, 240)
+
+#: Every experiment the harness can regenerate.
+FIGURE_IDS: Tuple[str, ...] = (
+    "table3",
+    "section7.1",
+    "fig4a",
+    "fig4b",
+    "fig4c",
+    "fig4d",
+    "fig4e",
+    "fig4f",
+    "fig4g",
+    "fig4h",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig3",
+    "coordination-law",
+)
+
+PRESETS: Dict[str, SimulationPlan] = {
+    "quick": SimulationPlan(warmup=20 * HOUR, observation=150 * HOUR, replications=2),
+    "standard": SimulationPlan(
+        warmup=100 * HOUR, observation=1000 * HOUR, replications=3
+    ),
+    "full": SimulationPlan(warmup=200 * HOUR, observation=3000 * HOUR, replications=5),
+}
+
+
+def plan_for(preset: str) -> SimulationPlan:
+    """The :class:`SimulationPlan` of a named preset."""
+    try:
+        return PRESETS[preset]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {preset!r}; choose from {sorted(PRESETS)}"
+        ) from None
+
+
+def base_parameters() -> ModelParameters:
+    """The paper's base-model configuration (Section 7.1)."""
+    return ModelParameters(
+        n_processors=65536,
+        processors_per_node=8,
+        checkpoint_interval=30 * MINUTE,
+        mttf_node=1 * YEAR,
+        mttr=10 * MINUTE,
+        mttq=10.0,
+        coordination_mode=CoordinationMode.FIXED,
+        timeout=None,
+    )

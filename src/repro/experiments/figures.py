@@ -1,0 +1,588 @@
+"""One function per figure of the paper's evaluation (Section 7).
+
+Every ``figure_*`` function returns a
+:class:`~repro.experiments.runner.FigureResult` holding the same
+series the paper plots. The shapes — not the absolute job-unit
+magnitudes — are the reproduction criteria (see DESIGN.md); the
+benchmark suite asserts them via :mod:`repro.experiments.validation`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..analytical import coordination as coordination_math
+from ..analytical import markov
+from ..cluster import ClusterSimulator
+from ..core.parameters import HOUR, MINUTE, YEAR, CoordinationMode, ModelParameters
+from .config import INTERVAL_GRID_MIN, PROCESSOR_GRID, base_parameters, plan_for
+from .runner import FigureResult, SweepPoint, run_sweep
+
+__all__ = [
+    "figure_4a",
+    "figure_4b",
+    "figure_4c",
+    "figure_4d",
+    "figure_4e",
+    "figure_4f",
+    "figure_4g",
+    "figure_4h",
+    "figure_5",
+    "figure_6",
+    "figure_7",
+    "figure_8",
+    "figure_3",
+    "coordination_law",
+    "section_7_1",
+    "FIGURE_RUNNERS",
+]
+
+
+def _sweep(figure_id, title, x_label, metric, points, preset, seed, processes):
+    return run_sweep(
+        figure_id,
+        title,
+        x_label,
+        metric,
+        points,
+        plan_for(preset),
+        seed=seed,
+        processes=processes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4: base-model sensitivity study
+# ----------------------------------------------------------------------
+def figure_4a(
+    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+) -> FigureResult:
+    """Total useful work vs number of processors for different MTTFs
+    (MTTR = 10 min, checkpoint interval = 30 min)."""
+    base = base_parameters()
+    points = [
+        SweepPoint(
+            series=f"MTTF (yrs) = {mttf_years:g}",
+            x=n,
+            params=base.with_overrides(
+                n_processors=n, mttf_node=mttf_years * YEAR
+            ),
+        )
+        for mttf_years in (0.125, 0.25, 0.5, 1, 2)
+        for n in PROCESSOR_GRID
+    ]
+    return _sweep(
+        "fig4a",
+        "Useful work vs number of processors for different MTTFs",
+        "number of processors",
+        "total_useful_work",
+        points,
+        preset,
+        seed,
+        processes,
+    )
+
+
+def figure_4b(
+    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+) -> FigureResult:
+    """Total useful work vs checkpoint interval for different numbers
+    of processors (MTTF = 1 yr, MTTR = 10 min)."""
+    base = base_parameters()
+    points = [
+        SweepPoint(
+            series=f"processors = {n}",
+            x=interval_min,
+            params=base.with_overrides(
+                n_processors=n, checkpoint_interval=interval_min * MINUTE
+            ),
+        )
+        for n in PROCESSOR_GRID
+        for interval_min in INTERVAL_GRID_MIN
+    ]
+    return _sweep(
+        "fig4b",
+        "Useful work vs checkpoint interval for different numbers of processors",
+        "checkpoint interval (mins)",
+        "total_useful_work",
+        points,
+        preset,
+        seed,
+        processes,
+    )
+
+
+def figure_4c(
+    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+) -> FigureResult:
+    """Total useful work vs number of processors for different MTTRs
+    (MTTF = 1 yr, checkpoint interval = 30 min)."""
+    base = base_parameters()
+    points = [
+        SweepPoint(
+            series=f"MTTR (mins) = {mttr_min}",
+            x=n,
+            params=base.with_overrides(n_processors=n, mttr=mttr_min * MINUTE),
+        )
+        for mttr_min in (10, 20, 40, 80)
+        for n in PROCESSOR_GRID
+    ]
+    return _sweep(
+        "fig4c",
+        "Useful work vs number of processors for different MTTRs",
+        "number of processors",
+        "total_useful_work",
+        points,
+        preset,
+        seed,
+        processes,
+    )
+
+
+def figure_4d(
+    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+) -> FigureResult:
+    """Total useful work vs checkpoint interval for different MTTRs
+    (MTTF = 1 yr, 64K processors)."""
+    base = base_parameters()
+    points = [
+        SweepPoint(
+            series=f"MTTR (mins) = {mttr_min}",
+            x=interval_min,
+            params=base.with_overrides(
+                mttr=mttr_min * MINUTE, checkpoint_interval=interval_min * MINUTE
+            ),
+        )
+        for mttr_min in (10, 20, 40, 80)
+        for interval_min in INTERVAL_GRID_MIN
+    ]
+    return _sweep(
+        "fig4d",
+        "Useful work vs checkpoint interval for different MTTRs",
+        "checkpoint interval (mins)",
+        "total_useful_work",
+        points,
+        preset,
+        seed,
+        processes,
+    )
+
+
+def figure_4e(
+    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+) -> FigureResult:
+    """Total useful work vs number of processors for different
+    checkpoint intervals (MTTF = 1 yr, MTTR = 10 min)."""
+    base = base_parameters()
+    points = [
+        SweepPoint(
+            series=f"chkpt_interval (mins) = {interval_min}",
+            x=n,
+            params=base.with_overrides(
+                n_processors=n, checkpoint_interval=interval_min * MINUTE
+            ),
+        )
+        for interval_min in INTERVAL_GRID_MIN
+        for n in PROCESSOR_GRID
+    ]
+    return _sweep(
+        "fig4e",
+        "Useful work vs number of processors for different checkpoint intervals",
+        "number of processors",
+        "total_useful_work",
+        points,
+        preset,
+        seed,
+        processes,
+    )
+
+
+def figure_4f(
+    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+) -> FigureResult:
+    """Total useful work vs checkpoint interval for different MTTFs
+    (MTTR = 10 min, 64K processors)."""
+    base = base_parameters()
+    points = [
+        SweepPoint(
+            series=f"MTTF per node (yrs) = {mttf_years}",
+            x=interval_min,
+            params=base.with_overrides(
+                mttf_node=mttf_years * YEAR,
+                checkpoint_interval=interval_min * MINUTE,
+            ),
+        )
+        for mttf_years in (1, 2, 4, 8, 16)
+        for interval_min in INTERVAL_GRID_MIN
+    ]
+    return _sweep(
+        "fig4f",
+        "Useful work vs checkpoint interval for different MTTFs",
+        "checkpoint interval (mins)",
+        "total_useful_work",
+        points,
+        preset,
+        seed,
+        processes,
+    )
+
+
+def _nodes_figure(
+    figure_id: str,
+    processors_per_node: int,
+    node_grid: Sequence[int],
+    preset: str,
+    seed: int,
+    processes: Optional[int],
+) -> FigureResult:
+    base = base_parameters()
+    points = [
+        SweepPoint(
+            series=f"MTTF per node (yrs) = {mttf_years}",
+            x=nodes,
+            params=base.with_overrides(
+                n_processors=nodes * processors_per_node,
+                processors_per_node=processors_per_node,
+                mttf_node=mttf_years * YEAR,
+            ),
+        )
+        for mttf_years in (1, 2)
+        for nodes in node_grid
+    ]
+    return _sweep(
+        figure_id,
+        f"Total useful work vs number of nodes, {processors_per_node} processors/node",
+        "number of nodes",
+        "total_useful_work",
+        points,
+        preset,
+        seed,
+        processes,
+    )
+
+
+def figure_4g(
+    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+) -> FigureResult:
+    """Total useful work vs number of nodes at 32 processors per node
+    (MTTF per node of 1 and 2 years)."""
+    return _nodes_figure("fig4g", 32, (8192, 16384, 32768), preset, seed, processes)
+
+
+def figure_4h(
+    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+) -> FigureResult:
+    """Total useful work vs number of nodes at 16 processors per node
+    (MTTF per node of 1 and 2 years)."""
+    return _nodes_figure(
+        "fig4h", 16, (8192, 16384, 32768, 65536), preset, seed, processes
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 5: coordination only (no failures, no timeout)
+# ----------------------------------------------------------------------
+def figure_5(
+    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+) -> FigureResult:
+    """Useful work fraction vs processors under pure coordination.
+
+    Failures are disabled (per-node MTTF of 10^12 years — at 2^30
+    processors the *system* failure rate still matters, so the margin
+    must be enormous) and the
+    coordination time is the max-of-``n``-exponentials order statistic.
+    To keep the checkpoint I/O path identical across the entire range
+    (1 processor to 2^30), each "node" carries one processor and the
+    dump/write latencies are pinned to the paper's full-group values
+    (46.8 s / 131 s) by scaling the per-node checkpoint size with the
+    group size of one.
+    """
+    grid = [4**k for k in range(0, 16)]  # 1 .. ~1.07e9 processors
+    points: List[SweepPoint] = []
+    for mttq in (10.0, 2.0, 0.5):
+        for n in grid:
+            params = ModelParameters(
+                n_processors=n,
+                processors_per_node=1,
+                mttf_node=1e12 * YEAR,
+                mttq=mttq,
+                coordination_mode=CoordinationMode.MAX_OF_EXPONENTIALS,
+                coordination_over="processors",
+                compute_nodes_per_io_node=1,
+                checkpoint_size_per_node=16.384e9,  # keeps dump at 46.8 s
+                compute_fraction=1.0,
+                timeout=None,
+            )
+            points.append(SweepPoint(series=f"MTTQ={mttq:g}s", x=n, params=params))
+    figure = _sweep(
+        "fig5",
+        "Useful work fraction with coordination (no timeouts or failures)",
+        "number of processors",
+        "useful_work_fraction",
+        points,
+        preset,
+        seed,
+        processes,
+    )
+    # Attach the closed-form prediction for each curve as a note.
+    for mttq in (10.0, 2.0, 0.5):
+        predicted = [
+            coordination_math.coordination_only_useful_fraction(
+                n, mttq, 30 * MINUTE, broadcast_overhead=0.002, dump_time=46.8
+            )
+            for n in grid
+        ]
+        figure.notes.append(
+            f"analytic MTTQ={mttq:g}s: "
+            + ", ".join(f"{value:.4f}" for value in predicted)
+        )
+    return figure
+
+
+# ----------------------------------------------------------------------
+# Figure 6: coordination + timeout + failures
+# ----------------------------------------------------------------------
+def figure_6(
+    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+) -> FigureResult:
+    """Useful work fraction vs processors under coordination with
+    timeouts (MTTF per node = 3 yrs, interval = 30 min, MTTQ = 10 s)."""
+    base = base_parameters().with_overrides(
+        mttf_node=3 * YEAR,
+        mttq=10.0,
+        coordination_mode=CoordinationMode.MAX_OF_EXPONENTIALS,
+    )
+    points: List[SweepPoint] = []
+    for n in PROCESSOR_GRID:
+        points.append(
+            SweepPoint(
+                series="no coordination",
+                x=n,
+                params=base.with_overrides(
+                    n_processors=n,
+                    coordination_mode=CoordinationMode.AGGREGATE_EXPONENTIAL,
+                ),
+            )
+        )
+        points.append(
+            SweepPoint(
+                series="no timeout",
+                x=n,
+                params=base.with_overrides(n_processors=n, timeout=None),
+            )
+        )
+        for timeout in (120, 100, 80, 60, 40, 20):
+            points.append(
+                SweepPoint(
+                    series=f"timeout={timeout}s",
+                    x=n,
+                    params=base.with_overrides(n_processors=n, timeout=float(timeout)),
+                )
+            )
+    return _sweep(
+        "fig6",
+        "Useful work fraction with coordination and timeout (with failures)",
+        "number of processors",
+        "useful_work_fraction",
+        points,
+        preset,
+        seed,
+        processes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 7 and 8: correlated failures
+# ----------------------------------------------------------------------
+def figure_7(
+    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+) -> FigureResult:
+    """Useful work fraction vs probability of correlated failure for
+    error-propagation correlated failures (MTTF = 3 yrs, 256K
+    processors, window = 3 min)."""
+    base = base_parameters().with_overrides(
+        n_processors=262144, mttf_node=3 * YEAR
+    )
+    points = [
+        SweepPoint(
+            series=f"frate_correlated_times={r}",
+            x=p_e,
+            params=base.with_overrides(
+                prob_correlated_failure=p_e, frate_correlated_factor=float(r)
+            ),
+        )
+        for r in (400, 800, 1600)
+        for p_e in (0.0, 0.05, 0.10, 0.15, 0.20)
+    ]
+    return _sweep(
+        "fig7",
+        "Impact of correlated failures due to error propagation",
+        "probability of correlated failure",
+        "useful_work_fraction",
+        points,
+        preset,
+        seed,
+        processes,
+    )
+
+
+def figure_8(
+    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+) -> FigureResult:
+    """Useful work fraction vs processors with and without generic
+    correlated failures (coefficient = 0.0025, factor = 400, MTTF =
+    3 yrs, interval = 30 min) — the whole-system failure rate doubles."""
+    base = base_parameters().with_overrides(mttf_node=3 * YEAR)
+    points: List[SweepPoint] = []
+    for n in PROCESSOR_GRID:
+        points.append(
+            SweepPoint(
+                series="without correlated failure",
+                x=n,
+                params=base.with_overrides(n_processors=n),
+            )
+        )
+        points.append(
+            SweepPoint(
+                series="with correlated failure",
+                x=n,
+                params=base.with_overrides(
+                    n_processors=n,
+                    generic_correlated_coefficient=0.0025,
+                    frate_correlated_factor=400.0,
+                ),
+            )
+        )
+    return _sweep(
+        "fig8",
+        "Impact of generic correlated failures",
+        "number of processors",
+        "useful_work_fraction",
+        points,
+        preset,
+        seed,
+        processes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Closed-form / cross-validation "figures"
+# ----------------------------------------------------------------------
+def figure_3(
+    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+) -> FigureResult:
+    """The Section 6 birth–death chain, solved exactly for the paper's
+    worked example (n = 1024, p = 0.3, MTTR = 10 min, MTTF = 25 yrs,
+    giving r ≈ 550)."""
+    n, p, mttr, mttf = 1024, 0.3, 10 * MINUTE, 25 * YEAR
+    lam, mu = 1.0 / mttf, 1.0 / mttr
+    r = markov.frate_factor(p, mu, n, lam)
+    solution = markov.solve_birth_death(n, lam, r, mu, max_failures=8)
+    figure = FigureResult(
+        "fig3",
+        "Birth-death Markov process of correlated failures (exact steady state)",
+        "failures since last successful recovery",
+        "useful_work_fraction",
+    )
+    figure.series["P(F_i)"] = [
+        (
+            float(i),
+            solution.probability_of(lambda m, i=i: m["failures"] == i),
+            0.0,
+        )
+        for i in range(5)
+    ]
+    figure.notes.append(f"derived frate_correlated_factor r = {r:.1f} (paper: ~600)")
+    figure.notes.append(
+        f"conditional follow-on probability implied by r: "
+        f"{markov.conditional_probability(r, mu, n, lam):.3f} (target {p})"
+    )
+    figure.notes.append(
+        f"expected recoveries per burst: {markov.expected_recoveries_per_burst(p):.3f}"
+    )
+    return figure
+
+
+def coordination_law(
+    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+) -> FigureResult:
+    """Cross-validation of the Section 5 coordination law against the
+    message-level cluster simulator: measured mean coordination time
+    vs ``MTTQ * H_n`` for increasing node counts."""
+    durations = {"quick": 10 * HOUR, "standard": 40 * HOUR, "full": 100 * HOUR}
+    duration = durations.get(preset, 40 * HOUR)
+    figure = FigureResult(
+        "coordination-law",
+        "Cluster-simulator coordination time vs max-of-exponentials law",
+        "number of nodes",
+        "useful_work_fraction",
+    )
+    measured = []
+    predicted = []
+    for nodes in (64, 128, 256, 512, 1024):
+        params = ModelParameters(
+            n_processors=nodes * 8,
+            processors_per_node=8,
+            mttf_node=1000 * YEAR,
+            mttq=10.0,
+        )
+        result = ClusterSimulator(params, seed=seed).run(duration=duration)
+        measured.append((float(nodes), result.mean_coordination_time, 0.0))
+        predicted.append(
+            (
+                float(nodes),
+                coordination_math.expected_coordination_time(nodes, 10.0),
+                0.0,
+            )
+        )
+    figure.series["cluster simulator (measured)"] = measured
+    figure.series["MTTQ * H_n (predicted)"] = predicted
+    return figure
+
+
+def section_7_1(
+    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+) -> FigureResult:
+    """The Section 7.1 headline: the optimum processor count for the
+    base configuration and the useful work fraction at the peak."""
+    figure_a = figure_4a(preset=preset, seed=seed, processes=processes)
+    label = "MTTF (yrs) = 1"
+    peak_x = figure_a.peak_x(label)
+    points = dict(
+        (x, (y, h)) for x, y, h in figure_a.series[label]
+    )
+    peak_tuw, _ = points[peak_x]
+    headline = FigureResult(
+        "section7.1",
+        "Optimum processor count, base model (MTTF 1 yr, MTTR 10 min, 30 min interval)",
+        "number of processors",
+        "total_useful_work",
+    )
+    headline.series[label] = figure_a.series[label]
+    headline.notes.append(
+        f"optimum processors = {int(peak_x)} (paper: 131072 = 128K)"
+    )
+    headline.notes.append(
+        f"useful work fraction at peak = {peak_tuw / peak_x:.3f} (paper: 0.427)"
+    )
+    return headline
+
+
+#: Dispatch table used by the CLI and the benchmark suite.
+FIGURE_RUNNERS = {
+    "fig4a": figure_4a,
+    "fig4b": figure_4b,
+    "fig4c": figure_4c,
+    "fig4d": figure_4d,
+    "fig4e": figure_4e,
+    "fig4f": figure_4f,
+    "fig4g": figure_4g,
+    "fig4h": figure_4h,
+    "fig5": figure_5,
+    "fig6": figure_6,
+    "fig7": figure_7,
+    "fig8": figure_8,
+    "fig3": figure_3,
+    "coordination-law": coordination_law,
+    "section7.1": section_7_1,
+}

@@ -1,0 +1,131 @@
+"""Sweep execution.
+
+A *sweep* is a list of points, each a full model configuration; the
+runner simulates every point (serially, or across worker processes
+when the machine has them) and returns a :class:`FigureResult` shaped
+like the paper's plot: an x-grid and one series of y-values per curve.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.parameters import ModelParameters
+from ..core.simulation import SimulationPlan, SimulationResult, simulate
+
+__all__ = ["SweepPoint", "FigureResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulated point of a figure.
+
+    Attributes
+    ----------
+    series:
+        The curve this point belongs to (legend label).
+    x:
+        The x-axis value the paper plots.
+    params:
+        The model configuration to simulate.
+    """
+
+    series: str
+    x: float
+    params: ModelParameters
+
+
+@dataclass
+class FigureResult:
+    """One regenerated figure.
+
+    ``series`` maps a curve label to ``[(x, y, half_width), ...]``
+    sorted by x. ``metric`` names the y-axis ("total_useful_work" or
+    "useful_work_fraction").
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    metric: str
+    series: Dict[str, List[Tuple[float, float, float]]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def y_values(self, label: str) -> List[float]:
+        """The y series of one curve (sorted by x)."""
+        return [y for _, y, _ in self.series[label]]
+
+    def x_values(self, label: str) -> List[float]:
+        """The x grid of one curve."""
+        return [x for x, _, _ in self.series[label]]
+
+    def peak_x(self, label: str) -> float:
+        """The x at which a curve attains its maximum."""
+        points = self.series[label]
+        return max(points, key=lambda p: p[1])[0]
+
+
+def _simulate_point(
+    args: Tuple[SweepPoint, SimulationPlan, int]
+) -> Tuple[str, float, float, float]:
+    point, plan, seed = args
+    result = simulate(point.params, plan, seed=seed)
+    metric_value = result.useful_work_fraction
+    return (
+        point.series,
+        point.x,
+        metric_value.mean,
+        metric_value.half_width,
+    )
+
+
+def run_sweep(
+    figure_id: str,
+    title: str,
+    x_label: str,
+    metric: str,
+    points: Sequence[SweepPoint],
+    plan: SimulationPlan,
+    seed: int = 0,
+    processes: Optional[int] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> FigureResult:
+    """Simulate every point and assemble the figure.
+
+    ``metric`` selects the reported y value: ``"useful_work_fraction"``
+    or ``"total_useful_work"`` (the latter scales the fraction by the
+    point's processor count). Point ``i`` uses seed ``seed + i`` so a
+    sweep is reproducible and points are independent.
+    """
+    if metric not in ("useful_work_fraction", "total_useful_work"):
+        raise ValueError(f"unknown metric {metric!r}")
+    tasks = [(point, plan, seed + index) for index, point in enumerate(points)]
+    outcomes: List[Tuple[str, float, float, float]] = []
+    worker_count = processes if processes is not None else 1
+    if worker_count > 1:
+        with multiprocessing.Pool(worker_count) as pool:
+            for index, outcome in enumerate(pool.imap(_simulate_point, tasks)):
+                outcomes.append(outcome)
+                if progress:
+                    progress(index + 1, len(tasks))
+    else:
+        for index, task in enumerate(tasks):
+            outcomes.append(_simulate_point(task))
+            if progress:
+                progress(index + 1, len(tasks))
+
+    figure = FigureResult(figure_id, title, x_label, metric)
+    scale = {point.series + "@" + repr(float(point.x)): point.params.n_processors
+             for point in points}
+    for label, x, mean, half_width in outcomes:
+        if metric == "total_useful_work":
+            factor = scale[label + "@" + repr(float(x))]
+            entry = (x, mean * factor, half_width * factor)
+        else:
+            entry = (x, mean, half_width)
+        figure.series.setdefault(label, []).append(entry)
+    for label in figure.series:
+        figure.series[label].sort(key=lambda p: p[0])
+    return figure

@@ -1,0 +1,164 @@
+"""Failure arrival processes.
+
+Generators of failure timestamps used by the cluster simulator's
+injection, the synthetic-trace tooling and the statistical tests:
+
+* :class:`PoissonProcess` — independent failures at a constant rate;
+* :class:`ModulatedPoissonProcess` — the paper's generic
+  correlated-failure semantics: the system alternates between an
+  independent-rate phase and a correlated-rate phase (rate multiplied
+  by ``1 + r``), the correlated phase occupying a long-run fraction
+  ``alpha`` of time; the time-averaged rate is ``rate * (1 + alpha*r)``;
+* :class:`BurstProcess` — error-propagation semantics: every base
+  arrival opens, with probability ``p_e``, a burst window of elevated
+  rate for a fixed duration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+__all__ = ["PoissonProcess", "ModulatedPoissonProcess", "BurstProcess"]
+
+
+class PoissonProcess:
+    """Homogeneous Poisson arrivals of a given rate."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.rate = float(rate)
+        self._rng = rng
+
+    def arrivals(self, horizon: float) -> List[float]:
+        """All arrival times in ``[0, horizon)``."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        times: List[float] = []
+        t = 0.0
+        while True:
+            t += float(self._rng.exponential(1.0 / self.rate))
+            if t >= horizon:
+                return times
+            times.append(t)
+
+    def __iter__(self) -> Iterator[float]:
+        t = 0.0
+        while True:
+            t += float(self._rng.exponential(1.0 / self.rate))
+            yield t
+
+
+class ModulatedPoissonProcess:
+    """Two-phase Markov-modulated Poisson process.
+
+    Phase Q (quiet) has rate ``base_rate``; phase C (correlated) has
+    rate ``base_rate * (1 + r)``. Exponential phase durations are
+    chosen so phase C occupies fraction ``alpha`` of time with mean
+    window ``window``.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        r: float,
+        alpha: float,
+        window: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if base_rate <= 0 or window <= 0:
+            raise ValueError("base_rate and window must be > 0")
+        if not 0 < alpha < 1:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if r < 0:
+            raise ValueError(f"r must be >= 0, got {r}")
+        self.base_rate = float(base_rate)
+        self.r = float(r)
+        self.alpha = float(alpha)
+        self.window = float(window)
+        self.quiet_mean = window * (1.0 - alpha) / alpha
+        self._rng = rng
+
+    @property
+    def average_rate(self) -> float:
+        """Time-averaged rate ``base_rate * (1 + alpha * r)``."""
+        return self.base_rate * (1.0 + self.alpha * self.r)
+
+    def arrivals(self, horizon: float) -> List[float]:
+        """All arrival times in ``[0, horizon)``."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        rng = self._rng
+        times: List[float] = []
+        t = 0.0
+        correlated = False
+        phase_end = float(rng.exponential(self.quiet_mean))
+        while t < horizon:
+            rate = self.base_rate * (1.0 + self.r) if correlated else self.base_rate
+            candidate = t + float(rng.exponential(1.0 / rate))
+            if candidate < phase_end:
+                t = candidate
+                if t < horizon:
+                    times.append(t)
+            else:
+                t = phase_end
+                correlated = not correlated
+                mean = self.window if correlated else self.quiet_mean
+                phase_end = t + float(rng.exponential(mean))
+        return times
+
+
+class BurstProcess:
+    """Error-propagation bursts layered over a base Poisson process.
+
+    Each base arrival opens a burst window of duration ``window`` with
+    probability ``p_e``; inside an open window extra arrivals occur at
+    ``base_rate * r``. Windows do not extend each other (matching the
+    SAN model, where ``prop_corr_window`` is a single token).
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        r: float,
+        p_e: float,
+        window: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if base_rate <= 0 or window <= 0:
+            raise ValueError("base_rate and window must be > 0")
+        if not 0 <= p_e <= 1:
+            raise ValueError(f"p_e must be in [0, 1], got {p_e}")
+        if r < 0:
+            raise ValueError(f"r must be >= 0, got {r}")
+        self.base_rate = float(base_rate)
+        self.r = float(r)
+        self.p_e = float(p_e)
+        self.window = float(window)
+        self._rng = rng
+
+    def arrivals(self, horizon: float) -> List[float]:
+        """All arrival times (base + burst) in ``[0, horizon)``."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        rng = self._rng
+        base = PoissonProcess(self.base_rate, rng).arrivals(horizon)
+        extras: List[float] = []
+        burst_until = -math.inf
+        for t in base:
+            if t < burst_until:
+                continue  # window already open; no re-trigger
+            if rng.random() < self.p_e:
+                burst_until = t + self.window
+                burst_rate = self.base_rate * self.r
+                if burst_rate > 0:
+                    s = t
+                    while True:
+                        s += float(rng.exponential(1.0 / burst_rate))
+                        if s >= min(burst_until, horizon):
+                            break
+                        extras.append(s)
+        return sorted(base + extras)

@@ -1,0 +1,122 @@
+"""Spatial failure correlation: trace tooling for the paper's future
+work.
+
+The paper models temporal correlation only, citing Zhang et al. [18]
+for evidence that large clusters also exhibit *spatial* correlation —
+failures clustering on neighbouring nodes (shared racks, power
+domains, I/O groups). This module provides the measurement side of
+that future work: synthetic traces with controllable spatial locality
+and the estimator one would run on real logs to decide whether the
+spatial dimension matters for a given machine.
+
+The model itself deliberately stays temporal-only (as the paper's
+does); these tools quantify what that leaves out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .traces import FailureRecord
+
+__all__ = [
+    "generate_spatial_trace",
+    "spatial_locality",
+    "group_concentration",
+]
+
+
+def generate_spatial_trace(
+    n_nodes: int,
+    mttf_node: float,
+    horizon: float,
+    seed: int = 0,
+    locality: float = 0.0,
+    neighborhood: int = 64,
+    window: float = 180.0,
+) -> List[FailureRecord]:
+    """A failure trace with tunable spatial locality.
+
+    Failures arrive at the system rate ``n_nodes / mttf_node``. With
+    probability ``locality``, a failure within ``window`` of the
+    previous one strikes the *same neighbourhood* (the previous
+    victim's block of ``neighborhood`` nodes — e.g. an I/O group);
+    otherwise the victim is uniform. ``locality = 0`` reduces to the
+    spatially-independent trace.
+    """
+    if n_nodes < 1 or mttf_node <= 0 or horizon <= 0:
+        raise ValueError("need n_nodes >= 1, mttf_node > 0, horizon > 0")
+    if not 0.0 <= locality <= 1.0:
+        raise ValueError(f"locality must be in [0, 1], got {locality}")
+    if neighborhood < 1:
+        raise ValueError(f"neighborhood must be >= 1, got {neighborhood}")
+    rng = np.random.default_rng(seed)
+    rate = n_nodes / mttf_node
+    records: List[FailureRecord] = []
+    t = 0.0
+    last_time = -np.inf
+    last_node = 0
+    while True:
+        t += float(rng.exponential(1.0 / rate))
+        if t >= horizon:
+            return records
+        correlated = (t - last_time) < window and rng.random() < locality
+        if correlated and records:
+            block_start = (last_node // neighborhood) * neighborhood
+            block_size = min(neighborhood, n_nodes - block_start)
+            node = block_start + int(rng.integers(block_size))
+        else:
+            node = int(rng.integers(n_nodes))
+        records.append(FailureRecord(time=t, node_id=node, correlated=correlated))
+        last_time = t
+        last_node = node
+
+
+def spatial_locality(
+    trace: Sequence[FailureRecord],
+    neighborhood: int = 64,
+    window: float = 180.0,
+) -> float:
+    """Fraction of close-in-time failure pairs that are also close in
+    space (same ``neighborhood`` block).
+
+    For a spatially independent trace this converges to
+    ``neighborhood / n_nodes``; values well above that baseline
+    indicate spatial correlation worth modeling.
+    """
+    if neighborhood < 1 or window <= 0:
+        raise ValueError("need neighborhood >= 1 and window > 0")
+    pairs = 0
+    colocated = 0
+    for previous, current in zip(trace, trace[1:]):
+        if current.time - previous.time < window:
+            pairs += 1
+            if previous.node_id // neighborhood == current.node_id // neighborhood:
+                colocated += 1
+    if pairs == 0:
+        return 0.0
+    return colocated / pairs
+
+
+def group_concentration(
+    trace: Sequence[FailureRecord], n_nodes: int, neighborhood: int = 64
+) -> float:
+    """Normalised concentration of failures across neighbourhoods.
+
+    Returns the ratio of the observed maximum per-group failure count
+    to the uniform expectation; ~1 means evenly spread, >> 1 means a
+    few groups absorb the failures (spatially concentrated damage).
+    """
+    if not trace:
+        raise ValueError("empty trace")
+    if n_nodes < 1 or neighborhood < 1:
+        raise ValueError("need n_nodes >= 1 and neighborhood >= 1")
+    n_groups = max(1, (n_nodes + neighborhood - 1) // neighborhood)
+    counts = np.zeros(n_groups)
+    for record in trace:
+        counts[record.node_id // neighborhood] += 1
+    expected = len(trace) / n_groups
+    return float(counts.max() / expected)

@@ -1,0 +1,111 @@
+"""Stochastic Activity Networks: formalism, simulator, and solvers.
+
+This package is the repository's replacement for the Möbius modeling
+environment the paper used: places (discrete and extended), timed and
+instantaneous activities with cases, input/output gates, shared-state
+composition, rate/impulse reward variables, a next-event simulation
+executive with transient discard, replication statistics, and an exact
+CTMC solver for small all-exponential models.
+
+Typical usage::
+
+    from repro.san import (
+        SANModel, TimedActivity, InstantaneousActivity, Arc, Case,
+        InputGate, OutputGate, Exponential, Deterministic,
+        Simulator, RewardVariable,
+    )
+"""
+
+from .activities import Activity, Arc, Case, InstantaneousActivity, TimedActivity
+from .composition import Namespace, replicate as replicate_submodel
+from .dot import to_dot
+from .distributions import (
+    EULER_MASCHERONI,
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    LogNormal,
+    MaxOfExponentials,
+    Uniform,
+    Weibull,
+    harmonic_number,
+)
+from .errors import (
+    DistributionError,
+    ModelDefinitionError,
+    SANError,
+    SimulationError,
+    StateSpaceError,
+)
+from .gates import InputGate, OutputGate
+from .model import SANModel
+from .places import ExtendedPlace, Place
+from .rewards import RewardResult, RewardVariable
+from .rng import StreamRegistry
+from .simulator import SimulationOutput, SimulationState, Simulator
+from .statespace import StateSpace, StateSpaceGenerator, SteadyStateSolution
+from .transient import TransientSolution, TransientSolver
+from .statistics import (
+    ConfidenceInterval,
+    RunningStatistics,
+    batch_means,
+    confidence_interval,
+    replicate,
+)
+from .trace import CallbackTracer, MemoryTracer, NullTracer, TraceEvent, Tracer, WindowTracer
+
+__all__ = [
+    "Activity",
+    "Arc",
+    "Case",
+    "InstantaneousActivity",
+    "TimedActivity",
+    "Distribution",
+    "Deterministic",
+    "Exponential",
+    "Uniform",
+    "Erlang",
+    "Weibull",
+    "LogNormal",
+    "Hyperexponential",
+    "MaxOfExponentials",
+    "harmonic_number",
+    "EULER_MASCHERONI",
+    "SANError",
+    "ModelDefinitionError",
+    "SimulationError",
+    "StateSpaceError",
+    "DistributionError",
+    "InputGate",
+    "OutputGate",
+    "SANModel",
+    "Namespace",
+    "to_dot",
+    "replicate_submodel",
+    "Place",
+    "ExtendedPlace",
+    "RewardVariable",
+    "RewardResult",
+    "StreamRegistry",
+    "Simulator",
+    "SimulationState",
+    "SimulationOutput",
+    "StateSpace",
+    "StateSpaceGenerator",
+    "SteadyStateSolution",
+    "TransientSolver",
+    "TransientSolution",
+    "ConfidenceInterval",
+    "RunningStatistics",
+    "confidence_interval",
+    "batch_means",
+    "replicate",
+    "Tracer",
+    "NullTracer",
+    "MemoryTracer",
+    "WindowTracer",
+    "CallbackTracer",
+    "TraceEvent",
+]

@@ -1,0 +1,241 @@
+"""Timed and instantaneous activities.
+
+An activity is the SAN analogue of a Petri-net transition:
+
+* it is *enabled* when every input arc's place holds enough tokens and
+  every input gate's predicate is true;
+* a **timed activity** then samples a firing delay from its
+  distribution; if it stays enabled for that long, it *fires*;
+* an **instantaneous activity** fires as soon as it is enabled
+  (instantaneous activities have priority over all timed ones);
+* on firing, one of the activity's *cases* is chosen according to the
+  case probabilities, and that case's output arcs and output gates are
+  applied.
+
+Reactivation semantics follow Möbius defaults: a timed activity that
+becomes disabled before firing discards its sampled clock, and samples
+afresh when next enabled. Additionally, an activity may declare
+``resample_on`` places; whenever one of them changes, a pending clock
+is discarded and re-sampled. The checkpoint model uses this for
+failure activities whose exponential rate depends on the
+correlated-failure window marking (re-sampling an exponential is
+distribution-preserving by memorylessness).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from .distributions import Distribution
+from .errors import ModelDefinitionError
+from .gates import InputGate, OutputGate
+from .places import Place
+
+__all__ = ["Arc", "Case", "Activity", "TimedActivity", "InstantaneousActivity"]
+
+CaseProbabilities = Union[Sequence[float], Callable[[object], Sequence[float]]]
+FireCallback = Callable[[object, int], None]
+
+
+class Arc:
+    """A weighted arc between a place and an activity."""
+
+    __slots__ = ("place", "weight")
+
+    def __init__(self, place: Place, weight: int = 1) -> None:
+        if weight < 1:
+            raise ModelDefinitionError(
+                f"arc to place {place.name!r}: weight must be >= 1, got {weight}"
+            )
+        self.place = place
+        self.weight = int(weight)
+
+    def __repr__(self) -> str:
+        return f"Arc({self.place.name!r}, weight={self.weight})"
+
+
+class Case:
+    """One probabilistic outcome of an activity."""
+
+    __slots__ = ("output_arcs", "output_gates")
+
+    def __init__(
+        self,
+        output_arcs: Optional[Sequence[Arc]] = None,
+        output_gates: Optional[Sequence[OutputGate]] = None,
+    ) -> None:
+        self.output_arcs: Tuple[Arc, ...] = tuple(output_arcs or ())
+        self.output_gates: Tuple[OutputGate, ...] = tuple(output_gates or ())
+
+
+class Activity:
+    """Common behaviour of timed and instantaneous activities.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the model.
+    input_arcs:
+        Arcs whose places must hold at least ``weight`` tokens for the
+        activity to be enabled; the tokens are consumed on firing.
+    input_gates:
+        Extra enabling predicates and firing-time functions.
+    cases:
+        The possible outcomes. Defaults to a single case with no
+        effect beyond the input side.
+    case_probabilities:
+        Probabilities of the cases — a static sequence or a callable
+        ``state -> sequence`` evaluated at firing time (the paper's
+        error-propagation model chooses "enter correlated window" with
+        probability ``p_e`` this way).
+    on_fire:
+        Optional callback ``(state, case_index) -> None`` invoked after
+        the case completes; used to feed impulse rewards and traces.
+    """
+
+    timed: bool = False
+
+    def __init__(
+        self,
+        name: str,
+        input_arcs: Optional[Sequence[Arc]] = None,
+        input_gates: Optional[Sequence[InputGate]] = None,
+        cases: Optional[Sequence[Case]] = None,
+        case_probabilities: Optional[CaseProbabilities] = None,
+        on_fire: Optional[FireCallback] = None,
+    ) -> None:
+        if not name:
+            raise ModelDefinitionError("activity name must be non-empty")
+        self.name = name
+        self.input_arcs: Tuple[Arc, ...] = tuple(input_arcs or ())
+        self.input_gates: Tuple[InputGate, ...] = tuple(input_gates or ())
+        self.cases: Tuple[Case, ...] = tuple(cases or (Case(),))
+        if not self.cases:
+            raise ModelDefinitionError(f"activity {name!r}: needs at least one case")
+        self.case_probabilities = case_probabilities
+        self.on_fire = on_fire
+        self._validate_probabilities()
+
+    def _validate_probabilities(self) -> None:
+        probs = self.case_probabilities
+        if probs is None:
+            if len(self.cases) != 1:
+                raise ModelDefinitionError(
+                    f"activity {self.name!r}: {len(self.cases)} cases need probabilities"
+                )
+            return
+        if callable(probs):
+            return
+        if len(probs) != len(self.cases):
+            raise ModelDefinitionError(
+                f"activity {self.name!r}: {len(probs)} probabilities for "
+                f"{len(self.cases)} cases"
+            )
+        total = float(sum(probs))
+        if any(p < 0 for p in probs) or abs(total - 1.0) > 1e-9:
+            raise ModelDefinitionError(
+                f"activity {self.name!r}: case probabilities must be a "
+                f"distribution, got {list(probs)}"
+            )
+
+    def enabled(self, state: object) -> bool:
+        """True when all input arcs are satisfied and all input-gate
+        predicates hold."""
+        for arc in self.input_arcs:
+            if arc.place.tokens < arc.weight:
+                return False
+        for gate in self.input_gates:
+            if not gate.predicate(state):
+                return False
+        return True
+
+    def resolve_case(self, state: object, rng) -> int:
+        """Choose a case index according to the case probabilities."""
+        if len(self.cases) == 1:
+            return 0
+        probs = self.case_probabilities
+        if callable(probs):
+            probs = probs(state)
+            total = float(sum(probs))
+            if len(probs) != len(self.cases) or abs(total - 1.0) > 1e-9:
+                raise ModelDefinitionError(
+                    f"activity {self.name!r}: dynamic case probabilities "
+                    f"invalid: {list(probs)}"
+                )
+        u = rng.random()
+        cumulative = 0.0
+        for index, p in enumerate(probs):
+            cumulative += p
+            if u < cumulative:
+                return index
+        return len(self.cases) - 1
+
+    def places_touched(self) -> List[str]:
+        """Names of places this activity consumes from or produces to
+        (used by linting and by the state-space generator)."""
+        names = [arc.place.name for arc in self.input_arcs]
+        for case in self.cases:
+            names.extend(arc.place.name for arc in case.output_arcs)
+        return names
+
+    def __repr__(self) -> str:
+        kind = "timed" if self.timed else "instantaneous"
+        return f"{type(self).__name__}({self.name!r}, {kind})"
+
+
+class TimedActivity(Activity):
+    """An activity whose firing is delayed by a sampled duration.
+
+    Parameters
+    ----------
+    distribution:
+        Firing-delay distribution.
+    resample_on:
+        Place names whose marking changes force a pending clock to be
+        discarded and re-sampled while the activity stays enabled.
+    """
+
+    timed = True
+
+    def __init__(
+        self,
+        name: str,
+        distribution: Distribution,
+        input_arcs: Optional[Sequence[Arc]] = None,
+        input_gates: Optional[Sequence[InputGate]] = None,
+        cases: Optional[Sequence[Case]] = None,
+        case_probabilities: Optional[CaseProbabilities] = None,
+        on_fire: Optional[FireCallback] = None,
+        resample_on: Optional[Sequence[str]] = None,
+    ) -> None:
+        super().__init__(name, input_arcs, input_gates, cases, case_probabilities, on_fire)
+        if not isinstance(distribution, Distribution):
+            raise ModelDefinitionError(
+                f"activity {name!r}: distribution must be a Distribution, "
+                f"got {type(distribution).__name__}"
+            )
+        self.distribution = distribution
+        self.resample_on: Tuple[str, ...] = tuple(resample_on or ())
+
+
+class InstantaneousActivity(Activity):
+    """An activity that fires with zero delay once enabled.
+
+    ``priority`` orders simultaneous instantaneous firings — higher
+    fires first; ties resolve by definition order.
+    """
+
+    timed = False
+
+    def __init__(
+        self,
+        name: str,
+        input_arcs: Optional[Sequence[Arc]] = None,
+        input_gates: Optional[Sequence[InputGate]] = None,
+        cases: Optional[Sequence[Case]] = None,
+        case_probabilities: Optional[CaseProbabilities] = None,
+        on_fire: Optional[FireCallback] = None,
+        priority: int = 0,
+    ) -> None:
+        super().__init__(name, input_arcs, input_gates, cases, case_probabilities, on_fire)
+        self.priority = int(priority)

@@ -1,0 +1,30 @@
+"""Exception hierarchy for the SAN modeling package.
+
+All errors raised by :mod:`repro.san` derive from :class:`SANError` so
+callers can catch modeling problems without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class SANError(Exception):
+    """Base class for all SAN modeling and simulation errors."""
+
+
+class ModelDefinitionError(SANError):
+    """The model structure is inconsistent (dangling references,
+    duplicate names, bad case probabilities, ...)."""
+
+
+class SimulationError(SANError):
+    """The simulation executive detected an illegal condition at run
+    time (negative tokens, unstable instantaneous firing loop, ...)."""
+
+
+class StateSpaceError(SANError):
+    """State-space generation failed (unsupported primitive, explosion
+    past the configured limit, absorbing-chain issues, ...)."""
+
+
+class DistributionError(SANError):
+    """A distribution received invalid parameters."""

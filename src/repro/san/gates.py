@@ -1,0 +1,99 @@
+"""Input and output gates.
+
+Gates give SANs their expressive power over plain Petri nets:
+
+* an :class:`InputGate` contributes an arbitrary *predicate* to an
+  activity's enabling condition and an arbitrary *function* executed
+  when the activity fires (before output arcs/gates);
+* an :class:`OutputGate` contributes a function executed on completion
+  of a chosen case.
+
+Both receive the live :class:`~repro.san.simulator.SimulationState`, so
+they can read/write place markings, extended places, the simulation
+clock and the user context (the checkpoint model's work ledger).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from .errors import ModelDefinitionError
+
+__all__ = ["InputGate", "OutputGate"]
+
+Predicate = Callable[[object], bool]
+GateFunction = Callable[[object], None]
+
+
+def _noop(state: object) -> None:
+    """Default gate function: do nothing."""
+
+
+class InputGate:
+    """An enabling predicate plus an optional firing-time function.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic name.
+    predicate:
+        ``state -> bool``; the owning activity is enabled only while
+        every attached input gate's predicate holds.
+    function:
+        ``state -> None``; executed when the activity fires, after
+        input arcs consumed their tokens.
+    reads:
+        Optional list of place names the predicate reads. Purely
+        declarative today (used by tracing and model linting); the
+        simulator re-evaluates predicates after every firing, so an
+        incomplete list cannot cause missed enablings.
+    """
+
+    __slots__ = ("name", "predicate", "function", "reads")
+
+    def __init__(
+        self,
+        name: str,
+        predicate: Predicate,
+        function: GateFunction = _noop,
+        reads: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not name:
+            raise ModelDefinitionError("input gate name must be non-empty")
+        if not callable(predicate):
+            raise ModelDefinitionError(f"input gate {name!r}: predicate must be callable")
+        if not callable(function):
+            raise ModelDefinitionError(f"input gate {name!r}: function must be callable")
+        self.name = name
+        self.predicate = predicate
+        self.function = function
+        self.reads = tuple(reads or ())
+
+    def __repr__(self) -> str:
+        return f"InputGate({self.name!r})"
+
+
+class OutputGate:
+    """A marking function executed when a case of an activity completes.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic name.
+    function:
+        ``state -> None`` executed after output arcs added their
+        tokens.
+    """
+
+    __slots__ = ("name", "function")
+
+    def __init__(self, name: str, function: GateFunction) -> None:
+        if not name:
+            raise ModelDefinitionError("output gate name must be non-empty")
+        if not callable(function):
+            raise ModelDefinitionError(f"output gate {name!r}: function must be callable")
+        self.name = name
+        self.function = function
+
+    def __repr__(self) -> str:
+        return f"OutputGate({self.name!r})"

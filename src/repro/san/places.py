@@ -1,0 +1,130 @@
+"""Places: the state holders of a Stochastic Activity Network.
+
+A :class:`Place` holds a non-negative integer number of tokens, exactly
+as in Petri nets. An :class:`ExtendedPlace` holds an arbitrary float,
+matching Möbius' *extended places*; the checkpoint model uses one for
+the continuous useful-work ledger quantities.
+
+Every mutation bumps a ``version`` counter. The simulator uses the
+counters to (a) re-sample timed activities that declared sensitivity to
+a place (marking-dependent rates such as the correlated-failure
+multiplier) and (b) skip re-evaluating activities whose inputs did not
+change.
+"""
+
+from __future__ import annotations
+
+from .errors import ModelDefinitionError, SimulationError
+
+__all__ = ["Place", "ExtendedPlace"]
+
+
+class Place:
+    """A discrete token holder.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the model. Submodels share state by using
+        the same place name, mirroring the paper's Figure 1 state
+        sharing.
+    initial:
+        Initial marking (default 0 tokens).
+    """
+
+    __slots__ = ("name", "tokens", "initial", "version")
+
+    def __init__(self, name: str, initial: int = 0) -> None:
+        if not name:
+            raise ModelDefinitionError("place name must be non-empty")
+        if initial < 0:
+            raise ModelDefinitionError(f"place {name!r}: initial marking must be >= 0")
+        self.name = name
+        self.initial = int(initial)
+        self.tokens = int(initial)
+        self.version = 0
+
+    def add(self, count: int = 1) -> None:
+        """Add ``count`` tokens (count may be 0, never negative)."""
+        if count < 0:
+            raise SimulationError(f"place {self.name!r}: cannot add negative tokens")
+        if count:
+            self.tokens += count
+            self.version += 1
+
+    def remove(self, count: int = 1) -> None:
+        """Remove ``count`` tokens; underflow is a simulation bug."""
+        if count < 0:
+            raise SimulationError(f"place {self.name!r}: cannot remove negative tokens")
+        if count > self.tokens:
+            raise SimulationError(
+                f"place {self.name!r}: removing {count} from marking {self.tokens}"
+            )
+        if count:
+            self.tokens -= count
+            self.version += 1
+
+    def set(self, count: int) -> None:
+        """Set the marking directly (used by gate functions)."""
+        if count < 0:
+            raise SimulationError(f"place {self.name!r}: marking must be >= 0, got {count}")
+        if count != self.tokens:
+            self.tokens = int(count)
+            self.version += 1
+
+    def clear(self) -> None:
+        """Remove all tokens."""
+        self.set(0)
+
+    def reset(self) -> None:
+        """Restore the initial marking (between replications)."""
+        self.tokens = self.initial
+        self.version += 1
+
+    @property
+    def empty(self) -> bool:
+        """True when the place holds no tokens."""
+        return self.tokens == 0
+
+    def __bool__(self) -> bool:
+        return self.tokens > 0
+
+    def __repr__(self) -> str:
+        return f"Place({self.name!r}, tokens={self.tokens})"
+
+
+class ExtendedPlace:
+    """A continuous-valued place (Möbius extended place).
+
+    Holds a float instead of a token count. Extended places never
+    enable activities through input arcs — they are read and written by
+    gate functions and reward definitions only.
+    """
+
+    __slots__ = ("name", "value", "initial", "version")
+
+    def __init__(self, name: str, initial: float = 0.0) -> None:
+        if not name:
+            raise ModelDefinitionError("extended place name must be non-empty")
+        self.name = name
+        self.initial = float(initial)
+        self.value = float(initial)
+        self.version = 0
+
+    def set(self, value: float) -> None:
+        """Assign a new value."""
+        self.value = float(value)
+        self.version += 1
+
+    def add(self, delta: float) -> None:
+        """Increment the value by ``delta``."""
+        self.value += float(delta)
+        self.version += 1
+
+    def reset(self) -> None:
+        """Restore the initial value (between replications)."""
+        self.value = self.initial
+        self.version += 1
+
+    def __repr__(self) -> str:
+        return f"ExtendedPlace({self.name!r}, value={self.value})"

@@ -1,0 +1,407 @@
+"""Next-event simulation executive for SAN models.
+
+The executive implements standard SAN execution semantics:
+
+1. **Stabilisation** — fire enabled instantaneous activities (highest
+   priority first) until none is enabled.
+2. **Scheduling** — every enabled timed activity holds a sampled clock;
+   an activity that becomes disabled discards its clock (Möbius restart
+   reactivation); an activity whose ``resample_on`` places changed
+   discards and re-samples.
+3. **Advance** — pop the earliest clock, advance simulated time,
+   integrate rate rewards over the elapsed interval, fire the activity
+   (consume input arcs, run input-gate functions, choose a case, apply
+   output arcs/gates), add impulse rewards, and go back to 1.
+
+Rate rewards are integrated only after the ``warmup`` transient, which
+is how the paper's steady-state simulation discards its initial 1000
+hours.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .activities import Activity, TimedActivity
+from .errors import SimulationError
+from .model import SANModel
+from .places import ExtendedPlace, Place
+from .rewards import RewardResult, RewardVariable
+from .rng import StreamRegistry
+from .trace import NullTracer, Tracer
+
+__all__ = ["SimulationState", "SimulationOutput", "Simulator"]
+
+#: Safety valve against livelocks of instantaneous activities.
+MAX_INSTANTANEOUS_CHAIN = 100_000
+#: Safety valve against livelocks of zero-delay timed activities.
+MAX_EVENTS_PER_INSTANT = 1_000_000
+
+
+class SimulationState:
+    """The live state handed to gates, distributions and rewards.
+
+    Exposes the simulation clock (:attr:`time`), the user context
+    (:attr:`ctx` — the checkpoint model stores its work ledger there)
+    and marking access by place name.
+    """
+
+    __slots__ = ("model", "time", "ctx", "_places", "_extended")
+
+    def __init__(self, model: SANModel, ctx: Any = None) -> None:
+        self.model = model
+        self.time = 0.0
+        self.ctx = ctx
+        self._places: Dict[str, Place] = {p.name: p for p in model.places}
+        self._extended: Dict[str, ExtendedPlace] = {
+            p.name: p for p in model.extended_places
+        }
+
+    def place(self, name: str) -> Place:
+        """The named place object (for reading or gate-side mutation)."""
+        return self._places[name]
+
+    def tokens(self, name: str) -> int:
+        """Current marking of the named place."""
+        return self._places[name].tokens
+
+    def value(self, name: str) -> float:
+        """Current value of the named extended place."""
+        return self._extended[name].value
+
+    def __repr__(self) -> str:
+        return f"SimulationState(t={self.time:.6g})"
+
+
+@dataclass
+class SimulationOutput:
+    """Everything one simulation run produced.
+
+    Attributes
+    ----------
+    final_time:
+        Simulated time at which the run stopped.
+    warmup:
+        The transient period that was discarded.
+    rewards:
+        Per-variable :class:`RewardResult` (post-warm-up accumulation).
+    event_count:
+        Total number of activity firings (timed + instantaneous).
+    firings:
+        Firing count per activity name (diagnostics and tests).
+    """
+
+    final_time: float
+    warmup: float
+    rewards: Dict[str, RewardResult] = field(default_factory=dict)
+    event_count: int = 0
+    firings: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def observation_time(self) -> float:
+        """Length of the measured (post-warm-up) window."""
+        return max(0.0, self.final_time - self.warmup)
+
+    def time_average(self, reward_name: str) -> float:
+        """Convenience accessor for a reward's time average."""
+        return self.rewards[reward_name].time_average
+
+
+class _Schedule:
+    """Clock bookkeeping for one timed activity."""
+
+    __slots__ = ("fire_time", "generation", "watched_versions")
+
+    def __init__(self) -> None:
+        self.fire_time: Optional[float] = None
+        self.generation = 0
+        self.watched_versions: Tuple[int, ...] = ()
+
+
+class Simulator:
+    """Discrete-event simulator for a :class:`SANModel`.
+
+    Parameters
+    ----------
+    model:
+        The model to execute. It is mutated in place; call
+        ``model.reset()`` (or build a fresh model) between runs.
+    ctx:
+        Arbitrary user context reachable as ``state.ctx`` from gates,
+        distributions, rewards and callbacks.
+    streams:
+        A :class:`StreamRegistry` or an integer seed. Every timed
+        activity draws from its own named stream, so reconfiguring one
+        activity never perturbs another's sample path.
+    tracer:
+        Optional :class:`~repro.san.trace.Tracer` receiving every
+        firing.
+    """
+
+    def __init__(
+        self,
+        model: SANModel,
+        ctx: Any = None,
+        streams: Any = 0,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if isinstance(streams, StreamRegistry):
+            self._streams = streams
+        else:
+            self._streams = StreamRegistry(seed=int(streams))
+        self.model = model
+        self.state = SimulationState(model, ctx=ctx)
+        # A context exposing `integrate(state, start, end)` receives every
+        # inter-event interval before the clock advances; the checkpoint
+        # model's work ledger integrates execution time this way.
+        self._ctx_integrate = getattr(ctx, "integrate", None)
+        # `is not None`, not truthiness: an empty MemoryTracer is falsy.
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self._timed: Tuple[TimedActivity, ...] = model.timed_activities
+        self._instantaneous = model.instantaneous_activities
+        self._schedules: Dict[str, _Schedule] = {a.name: _Schedule() for a in self._timed}
+        self._rngs = {a.name: self._streams.get(f"activity/{a.name}") for a in self._timed}
+        self._case_rng = self._streams.get("cases")
+        self._heap: List[Tuple[float, int, int, TimedActivity]] = []
+        self._sequence = 0
+        self._firings: Dict[str, int] = {}
+        self._watched_places: Dict[str, Tuple[Place, ...]] = {}
+        for activity in self._timed:
+            places = tuple(
+                model.place(name)
+                for name in activity.resample_on
+                if model.has_place(name)
+            )
+            self._watched_places[activity.name] = places
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: float,
+        warmup: float = 0.0,
+        rewards: Sequence[RewardVariable] = (),
+        stop_when: Optional[Any] = None,
+    ) -> SimulationOutput:
+        """Execute the model from time 0 to ``until``.
+
+        ``warmup`` is the transient period excluded from reward
+        accumulation. Reward *state* (the marking) naturally carries
+        across the boundary.
+
+        ``stop_when`` enables *terminating* simulations: a callable
+        ``state -> bool`` evaluated after every event; when it returns
+        True the run ends at the current time (used for job-completion
+        studies). ``until`` then acts as a hard cap.
+
+        Calling :meth:`run` again **continues** the same trajectory
+        from where the previous call stopped (pending clocks are
+        preserved); each call accumulates its own reward window — the
+        basis of single-run batch-means estimation.
+        """
+        if until <= self.state.time:
+            raise SimulationError(
+                f"until ({until}) must exceed the current time "
+                f"({self.state.time})"
+            )
+        if warmup < 0 or warmup >= until:
+            raise SimulationError(
+                f"warmup must satisfy 0 <= warmup < until, got {warmup} vs {until}"
+            )
+        state = self.state
+        run_start = state.time
+        accumulators = {rv.name: 0.0 for rv in rewards}
+        rate_rewards = [rv for rv in rewards if rv.rate is not None]
+        impulse_map: Dict[str, List[RewardVariable]] = {}
+        for rv in rewards:
+            for activity_name in rv.impulses:
+                impulse_map.setdefault(activity_name, []).append(rv)
+
+        event_count = 0
+        events_at_instant = 0
+        last_instant = -1.0
+
+        event_count += self._stabilize(impulse_map, accumulators, warmup)
+        self._refresh_schedules()
+
+        while self._heap:
+            fire_time, _, generation, activity = heapq.heappop(self._heap)
+            schedule = self._schedules[activity.name]
+            if generation != schedule.generation or schedule.fire_time is None:
+                continue  # stale entry
+            if fire_time > until:
+                # Push back so a subsequent run() continuation could reuse it;
+                # we simply stop here.
+                heapq.heappush(self._heap, (fire_time, self._next_seq(), generation, activity))
+                break
+            # Integrate rate rewards over (state.time, fire_time).
+            self._integrate(rate_rewards, accumulators, state.time, fire_time, warmup)
+            if fire_time == last_instant:
+                events_at_instant += 1
+                if events_at_instant > MAX_EVENTS_PER_INSTANT:
+                    raise SimulationError(
+                        f"more than {MAX_EVENTS_PER_INSTANT} events at t={fire_time}; "
+                        f"zero-delay livelock (last activity {activity.name!r})"
+                    )
+            else:
+                last_instant = fire_time
+                events_at_instant = 0
+            state.time = fire_time
+            schedule.fire_time = None
+            schedule.generation += 1
+            self._fire(activity, impulse_map, accumulators, warmup)
+            # Reconcile clocks immediately: a firing may disable another
+            # activity transiently before stabilisation re-enables it, and
+            # such an activity must lose its old clock (restart semantics).
+            self._refresh_schedules()
+            event_count += 1
+            event_count += self._stabilize(impulse_map, accumulators, warmup)
+            self._refresh_schedules()
+            if stop_when is not None and stop_when(state):
+                break
+
+        # Close the final interval up to the stop time (`until`, or the
+        # stop-condition instant for terminating runs).
+        end_time = state.time if (stop_when is not None and state.time < until
+                                  and stop_when(state)) else until
+        self._integrate(rate_rewards, accumulators, state.time, end_time, warmup)
+        state.time = end_time
+
+        final_time = state.time
+        window_start = max(run_start, warmup)
+        results = {
+            rv.name: RewardResult(
+                name=rv.name,
+                accumulated=accumulators[rv.name],
+                observation_time=max(0.0, final_time - window_start),
+            )
+            for rv in rewards
+        }
+        return SimulationOutput(
+            final_time=final_time,
+            warmup=warmup,
+            rewards=results,
+            event_count=event_count,
+            firings=dict(self._firings),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    def _integrate(
+        self,
+        rate_rewards: Sequence[RewardVariable],
+        accumulators: Dict[str, float],
+        start: float,
+        end: float,
+        warmup: float,
+    ) -> None:
+        if end <= start:
+            return
+        if self._ctx_integrate is not None:
+            self._ctx_integrate(self.state, start, end)
+        if not rate_rewards:
+            return
+        measured_start = max(start, warmup)
+        if end <= measured_start:
+            return
+        dt = end - measured_start
+        state = self.state
+        for rv in rate_rewards:
+            rate = rv.rate(state)  # type: ignore[misc]
+            if rate:
+                accumulators[rv.name] += rate * dt
+
+    def _fire(
+        self,
+        activity: Activity,
+        impulse_map: Dict[str, List[RewardVariable]],
+        accumulators: Dict[str, float],
+        warmup: float,
+    ) -> None:
+        state = self.state
+        for arc in activity.input_arcs:
+            arc.place.remove(arc.weight)
+        for gate in activity.input_gates:
+            gate.function(state)
+        case_index = activity.resolve_case(state, self._case_rng)
+        case = activity.cases[case_index]
+        for arc in case.output_arcs:
+            arc.place.add(arc.weight)
+        for gate in case.output_gates:
+            gate.function(state)
+        if activity.on_fire is not None:
+            activity.on_fire(state, case_index)
+        self._firings[activity.name] = self._firings.get(activity.name, 0) + 1
+        if state.time >= warmup:
+            for rv in impulse_map.get(activity.name, ()):
+                accumulators[rv.name] += rv.impulses[activity.name](state, case_index)
+        self.tracer.record(state.time, activity.name, case_index)
+
+    def _stabilize(
+        self,
+        impulse_map: Dict[str, List[RewardVariable]],
+        accumulators: Dict[str, float],
+        warmup: float,
+    ) -> int:
+        """Fire instantaneous activities until none is enabled."""
+        state = self.state
+        fired = 0
+        while True:
+            for activity in self._instantaneous:
+                if activity.enabled(state):
+                    self._fire(activity, impulse_map, accumulators, warmup)
+                    self._refresh_schedules()
+                    fired += 1
+                    if fired > MAX_INSTANTANEOUS_CHAIN:
+                        raise SimulationError(
+                            f"instantaneous livelock: {fired} firings without "
+                            f"stabilising (last: {activity.name!r})"
+                        )
+                    break
+            else:
+                return fired
+
+    def _refresh_schedules(self) -> None:
+        """Reconcile timed-activity clocks with the current marking."""
+        state = self.state
+        now = state.time
+        for activity in self._timed:
+            schedule = self._schedules[activity.name]
+            enabled = activity.enabled(state)
+            if not enabled:
+                if schedule.fire_time is not None:
+                    schedule.fire_time = None
+                    schedule.generation += 1
+                continue
+            if schedule.fire_time is not None:
+                watched = self._watched_places[activity.name]
+                if watched:
+                    versions = tuple(place.version for place in watched)
+                    if versions != schedule.watched_versions:
+                        schedule.fire_time = None
+                        schedule.generation += 1
+                    else:
+                        continue
+                else:
+                    continue
+            delay = activity.distribution.sample(self._rngs[activity.name], state)
+            if delay < 0:
+                raise SimulationError(
+                    f"activity {activity.name!r} sampled negative delay {delay}"
+                )
+            schedule.fire_time = now + delay
+            schedule.watched_versions = tuple(
+                place.version for place in self._watched_places[activity.name]
+            )
+            heapq.heappush(
+                self._heap,
+                (schedule.fire_time, self._next_seq(), schedule.generation, activity),
+            )

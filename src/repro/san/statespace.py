@@ -1,0 +1,276 @@
+"""Explicit state-space generation and CTMC solution for small SANs.
+
+For models whose timed activities are all exponential (and whose gates
+touch only discrete places), the SAN is an exact continuous-time Markov
+chain over the reachable markings. This module generates that chain and
+solves for its steady-state distribution with dense linear algebra —
+useful to validate the discrete-event simulator against exact numbers
+on small models (the repository's tests do exactly that, and the
+correlated-failure birth–death chain of the paper's Figure 3 is solved
+this way too).
+
+Restrictions (checked, with clear errors):
+
+* every timed activity's distribution is :class:`Exponential`
+  (marking-dependent rates are fine — they are evaluated per marking);
+* instantaneous activities and multi-case activities are supported,
+  but case probabilities must not depend on continuous context;
+* gate functions must mutate only discrete places (no ``ctx``, no
+  clock reads) — violations surface as nondeterministic exploration
+  and are the caller's responsibility, as with any CTMC tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .activities import TimedActivity
+from .distributions import Exponential
+from .errors import StateSpaceError
+from .model import SANModel
+from .simulator import SimulationState
+
+__all__ = ["StateSpace", "StateSpaceGenerator", "SteadyStateSolution"]
+
+Marking = Tuple[int, ...]
+
+#: Default cap on explored markings, against accidental explosions.
+DEFAULT_MAX_STATES = 200_000
+_MAX_VANISHING_CHAIN = 10_000
+
+
+@dataclass(frozen=True)
+class SteadyStateSolution:
+    """Steady-state distribution over tangible markings."""
+
+    markings: Tuple[Marking, ...]
+    probabilities: np.ndarray
+    place_names: Tuple[str, ...]
+
+    def probability_of(self, predicate: Callable[[Dict[str, int]], bool]) -> float:
+        """Total probability of markings satisfying ``predicate``.
+
+        The predicate receives a ``{place: tokens}`` dictionary.
+        """
+        total = 0.0
+        for marking, probability in zip(self.markings, self.probabilities):
+            as_dict = dict(zip(self.place_names, marking))
+            if predicate(as_dict):
+                total += float(probability)
+        return total
+
+    def expected_reward(self, rate: Callable[[Dict[str, int]], float]) -> float:
+        """Expected steady-state value of a rate function of marking."""
+        total = 0.0
+        for marking, probability in zip(self.markings, self.probabilities):
+            as_dict = dict(zip(self.place_names, marking))
+            total += float(probability) * float(rate(as_dict))
+        return total
+
+
+@dataclass
+class StateSpace:
+    """The generated chain: tangible markings and transition rates."""
+
+    markings: List[Marking]
+    index: Dict[Marking, int]
+    transitions: Dict[int, Dict[int, float]]
+    place_names: Tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of tangible markings."""
+        return len(self.markings)
+
+    def generator_matrix(self) -> np.ndarray:
+        """Dense infinitesimal generator ``Q`` (rows sum to zero)."""
+        n = self.size
+        q = np.zeros((n, n), dtype=float)
+        for source, targets in self.transitions.items():
+            for target, rate in targets.items():
+                if target != source:
+                    q[source, target] += rate
+        np.fill_diagonal(q, 0.0)
+        np.fill_diagonal(q, -q.sum(axis=1))
+        return q
+
+    def steady_state(self) -> SteadyStateSolution:
+        """Solve ``pi Q = 0`` with ``sum(pi) = 1``.
+
+        Requires an irreducible chain (or at least a unique stationary
+        distribution); a singular system raises
+        :class:`StateSpaceError`.
+        """
+        q = self.generator_matrix()
+        n = self.size
+        if n == 0:
+            raise StateSpaceError("empty state space")
+        if n == 1:
+            return SteadyStateSolution(
+                tuple(self.markings), np.array([1.0]), self.place_names
+            )
+        # Replace one balance equation with the normalisation constraint.
+        a = q.T.copy()
+        a[-1, :] = 1.0
+        b = np.zeros(n)
+        b[-1] = 1.0
+        try:
+            pi = np.linalg.solve(a, b)
+        except np.linalg.LinAlgError as exc:
+            raise StateSpaceError(f"singular generator matrix: {exc}") from exc
+        if np.any(pi < -1e-9):
+            raise StateSpaceError(
+                "negative steady-state probabilities; chain may be reducible"
+            )
+        pi = np.clip(pi, 0.0, None)
+        pi = pi / pi.sum()
+        return SteadyStateSolution(tuple(self.markings), pi, self.place_names)
+
+
+class StateSpaceGenerator:
+    """Breadth-first reachability exploration of a SAN's markings."""
+
+    def __init__(self, model: SANModel, max_states: int = DEFAULT_MAX_STATES) -> None:
+        self.model = model
+        self.max_states = max_states
+        self._state = SimulationState(model, ctx=None)
+        for activity in model.timed_activities:
+            if not isinstance(activity.distribution, Exponential):
+                raise StateSpaceError(
+                    f"activity {activity.name!r}: state-space generation "
+                    f"requires exponential distributions, got "
+                    f"{type(activity.distribution).__name__}"
+                )
+
+    # ------------------------------------------------------------------
+    def generate(self) -> StateSpace:
+        """Explore all tangible markings reachable from the initial one."""
+        model = self.model
+        model.reset()
+        initial = self._stabilised_markings(model.marking_vector())
+        place_names = tuple(place.name for place in model.places)
+
+        index: Dict[Marking, int] = {}
+        markings: List[Marking] = []
+        transitions: Dict[int, Dict[int, float]] = {}
+        frontier: List[Marking] = []
+
+        def intern(marking: Marking) -> int:
+            existing = index.get(marking)
+            if existing is not None:
+                return existing
+            if len(markings) >= self.max_states:
+                raise StateSpaceError(
+                    f"state space exceeds max_states={self.max_states}"
+                )
+            index[marking] = len(markings)
+            markings.append(marking)
+            frontier.append(marking)
+            return index[marking]
+
+        for marking, _probability in initial:
+            intern(marking)
+
+        while frontier:
+            marking = frontier.pop()
+            source = index[marking]
+            transitions.setdefault(source, {})
+            for activity, rate in self._enabled_with_rates(marking):
+                for branch_probability, successor in self._fire_branches(
+                    marking, activity
+                ):
+                    for stable, chain_probability in self._vanish(successor):
+                        target = intern(stable)
+                        effective = rate * branch_probability * chain_probability
+                        if effective > 0:
+                            row = transitions[source]
+                            row[target] = row.get(target, 0.0) + effective
+        model.reset()
+        return StateSpace(markings, index, transitions, place_names)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _set(self, marking: Marking) -> None:
+        self.model.set_marking_vector(marking)
+
+    def _enabled_with_rates(self, marking: Marking):
+        """Timed activities enabled in ``marking`` with current rates."""
+        self._set(marking)
+        state = self._state
+        result = []
+        for activity in self.model.timed_activities:
+            if activity.enabled(state):
+                distribution = activity.distribution
+                assert isinstance(distribution, Exponential)
+                result.append((activity, distribution.rate(state)))
+        return result
+
+    def _case_probabilities(self, activity: TimedActivity) -> List[float]:
+        if len(activity.cases) == 1:
+            return [1.0]
+        probabilities = activity.case_probabilities
+        if callable(probabilities):
+            probabilities = probabilities(self._state)
+        return [float(p) for p in probabilities]  # type: ignore[union-attr]
+
+    def _fire_branches(self, marking: Marking, activity: TimedActivity):
+        """Yield (probability, raw successor marking) per activity case."""
+        self._set(marking)
+        probabilities = self._case_probabilities(activity)
+        branches = []
+        for case_index, probability in enumerate(probabilities):
+            if probability <= 0:
+                continue
+            self._set(marking)
+            state = self._state
+            for arc in activity.input_arcs:
+                arc.place.remove(arc.weight)
+            for gate in activity.input_gates:
+                gate.function(state)
+            case = activity.cases[case_index]
+            for arc in case.output_arcs:
+                arc.place.add(arc.weight)
+            for gate in case.output_gates:
+                gate.function(state)
+            branches.append((probability, self.model.marking_vector()))
+        return branches
+
+    def _vanish(self, marking: Marking) -> List[Tuple[Marking, float]]:
+        """Resolve instantaneous firings to tangible markings.
+
+        Returns a distribution over tangible markings (branching on the
+        case probabilities of instantaneous activities).
+        """
+        pending: List[Tuple[Marking, float]] = [(marking, 1.0)]
+        tangible: Dict[Marking, float] = {}
+        steps = 0
+        while pending:
+            current, probability = pending.pop()
+            steps += 1
+            if steps > _MAX_VANISHING_CHAIN:
+                raise StateSpaceError("instantaneous livelock during generation")
+            self._set(current)
+            state = self._state
+            fired = False
+            for activity in self.model.instantaneous_activities:
+                if activity.enabled(state):
+                    for case_probability, successor in self._fire_branches(
+                        current, activity
+                    ):
+                        pending.append((successor, probability * case_probability))
+                    fired = True
+                    break
+            if not fired:
+                tangible[current] = tangible.get(current, 0.0) + probability
+        return list(tangible.items())
+
+    def _stabilised_markings(self, marking: Marking) -> List[Tuple[Marking, float]]:
+        """The initial tangible marking(s) after stabilisation."""
+        resolved = self._vanish(marking)
+        if not resolved:
+            raise StateSpaceError("initial marking has no tangible resolution")
+        return resolved

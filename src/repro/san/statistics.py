@@ -1,0 +1,219 @@
+"""Output analysis: confidence intervals, replications, batch means.
+
+The paper simulates to steady state with a 95% confidence level. This
+module provides the matching machinery:
+
+* :class:`RunningStatistics` — numerically stable (Welford) streaming
+  mean/variance;
+* :class:`ConfidenceInterval` — Student-t interval over replications;
+* :func:`replicate` — run a model factory across independent
+  replications and aggregate each reward variable;
+* :func:`batch_means` — single-long-run batch-means interval, the
+  standard alternative when replications are expensive.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from scipy import stats as _scipy_stats
+
+__all__ = [
+    "RunningStatistics",
+    "ConfidenceInterval",
+    "confidence_interval",
+    "batch_means",
+    "replicate",
+]
+
+
+class RunningStatistics:
+    """Streaming mean and variance via Welford's algorithm."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._minimum = math.inf
+        self._maximum = -math.inf
+
+    def update(self, value: float) -> None:
+        """Fold one observation into the statistics."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._minimum = min(self._minimum, value)
+        self._maximum = max(self._maximum, value)
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Fold many observations."""
+        for value in values:
+            self.update(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations so far."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0 when empty)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0 with fewer than 2 samples)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation (inf when empty)."""
+        return self._minimum
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation (-inf when empty)."""
+        return self._maximum
+
+    def __repr__(self) -> str:
+        return (
+            f"RunningStatistics(count={self._count}, mean={self.mean:.6g}, "
+            f"stddev={self.stddev:.6g})"
+        )
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean estimate with its confidence half-width.
+
+    Attributes
+    ----------
+    mean:
+        Point estimate.
+    half_width:
+        Half-width of the interval at the stated confidence.
+    confidence:
+        The confidence level, e.g. ``0.95``.
+    samples:
+        Number of observations behind the estimate.
+    """
+
+    mean: float
+    half_width: float
+    confidence: float
+    samples: int
+
+    @property
+    def low(self) -> float:
+        """Lower bound of the interval."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper bound of the interval."""
+        return self.mean + self.half_width
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half-width relative to the mean (inf for a zero mean)."""
+        if self.mean == 0:
+            return math.inf if self.half_width else 0.0
+        return abs(self.half_width / self.mean)
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.6g} ± {self.half_width:.3g} "
+            f"({self.confidence:.0%}, n={self.samples})"
+        )
+
+
+def confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Student-t confidence interval over independent observations.
+
+    With fewer than two observations, the half-width is reported as 0
+    (callers should treat such intervals as unvalidated).
+    """
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    n = len(values)
+    if n == 0:
+        raise ValueError("confidence_interval needs at least one value")
+    statistics = RunningStatistics()
+    statistics.extend(values)
+    if n == 1:
+        return ConfidenceInterval(statistics.mean, 0.0, confidence, 1)
+    t_critical = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    half_width = t_critical * statistics.stddev / math.sqrt(n)
+    return ConfidenceInterval(statistics.mean, half_width, confidence, n)
+
+
+def batch_means(
+    series: Sequence[float],
+    batches: int = 20,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Batch-means confidence interval for a (possibly autocorrelated)
+    stationary series from a single long run.
+
+    The series is split into ``batches`` equal contiguous batches; the
+    batch averages are treated as approximately independent.
+    """
+    if batches < 2:
+        raise ValueError(f"need at least 2 batches, got {batches}")
+    if len(series) < batches:
+        raise ValueError(
+            f"series of length {len(series)} cannot form {batches} batches"
+        )
+    batch_size = len(series) // batches
+    averages: List[float] = []
+    for index in range(batches):
+        chunk = series[index * batch_size : (index + 1) * batch_size]
+        averages.append(sum(chunk) / len(chunk))
+    return confidence_interval(averages, confidence)
+
+
+def replicate(
+    run_once: Callable[[int], Dict[str, float]],
+    replications: int,
+    confidence: float = 0.95,
+) -> Dict[str, ConfidenceInterval]:
+    """Aggregate a per-replication measure dictionary into intervals.
+
+    Parameters
+    ----------
+    run_once:
+        ``replication_index -> {measure: value}``. The callable is
+        responsible for seeding independently per index (use
+        :meth:`repro.san.rng.StreamRegistry.spawn`).
+    replications:
+        Number of independent runs (>= 1).
+    confidence:
+        Confidence level for the intervals.
+    """
+    if replications < 1:
+        raise ValueError(f"replications must be >= 1, got {replications}")
+    samples: Dict[str, List[float]] = {}
+    for index in range(replications):
+        measures = run_once(index)
+        for name, value in measures.items():
+            samples.setdefault(name, []).append(float(value))
+    return {
+        name: confidence_interval(values, confidence)
+        for name, values in samples.items()
+    }

@@ -1,0 +1,6 @@
+"""The BSP application workload model and sweep generators."""
+
+from .bsp import BSPWorkload
+from .generator import apply_workload, random_workloads, workload_grid
+
+__all__ = ["BSPWorkload", "workload_grid", "random_workloads", "apply_workload"]

@@ -1,0 +1,110 @@
+"""The BSP application model (paper Section 3.3).
+
+Parallel scientific applications written in the Bulk Synchronous
+Parallel style alternate compute supersteps with communication/I-O,
+and the tasks behave as one cohesive unit. For checkpointing, the
+model reduces to a phase cycle (compute fraction of an I/O–compute
+period) plus the *safe point* structure: checkpoints may only be taken
+where the application instrumented a checkpoint primitive (e.g. at a
+global barrier), and a task inside an I/O write cannot quiesce until
+the write finishes.
+
+:class:`BSPWorkload` captures that reduced description and provides
+the derived quantities the simulators need, plus a safe-point timeline
+generator used by tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["BSPWorkload"]
+
+
+@dataclass(frozen=True)
+class BSPWorkload:
+    """A BSP compute/I-O cycle.
+
+    Attributes
+    ----------
+    period:
+        Length of one I/O–compute cycle (the paper uses 3 minutes).
+    compute_fraction:
+        Fraction of the period spent computing (0.88 – 1.0).
+    io_data_per_node:
+        Bytes written per node per I/O phase.
+    """
+
+    period: float = 180.0
+    compute_fraction: float = 0.94
+    io_data_per_node: float = 10e6
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"period must be > 0, got {self.period}")
+        if not 0.0 <= self.compute_fraction <= 1.0:
+            raise ValueError(
+                f"compute_fraction must be in [0, 1], got {self.compute_fraction}"
+            )
+        if self.io_data_per_node < 0:
+            raise ValueError(
+                f"io_data_per_node must be >= 0, got {self.io_data_per_node}"
+            )
+
+    @property
+    def compute_phase(self) -> float:
+        """Duration of the compute phase per cycle."""
+        return self.period * self.compute_fraction
+
+    @property
+    def io_phase(self) -> float:
+        """Duration of the I/O phase per cycle."""
+        return self.period - self.compute_phase
+
+    @property
+    def io_bandwidth_demand_per_node(self) -> float:
+        """Average bytes/second per node the application pushes to the
+        I/O subsystem."""
+        return self.io_data_per_node / self.period if self.period else 0.0
+
+    def safe_points(self, horizon: float) -> List[float]:
+        """Times in ``[0, horizon)`` at which the application can
+        quiesce immediately: the boundaries of its compute phases
+        (the whole compute phase is quiescable; the returned points are
+        the phase starts — cycle starts — where barriers sit)."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        points: List[float] = []
+        t = 0.0
+        while t < horizon:
+            points.append(t)
+            t += self.period
+        return points
+
+    def quiesce_wait(self, offset_in_cycle: float) -> float:
+        """How long a quiesce request issued at ``offset_in_cycle``
+        (seconds into the cycle) must wait for the application to
+        reach a safe point: zero during the compute phase,
+        remainder-of-I/O during the I/O phase."""
+        if offset_in_cycle < 0:
+            raise ValueError(f"offset must be >= 0, got {offset_in_cycle}")
+        position = offset_in_cycle % self.period if self.period else 0.0
+        if position < self.compute_phase:
+            return 0.0
+        return self.period - position
+
+    def phases(self, horizon: float) -> Iterator[tuple]:
+        """Yield ``(start, end, kind)`` phases covering ``[0, horizon)``
+        with ``kind`` in {"compute", "io"}."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        t = 0.0
+        while t < horizon:
+            compute_end = min(t + self.compute_phase, horizon)
+            if compute_end > t:
+                yield (t, compute_end, "compute")
+            io_end = min(t + self.period, horizon)
+            if io_end > compute_end and self.io_phase > 0:
+                yield (compute_end, io_end, "io")
+            t += self.period

@@ -1,0 +1,67 @@
+"""Workload configuration generators for parameter sweeps.
+
+The paper's I/O-characterisation sources ([14], [15]) report ranges,
+not single points; these helpers generate workload grids across those
+ranges and convert workloads into model parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.parameters import ModelParameters
+from .bsp import BSPWorkload
+
+__all__ = ["workload_grid", "random_workloads", "apply_workload"]
+
+
+def workload_grid(
+    periods: Sequence[float] = (120.0, 180.0, 300.0),
+    compute_fractions: Sequence[float] = (0.88, 0.94, 1.0),
+    io_data_per_node: float = 10e6,
+) -> List[BSPWorkload]:
+    """The Cartesian grid of workloads over the paper's ranges."""
+    grid: List[BSPWorkload] = []
+    for period in periods:
+        for fraction in compute_fractions:
+            grid.append(
+                BSPWorkload(
+                    period=period,
+                    compute_fraction=fraction,
+                    io_data_per_node=io_data_per_node,
+                )
+            )
+    return grid
+
+
+def random_workloads(
+    count: int,
+    seed: int = 0,
+    period_range: tuple = (60.0, 600.0),
+    fraction_range: tuple = (0.88, 1.0),
+    io_data_range: tuple = (1e6, 50e6),
+) -> Iterator[BSPWorkload]:
+    """Random workloads for robustness studies.
+
+    Draws uniformly within each range; deterministic for a given seed.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = np.random.default_rng(seed)
+    for _ in range(count):
+        yield BSPWorkload(
+            period=float(rng.uniform(*period_range)),
+            compute_fraction=float(rng.uniform(*fraction_range)),
+            io_data_per_node=float(rng.uniform(*io_data_range)),
+        )
+
+
+def apply_workload(params: ModelParameters, workload: BSPWorkload) -> ModelParameters:
+    """A copy of ``params`` configured to run ``workload``."""
+    return params.with_overrides(
+        app_io_cycle_period=workload.period,
+        compute_fraction=workload.compute_fraction,
+        app_io_data_per_node=workload.io_data_per_node,
+    )

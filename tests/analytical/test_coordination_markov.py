@@ -1,0 +1,175 @@
+"""Tests for the coordination order statistics and the Section 6
+correlated-failure Markov chain."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytical import coordination, markov
+from repro.core import MINUTE, YEAR
+from repro.san import harmonic_number
+
+
+class TestCoordinationTime:
+    def test_single_node(self):
+        assert coordination.expected_coordination_time(1, 10.0) == 10.0
+
+    def test_harmonic_growth(self):
+        assert coordination.expected_coordination_time(100, 10.0) == pytest.approx(
+            10.0 * harmonic_number(100)
+        )
+
+    def test_logarithmic_scaling(self):
+        # Doubling n adds ~MTTQ*ln(2).
+        small = coordination.expected_coordination_time(2**16, 10.0)
+        large = coordination.expected_coordination_time(2**17, 10.0)
+        assert large - small == pytest.approx(10.0 * math.log(2), rel=0.01)
+
+    def test_cdf_basics(self):
+        assert coordination.coordination_cdf(0.0, 10, 10.0) == 0.0
+        assert coordination.coordination_cdf(1e6, 10, 10.0) == pytest.approx(1.0)
+
+    def test_cdf_matches_formula(self):
+        y, n, mttq = 25.0, 64, 10.0
+        expected = (1 - math.exp(-y / mttq)) ** n
+        assert coordination.coordination_cdf(y, n, mttq) == pytest.approx(expected)
+
+    def test_cdf_stable_for_huge_n(self):
+        value = coordination.coordination_cdf(200.0, 2**30, 10.0)
+        assert 0.0 < value < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coordination.expected_coordination_time(0, 10.0)
+        with pytest.raises(ValueError):
+            coordination.coordination_cdf(1.0, 1, 0.0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    @settings(max_examples=60)
+    def test_cdf_monotone_in_y(self, n):
+        low = coordination.coordination_cdf(5.0, n, 10.0)
+        high = coordination.coordination_cdf(50.0, n, 10.0)
+        assert low <= high
+
+
+class TestAbortProbability:
+    def test_complement_of_cdf(self):
+        n, mttq, timeout = 8192, 10.0, 100.0
+        assert coordination.abort_probability(n, mttq, timeout) == pytest.approx(
+            1 - coordination.coordination_cdf(timeout, n, mttq)
+        )
+
+    def test_zero_timeout_always_aborts(self):
+        assert coordination.abort_probability(10, 10.0, 0.0) == 1.0
+
+    def test_paper_regime(self):
+        # At 8192 processors with MTTQ 10 s, a 100 s timeout aborts
+        # sometimes; a 200 s timeout essentially never.
+        often = coordination.abort_probability(8192, 10.0, 100.0)
+        rarely = coordination.abort_probability(8192, 10.0, 200.0)
+        assert 0.1 < often < 0.6
+        assert rarely < 1e-4
+
+    def test_required_timeout_inverts(self):
+        n, mttq = 65536, 10.0
+        timeout = coordination.required_timeout(n, mttq, abort_target=0.01)
+        assert coordination.abort_probability(n, mttq, timeout) == pytest.approx(
+            0.01, rel=1e-6
+        )
+
+    def test_required_timeout_validation(self):
+        with pytest.raises(ValueError):
+            coordination.required_timeout(10, 10.0, abort_target=0.0)
+
+
+class TestCoordinationOnlyUsefulFraction:
+    def test_matches_paper_figure5_anchor(self):
+        # n = 1, MTTQ 10 s, interval 30 min, dump 46.8 s: ~0.969.
+        value = coordination.coordination_only_useful_fraction(
+            1, 10.0, 30 * MINUTE, broadcast_overhead=0.002, dump_time=46.8
+        )
+        assert value == pytest.approx(0.969, abs=0.002)
+
+    def test_declines_with_n(self):
+        values = [
+            coordination.coordination_only_useful_fraction(n, 10.0, 1800.0)
+            for n in (1, 10**3, 10**6, 10**9)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_proportional_to_mttq(self):
+        # Overhead difference between MTTQ 10 and MTTQ 2 scales ~5x.
+        base = coordination.coordination_only_useful_fraction(10**6, 2.0, 1800.0)
+        worse = coordination.coordination_only_useful_fraction(10**6, 10.0, 1800.0)
+        overhead_base = 1800.0 / base - 1800.0
+        overhead_worse = 1800.0 / worse - 1800.0
+        assert overhead_worse / overhead_base == pytest.approx(5.0, rel=1e-6)
+
+
+class TestMarkovIdentities:
+    def test_paper_worked_example(self):
+        # n=1024, p=0.3, MTTR=10 min, MTTF=25 yr => r ~ 550 ("about 600").
+        r = markov.frate_factor(0.3, 1 / (10 * MINUTE), 1024, 1 / (25 * YEAR))
+        assert 450 < r < 650
+
+    def test_factor_probability_roundtrip(self):
+        mu, n, lam = 1 / 600.0, 2048, 1 / (3 * YEAR)
+        for p in (0.1, 0.3, 0.6):
+            r = markov.frate_factor(p, mu, n, lam)
+            assert markov.conditional_probability(r, mu, n, lam) == pytest.approx(p)
+
+    def test_correlated_rate(self):
+        assert markov.correlated_rate(0.5, 2.0) == pytest.approx(2.0)
+
+    def test_generic_system_rate_doubles(self):
+        lam = 1 / (3 * YEAR)
+        rate = markov.generic_system_rate(32768, lam, alpha=0.0025, r=400.0)
+        assert rate == pytest.approx(2 * 32768 * lam)
+
+    def test_expected_recoveries(self):
+        assert markov.expected_recoveries_per_burst(0.0) == 1.0
+        assert markov.expected_recoveries_per_burst(0.5) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            markov.frate_factor(1.0, 1.0, 10, 0.001)
+        with pytest.raises(ValueError):
+            markov.conditional_probability(-1.0, 1.0, 10, 0.001)
+        with pytest.raises(ValueError):
+            markov.generic_system_rate(10, 0.001, alpha=2.0, r=1.0)
+        with pytest.raises(ValueError):
+            markov.expected_recoveries_per_burst(1.0)
+
+
+class TestBirthDeathChain:
+    def test_steady_state_mostly_healthy(self):
+        solution = markov.solve_birth_death(
+            n=1024, lam=1 / (25 * YEAR), r=550.0, mu=1 / 600.0
+        )
+        p0 = solution.probability_of(lambda m: m["failures"] == 0)
+        assert p0 > 0.99
+
+    def test_conditional_probability_recovered_from_chain(self):
+        # In the chain, P(next event is a failure | in F_1) must equal
+        # lambda_c / (lambda_c + mu) = p.
+        n, lam, mu = 1024, 1 / (25 * YEAR), 1 / 600.0
+        p_target = 0.3
+        r = markov.frate_factor(p_target, mu, n, lam)
+        lambda_c = n * lam * (1 + r)
+        assert lambda_c / (lambda_c + mu) == pytest.approx(p_target)
+
+    def test_geometric_tail(self):
+        # pi_{i+1} / pi_i = lambda_c / (lambda_c + mu) = p for i >= 1.
+        n, lam, mu = 1024, 1 / (25 * YEAR), 1 / 600.0
+        r = markov.frate_factor(0.3, mu, n, lam)
+        solution = markov.solve_birth_death(n, lam, r, mu, max_failures=10)
+        p1 = solution.probability_of(lambda m: m["failures"] == 1)
+        p2 = solution.probability_of(lambda m: m["failures"] == 2)
+        assert p2 / p1 == pytest.approx(0.3, rel=1e-3)
+
+    def test_truncation_validated(self):
+        with pytest.raises(ValueError):
+            markov.build_birth_death_model(10, 0.001, 100.0, 1.0, max_failures=0)

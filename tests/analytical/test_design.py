@@ -1,0 +1,92 @@
+"""Tests for the joint design-space optimizer."""
+
+import pytest
+
+from repro.analytical.design import DesignPoint, DesignSpec, best_interval_for, explore
+from repro.core import MINUTE, YEAR
+
+
+class TestDesignSpec:
+    def test_defaults(self):
+        spec = DesignSpec()
+        assert spec.processors_per_node == 8
+        assert spec.min_interval == 15 * MINUTE
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"processors_per_node": 0},
+            {"mttf_node": 0.0},
+            {"min_interval": 0.0},
+            {"min_interval": 3600.0, "max_interval": 600.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            DesignSpec(**kwargs)
+
+
+class TestBestInterval:
+    def test_large_system_pins_to_lower_bound(self):
+        # The paper's regime: for 64K+ processors the practical
+        # optimum is the smallest allowed interval.
+        spec = DesignSpec(mttf_node=1 * YEAR)
+        point = best_interval_for(spec, 131072)
+        assert point.interval == pytest.approx(spec.min_interval, rel=1e-6)
+
+    def test_tiny_system_prefers_longer_intervals(self):
+        # A nearly failure-free machine should checkpoint rarely.
+        spec = DesignSpec(mttf_node=1000 * YEAR)
+        point = best_interval_for(spec, 64)
+        assert point.interval == pytest.approx(spec.max_interval, rel=1e-6)
+
+    def test_interval_within_bounds(self):
+        spec = DesignSpec()
+        for n in (1024, 8192, 65536, 262144):
+            point = best_interval_for(spec, n)
+            assert spec.min_interval <= point.interval <= spec.max_interval
+
+    def test_fraction_sane(self):
+        point = best_interval_for(DesignSpec(), 65536)
+        assert 0.0 < point.useful_work_fraction < 1.0
+
+    def test_rejects_undersized_machine(self):
+        with pytest.raises(ValueError):
+            best_interval_for(DesignSpec(processors_per_node=8), 4)
+
+
+class TestExplore:
+    def test_sorted_by_total_useful_work(self):
+        points = explore(DesignSpec())
+        values = [point.total_useful_work for point in points]
+        assert values == sorted(values, reverse=True)
+
+    def test_winner_matches_paper_optimum_at_fixed_interval(self):
+        # Section 7.1 fixes the interval at 30 minutes; there the
+        # winner over the power-of-two grid is 128K processors.
+        spec = DesignSpec(
+            mttf_node=1 * YEAR, min_interval=30 * MINUTE, max_interval=30 * MINUTE
+        )
+        winner = explore(spec, processor_grid=[2**k for k in range(13, 19)])[0]
+        assert winner.n_processors == 131072
+
+    def test_shorter_intervals_shift_optimum_up(self):
+        # Freeing the interval down to 15 minutes rescues larger
+        # machines (Figure 4e's reading in the other direction).
+        fixed = DesignSpec(
+            mttf_node=1 * YEAR, min_interval=30 * MINUTE, max_interval=30 * MINUTE
+        )
+        free = DesignSpec(mttf_node=1 * YEAR, min_interval=15 * MINUTE)
+        grid = [2**k for k in range(13, 19)]
+        assert (
+            explore(free, grid)[0].n_processors
+            >= explore(fixed, grid)[0].n_processors
+        )
+
+    def test_custom_grid_respected(self):
+        points = explore(DesignSpec(), processor_grid=[1024, 2048])
+        assert {point.n_processors for point in points} == {1024, 2048}
+
+    def test_design_point_total(self):
+        point = DesignPoint(1000, 900.0, 0.5)
+        assert point.total_useful_work == 500.0

@@ -1,0 +1,105 @@
+"""Tests for UWF parameter elasticities."""
+
+import math
+
+import pytest
+
+from repro.analytical.sensitivity import (
+    Elasticity,
+    OperatingPoint,
+    elasticities,
+    rank_parameters,
+)
+from repro.core import MINUTE, YEAR
+
+
+def base_point(n_nodes=8192):
+    return OperatingPoint(
+        interval=30 * MINUTE,
+        overhead=57.0,
+        mtbf=YEAR / n_nodes,
+        mttr=10 * MINUTE,
+    )
+
+
+class TestOperatingPoint:
+    def test_uwf_matches_renewal(self):
+        from repro.analytical.useful_work import useful_work_fraction
+
+        point = base_point()
+        assert point.uwf() == useful_work_fraction(
+            point.interval, point.overhead, point.mtbf, point.mttr
+        )
+
+    def test_scaling(self):
+        point = base_point()
+        scaled = point.with_scaled("mttr", 2.0)
+        assert scaled.mttr == pytest.approx(2 * point.mttr)
+        assert scaled.interval == point.interval
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError):
+            base_point().with_scaled("bogus", 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OperatingPoint(interval=0.0)
+        with pytest.raises(ValueError):
+            OperatingPoint(mttr=-1.0)
+
+
+class TestElasticities:
+    def test_signs(self):
+        values = elasticities(base_point())
+        # More reliable hardware helps; slower recovery, longer
+        # intervals (at this operating point) and overhead all hurt.
+        assert values["mtbf"].value > 0
+        assert values["mttr"].value < 0
+        assert values["interval"].value < 0
+        assert values["overhead"].value < 0
+
+    def test_mtbf_dominates_at_scale(self):
+        ranked = rank_parameters(base_point(n_nodes=32768))
+        assert ranked[0].parameter == "mtbf"
+        assert abs(ranked[0].value) > 1.0  # super-unit elasticity
+
+    def test_elasticity_grows_with_stress(self):
+        relaxed = elasticities(base_point(n_nodes=8192))["mtbf"].value
+        stressed = elasticities(base_point(n_nodes=32768))["mtbf"].value
+        assert stressed > relaxed
+
+    def test_overhead_least_important_with_background_writes(self):
+        # The paper's point: with a ~57 s blocking overhead the
+        # checkpoint cost is the weakest lever.
+        ranked = rank_parameters(base_point())
+        assert ranked[-1].parameter == "overhead"
+
+    def test_interval_elasticity_flips_sign_when_failure_free(self):
+        # With failures negligible, a longer interval *helps* (less
+        # checkpoint overhead per unit work).
+        point = OperatingPoint(
+            interval=30 * MINUTE, overhead=57.0, mtbf=1e10, mttr=600.0
+        )
+        assert elasticities(point)["interval"].value > 0
+
+    def test_matches_analytic_derivative_in_simple_regime(self):
+        # Failure-free: UWF = tau/(tau+delta); the overhead elasticity
+        # is -delta/(tau+delta) exactly.
+        tau, delta = 1800.0, 57.0
+        point = OperatingPoint(interval=tau, overhead=delta, mtbf=1e12, mttr=0.0)
+        measured = elasticities(point)["overhead"].value
+        assert measured == pytest.approx(-delta / (tau + delta), rel=1e-3)
+
+    def test_step_validated(self):
+        with pytest.raises(ValueError):
+            elasticities(base_point(), step=0.0)
+
+    def test_beneficial_direction(self):
+        assert Elasticity("x", 0.5).beneficial_direction == "increase"
+        assert Elasticity("x", -0.5).beneficial_direction == "decrease"
+        assert Elasticity("x", 0.0).beneficial_direction == "neutral"
+
+    def test_ranked_sorted_by_magnitude(self):
+        ranked = rank_parameters(base_point())
+        magnitudes = [abs(e.value) for e in ranked]
+        assert magnitudes == sorted(magnitudes, reverse=True)

@@ -1,0 +1,203 @@
+"""Tests for the cluster DES engine and network primitives."""
+
+import pytest
+
+from repro.cluster import Engine, Network, SharedLink
+
+
+class Receiver:
+    def __init__(self):
+        self.inbox = []
+
+    def receive(self, message):
+        self.inbox.append(message)
+
+
+class TestEngine:
+    def test_runs_in_time_order(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(5.0, seen.append, "late")
+        engine.schedule(1.0, seen.append, "early")
+        engine.run()
+        assert seen == ["early", "late"]
+        assert engine.now == 5.0
+
+    def test_fifo_for_simultaneous_events(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, seen.append, "first")
+        engine.schedule(1.0, seen.append, "second")
+        engine.run()
+        assert seen == ["first", "second"]
+
+    def test_cancel(self):
+        engine = Engine()
+        seen = []
+        handle = engine.schedule(1.0, seen.append, "never")
+        handle.cancel()
+        engine.run()
+        assert seen == []
+
+    def test_until_stops_clock(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(10.0, seen.append, "beyond")
+        engine.run(until=5.0)
+        assert seen == []
+        assert engine.now == 5.0
+        engine.run(until=20.0)
+        assert seen == ["beyond"]
+
+    def test_until_advances_even_with_empty_queue(self):
+        engine = Engine()
+        engine.run(until=7.0)
+        assert engine.now == 7.0
+
+    def test_schedule_at(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(3.0, seen.append, "x")
+        engine.run()
+        assert engine.now == 3.0
+
+    def test_schedule_in_past_rejected(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(0.5, lambda: None)
+        with pytest.raises(ValueError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_stop(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, lambda: (seen.append("a"), engine.stop()))
+        engine.schedule(2.0, seen.append, "b")
+        engine.run()
+        assert seen == ["a"]
+
+    def test_max_events(self):
+        engine = Engine()
+        seen = []
+        for i in range(5):
+            engine.schedule(float(i + 1), seen.append, i)
+        engine.run(max_events=2)
+        assert seen == [0, 1]
+
+    def test_event_count_skips_cancelled(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        handle.cancel()
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        assert engine.event_count == 1
+
+
+class TestNetwork:
+    def test_send_latency(self):
+        engine = Engine()
+        network = Network(engine, broadcast_latency=0.001, message_latency=0.002)
+        receiver = Receiver()
+        network.send(receiver, "hello")
+        engine.run()
+        assert receiver.inbox == ["hello"]
+        assert engine.now == pytest.approx(0.002)
+
+    def test_broadcast(self):
+        engine = Engine()
+        network = Network(engine, broadcast_latency=0.001, message_latency=0.002)
+        receivers = [Receiver() for _ in range(3)]
+        network.broadcast(receivers, "all")
+        engine.run()
+        assert all(r.inbox == ["all"] for r in receivers)
+        assert network.messages_sent == 3
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Network(Engine(), broadcast_latency=-1.0, message_latency=0.0)
+
+
+class TestSharedLink:
+    def test_single_transfer_time(self):
+        engine = Engine()
+        link = SharedLink(engine, bandwidth=100.0)
+        done = []
+        link.transfer(500.0, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(5.0)]
+
+    def test_processor_sharing_two_equal(self):
+        engine = Engine()
+        link = SharedLink(engine, bandwidth=100.0)
+        done = []
+        link.transfer(500.0, lambda: done.append(("a", engine.now)))
+        link.transfer(500.0, lambda: done.append(("b", engine.now)))
+        engine.run()
+        # Both share 100 B/s -> both finish at 10 s.
+        assert done[0][1] == pytest.approx(10.0)
+        assert done[1][1] == pytest.approx(10.0)
+
+    def test_processor_sharing_staggered(self):
+        engine = Engine()
+        link = SharedLink(engine, bandwidth=100.0)
+        done = {}
+        link.transfer(500.0, lambda: done.__setitem__("a", engine.now))
+        engine.schedule(2.0, lambda: link.transfer(
+            100.0, lambda: done.__setitem__("b", engine.now)))
+        engine.run()
+        # a alone for 2 s (200 B), then shares: b needs 100 B at 50 B/s
+        # -> b at t=4; a finishes remaining 200 B alone at 50->100 B/s.
+        assert done["b"] == pytest.approx(4.0)
+        assert done["a"] == pytest.approx(6.0)
+
+    def test_many_equal_transfers_aggregate_time(self):
+        # 64 transfers of 256 MB over 350 MB/s: all done at ~46.8 s —
+        # the paper's group dump latency (and the float-residue
+        # regression that once livelocked the simulator).
+        engine = Engine()
+        link = SharedLink(engine, bandwidth=350e6)
+        done = []
+        for _ in range(64):
+            link.transfer(256e6, lambda: done.append(engine.now))
+        engine.run()
+        assert len(done) == 64
+        assert max(done) == pytest.approx(64 * 256e6 / 350e6, rel=1e-6)
+
+    def test_cancel_releases_bandwidth(self):
+        engine = Engine()
+        link = SharedLink(engine, bandwidth=100.0)
+        done = []
+        keep = link.transfer(1000.0, lambda: done.append(engine.now))
+        drop = link.transfer(1000.0, lambda: done.append(-1.0))
+        engine.schedule(2.0, lambda: link.cancel(drop))
+        engine.run()
+        # Shared for 2 s (100 B done), then alone: 900 B at 100 B/s.
+        assert done == [pytest.approx(11.0)]
+
+    def test_cancel_all(self):
+        engine = Engine()
+        link = SharedLink(engine, bandwidth=100.0)
+        done = []
+        link.transfer(100.0, lambda: done.append(1))
+        link.transfer(100.0, lambda: done.append(2))
+        link.cancel_all()
+        engine.run()
+        assert done == []
+        assert link.active_transfers == 0
+
+    def test_zero_byte_transfer_completes_immediately(self):
+        engine = Engine()
+        link = SharedLink(engine, bandwidth=100.0)
+        done = []
+        link.transfer(0.0, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [pytest.approx(0.0)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedLink(Engine(), bandwidth=0.0)
+        link = SharedLink(Engine(), bandwidth=1.0)
+        with pytest.raises(ValueError):
+            link.transfer(-1.0, lambda: None)

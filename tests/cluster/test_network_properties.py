@@ -1,0 +1,66 @@
+"""Property-based tests for the processor-sharing link."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Engine, SharedLink
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=50.0),  # start offset
+            st.floats(min_value=1.0, max_value=1e6),  # bytes
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    st.floats(min_value=10.0, max_value=1e4),  # bandwidth
+)
+@settings(max_examples=120, deadline=None)
+def test_conservation_and_ordering(transfers, bandwidth):
+    """Work conservation: the last completion can be no earlier than
+    total bytes / bandwidth past the first start, and no transfer
+    finishes before its solo time."""
+    engine = Engine()
+    link = SharedLink(engine, bandwidth=bandwidth)
+    completions = {}
+
+    def start(index, nbytes):
+        link.transfer(nbytes, lambda: completions.__setitem__(index, engine.now))
+
+    for index, (offset, nbytes) in enumerate(transfers):
+        engine.schedule(offset, start, index, nbytes)
+    engine.run()
+
+    assert len(completions) == len(transfers)
+    total_bytes = sum(nbytes for _, nbytes in transfers)
+    first_start = min(offset for offset, _ in transfers)
+    last_completion = max(completions.values())
+    # The link never moves more than `bandwidth` bytes per unit time.
+    assert last_completion >= first_start + total_bytes / bandwidth - 1e-6
+    # No transfer beats its solo transfer time.
+    for index, (offset, nbytes) in enumerate(transfers):
+        assert completions[index] >= offset + nbytes / bandwidth - 1e-6
+
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.floats(min_value=1e3, max_value=1e9),
+)
+@settings(max_examples=60, deadline=None)
+def test_equal_simultaneous_transfers_finish_together(count, nbytes):
+    """k equal transfers started together finish together at the
+    aggregate time k * bytes / bandwidth."""
+    engine = Engine()
+    bandwidth = 350e6
+    link = SharedLink(engine, bandwidth=bandwidth)
+    done = []
+    for _ in range(count):
+        link.transfer(nbytes, lambda: done.append(engine.now))
+    engine.run()
+    assert len(done) == count
+    expected = count * nbytes / bandwidth
+    assert max(done) == pytest.approx(expected, rel=1e-6)
+    assert min(done) == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,158 @@
+"""Unit tests for the per-node state machines, driven directly."""
+
+import pytest
+
+from repro.cluster import ClusterSimulator, ComputeNodeState, Message, MessageType
+from repro.core import HOUR, YEAR, ModelParameters
+
+
+def make_cluster(n_nodes=64, **overrides):
+    defaults = dict(
+        n_processors=n_nodes * 8,
+        processors_per_node=8,
+        mttf_node=100_000 * YEAR,
+        mttq=10.0,
+    )
+    defaults.update(overrides)
+    return ClusterSimulator(ModelParameters(**defaults), seed=1)
+
+
+def drain(cluster, until=None):
+    cluster.engine.run(until=until)
+
+
+class TestComputeNodeStateMachine:
+    def test_quiesce_then_ready(self):
+        cluster = make_cluster()
+        node = cluster.compute_nodes[0]
+        node.receive(Message(MessageType.QUIESCE, -1, epoch=1))
+        assert node.state is ComputeNodeState.QUIESCING
+        drain(cluster, until=1000.0)
+        assert node.state is ComputeNodeState.READY
+
+    def test_quiesce_ignored_unless_executing(self):
+        cluster = make_cluster()
+        node = cluster.compute_nodes[0]
+        node.state = ComputeNodeState.DUMPING
+        node.receive(Message(MessageType.QUIESCE, -1, epoch=1))
+        assert node.state is ComputeNodeState.DUMPING
+
+    def test_checkpoint_requires_ready_and_epoch(self):
+        cluster = make_cluster()
+        node = cluster.compute_nodes[0]
+        node.receive(Message(MessageType.QUIESCE, -1, epoch=1))
+        drain(cluster, until=1000.0)
+        # Wrong epoch: dropped.
+        node.receive(Message(MessageType.CHECKPOINT, -1, epoch=2))
+        assert node.state is ComputeNodeState.READY
+        node.receive(Message(MessageType.CHECKPOINT, -1, epoch=1))
+        assert node.state is ComputeNodeState.DUMPING
+
+    def test_abort_returns_to_execution(self):
+        cluster = make_cluster()
+        node = cluster.compute_nodes[0]
+        node.receive(Message(MessageType.QUIESCE, -1, epoch=1))
+        node.receive(Message(MessageType.ABORT, -1, epoch=1))
+        assert node.state is ComputeNodeState.EXECUTING
+        # The pending quiesce timer must be dead: nothing happens later.
+        drain(cluster, until=1000.0)
+        assert node.state is ComputeNodeState.EXECUTING
+
+    def test_down_node_ignores_messages(self):
+        cluster = make_cluster()
+        node = cluster.compute_nodes[0]
+        node.fail()
+        node.receive(Message(MessageType.QUIESCE, -1, epoch=1))
+        assert node.state is ComputeNodeState.DOWN
+        node.restore()
+        assert node.state is ComputeNodeState.EXECUTING
+
+    def test_dump_completion_notifies_master_and_io(self):
+        cluster = make_cluster(n_nodes=1)
+        node = cluster.compute_nodes[0]
+        cluster.master.epoch = 1
+        cluster.master._phase = MessageType.CHECKPOINT
+        cluster.begin_checkpoint_round(1)
+        node.epoch = 1
+        node.state = ComputeNodeState.READY
+        node.receive(Message(MessageType.CHECKPOINT, -1, epoch=1))
+        # Partway through the dump (0.73 s for one 256 MB node) the
+        # node waits; after PROCEED it executes again.
+        drain(cluster, until=0.5)
+        assert node.state is ComputeNodeState.DUMPING
+        drain(cluster, until=100.0)
+        assert node.state is ComputeNodeState.EXECUTING
+        assert cluster.io_nodes[0].holds_buffered_checkpoint
+        assert cluster.filesystem.commits == 1
+
+
+class TestMasterStateMachine:
+    def test_full_round_without_failures(self):
+        cluster = make_cluster(n_nodes=8)
+        cluster.master.schedule_next_checkpoint()
+        drain(cluster, until=2 * HOUR)
+        assert cluster.master.rounds >= 1
+        assert cluster.master.aborts == 0
+        assert len(cluster.master.coordination_times) == cluster.master.rounds
+
+    def test_timeout_aborts_round(self):
+        cluster = make_cluster(n_nodes=64, timeout=5.0)  # MTTQ 10 s >> 5 s
+        cluster.master.schedule_next_checkpoint()
+        drain(cluster, until=2 * HOUR)
+        assert cluster.master.aborts == cluster.master.rounds
+        # All nodes resumed execution after the aborts.
+        assert all(
+            node.state is ComputeNodeState.EXECUTING
+            for node in cluster.compute_nodes
+        )
+
+    def test_stale_ready_ignored(self):
+        cluster = make_cluster(n_nodes=2)
+        cluster.master.epoch = 3
+        cluster.master._phase = MessageType.QUIESCE
+        cluster.master.receive(Message(MessageType.READY, 0, epoch=2))
+        assert cluster.master._ready == 0
+
+    def test_reset_disarms_everything(self):
+        cluster = make_cluster(n_nodes=8)
+        cluster.master.schedule_next_checkpoint()
+        cluster.master.reset()
+        drain(cluster, until=2 * HOUR)
+        # No interval timer survives a reset: no rounds ever start.
+        assert cluster.master.rounds == 0
+
+
+class TestIONodeStateMachine:
+    def test_buffer_requires_all_group_nodes(self):
+        cluster = make_cluster(n_nodes=64)  # one full group of 64
+        io_node = cluster.io_nodes[0]
+        for node_id in range(63):
+            io_node.buffer_node_checkpoint(node_id, epoch=1)
+        assert not io_node.holds_buffered_checkpoint
+        io_node.buffer_node_checkpoint(63, epoch=1)
+        assert io_node.holds_buffered_checkpoint
+
+    def test_new_epoch_resets_buffer_progress(self):
+        cluster = make_cluster(n_nodes=64)
+        io_node = cluster.io_nodes[0]
+        for node_id in range(64):
+            io_node.buffer_node_checkpoint(node_id, epoch=1)
+        io_node.buffer_node_checkpoint(0, epoch=2)
+        assert not io_node.holds_buffered_checkpoint
+
+    def test_failure_clears_buffer(self):
+        cluster = make_cluster(n_nodes=64)
+        io_node = cluster.io_nodes[0]
+        for node_id in range(64):
+            io_node.buffer_node_checkpoint(node_id, epoch=1)
+        io_node.fail()
+        assert not io_node.holds_buffered_checkpoint
+        io_node.restore()
+        assert not io_node.holds_buffered_checkpoint  # memory stays empty
+
+    def test_down_io_node_drops_buffers(self):
+        cluster = make_cluster(n_nodes=64)
+        io_node = cluster.io_nodes[0]
+        io_node.fail()
+        io_node.buffer_node_checkpoint(0, epoch=1)
+        assert io_node.buffered_epoch is None

@@ -1,0 +1,127 @@
+"""Tests for single-run batch-means estimation and run continuation."""
+
+import pytest
+
+from repro.core import (
+    HOUR,
+    YEAR,
+    ModelParameters,
+    SimulationPlan,
+    simulate,
+    simulate_batch_means,
+)
+from repro.san import (
+    Arc,
+    Case,
+    Deterministic,
+    Exponential,
+    RewardVariable,
+    SANModel,
+    Simulator,
+    TimedActivity,
+)
+from repro.san.errors import SimulationError
+
+
+class TestRunContinuation:
+    def make_clock(self):
+        model = SANModel("clock")
+        a = model.add_place("a", initial=1)
+        b = model.add_place("b")
+        model.add_activity(
+            TimedActivity("go", Deterministic(1.0), input_arcs=[Arc(a)],
+                          cases=[Case(output_arcs=[Arc(b)])])
+        )
+        model.add_activity(
+            TimedActivity("back", Deterministic(1.0), input_arcs=[Arc(b)],
+                          cases=[Case(output_arcs=[Arc(a)])])
+        )
+        return model
+
+    def test_continuation_preserves_trajectory(self):
+        reward = RewardVariable("in_a", rate=lambda s: float(s.tokens("a")))
+        # One run to t=10 vs two runs 0->6->10 must accumulate equally.
+        single = Simulator(self.make_clock()).run(until=10.0, rewards=[reward])
+        split = Simulator(self.make_clock())
+        first = split.run(until=6.0, rewards=[reward])
+        second = split.run(until=10.0, rewards=[reward])
+        assert first.rewards["in_a"].accumulated + second.rewards[
+            "in_a"
+        ].accumulated == pytest.approx(single.rewards["in_a"].accumulated)
+
+    def test_window_observation_time(self):
+        simulator = Simulator(self.make_clock())
+        reward = RewardVariable("in_a", rate=lambda s: float(s.tokens("a")))
+        simulator.run(until=6.0, rewards=[reward])
+        window = simulator.run(until=10.0, rewards=[reward])
+        assert window.rewards["in_a"].observation_time == pytest.approx(4.0)
+        assert window.time_average("in_a") == pytest.approx(0.5)
+
+    def test_deterministic_clock_not_reset_across_windows(self):
+        # A pending clock (event at t=7) must survive a window boundary
+        # at t=6.5 unchanged.
+        from repro.san import MemoryTracer
+
+        tracer = MemoryTracer()
+        simulator = Simulator(self.make_clock(), tracer=tracer)
+        simulator.run(until=6.5)
+        simulator.run(until=8.5)
+        times = [event.time for event in tracer]
+        assert times == pytest.approx([1, 2, 3, 4, 5, 6, 7, 8])
+
+    def test_rewind_rejected(self):
+        simulator = Simulator(self.make_clock())
+        simulator.run(until=5.0)
+        with pytest.raises(SimulationError):
+            simulator.run(until=5.0)
+        with pytest.raises(SimulationError):
+            simulator.run(until=3.0)
+
+
+class TestBatchMeans:
+    def test_agrees_with_replications(self):
+        params = ModelParameters(mttf_node=1 * YEAR)
+        batch = simulate_batch_means(
+            params, warmup=30 * HOUR, batch_length=80 * HOUR, batches=10, seed=5
+        )
+        replicated = simulate(
+            params,
+            SimulationPlan(warmup=30 * HOUR, observation=300 * HOUR, replications=3),
+            seed=5,
+        )
+        assert batch.useful_work_fraction.mean == pytest.approx(
+            replicated.useful_work_fraction.mean, abs=0.05
+        )
+
+    def test_sample_count(self):
+        result = simulate_batch_means(
+            ModelParameters(), warmup=10 * HOUR, batch_length=30 * HOUR,
+            batches=5, seed=6,
+        )
+        assert len(result.samples) == 5
+        assert result.useful_work_fraction.samples == 5
+        assert len(result.event_counts) == 5
+
+    def test_breakdown_present(self):
+        result = simulate_batch_means(
+            ModelParameters(), warmup=5 * HOUR, batch_length=20 * HOUR,
+            batches=3, seed=7,
+        )
+        assert "frac_execution" in result.breakdown
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_batch_means(ModelParameters(), batches=1)
+        with pytest.raises(ValueError):
+            simulate_batch_means(ModelParameters(), batch_length=0.0)
+
+    def test_reproducible(self):
+        a = simulate_batch_means(
+            ModelParameters(), warmup=5 * HOUR, batch_length=20 * HOUR,
+            batches=3, seed=8,
+        )
+        b = simulate_batch_means(
+            ModelParameters(), warmup=5 * HOUR, batch_length=20 * HOUR,
+            batches=3, seed=8,
+        )
+        assert a.samples == b.samples

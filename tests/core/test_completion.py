@@ -1,0 +1,81 @@
+"""Tests for the terminating (job-completion) analysis."""
+
+import pytest
+
+from repro.core import (
+    HOUR,
+    YEAR,
+    ModelParameters,
+    completion_study,
+    simulate_completion,
+)
+
+
+def failure_free():
+    return ModelParameters(mttf_node=1_000_000 * YEAR)
+
+
+class TestSimulateCompletion:
+    def test_failure_free_completion_near_ideal(self):
+        # 10 h of work with only checkpoint overhead (~3.2%).
+        result = simulate_completion(failure_free(), work_hours=10.0, seed=1)
+        assert result.completed
+        # Completion lands at the commit making the target durable, so
+        # it includes the last interval's dump + write-back.
+        assert 10.0 * HOUR < result.completion_time < 11.0 * HOUR
+        assert result.failures == 0
+
+    def test_failures_stretch_completion(self):
+        healthy = simulate_completion(failure_free(), 10.0, seed=2)
+        failing = simulate_completion(ModelParameters(), 10.0, seed=2)
+        assert failing.completion_time > healthy.completion_time
+        assert failing.failures > 0
+
+    def test_stretch_consistent_with_steady_state(self):
+        # Mean stretch ~ 1 / UWF for long jobs (UWF ~ 0.66 at the base
+        # configuration); single runs scatter widely, so average.
+        study = completion_study(ModelParameters(), 48.0, replications=6, seed=3)
+        assert study.mean_stretch == pytest.approx(1.0 / 0.66, rel=0.12)
+
+    def test_completion_is_durable(self):
+        # The run must not stop at raw accrual: the recovery point
+        # (buffered/durable checkpoint) must cover the target.
+        result = simulate_completion(ModelParameters(), 5.0, seed=4)
+        assert result.completed
+
+    def test_cap_reported_as_incomplete(self):
+        result = simulate_completion(
+            ModelParameters(), 100.0, seed=5, max_time=1.0 * HOUR
+        )
+        assert not result.completed
+        assert result.completion_time == pytest.approx(1.0 * HOUR)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_completion(ModelParameters(), work_hours=0.0)
+
+
+class TestCompletionStudy:
+    def test_study_aggregates(self):
+        study = completion_study(ModelParameters(), 10.0, replications=4, seed=6)
+        assert len(study.times) == 4
+        assert study.incomplete == 0
+        assert study.mean_time.samples == 4
+        assert study.percentile(90) >= study.percentile(10)
+        assert study.mean_stretch > 1.0
+
+    def test_replications_differ(self):
+        study = completion_study(ModelParameters(), 10.0, replications=3, seed=7)
+        assert len(set(study.times)) == 3
+
+    def test_incomplete_counted(self):
+        study = completion_study(
+            ModelParameters(), 100.0, replications=2, seed=8, max_time=1.0 * HOUR
+        )
+        assert study.incomplete == 2
+        with pytest.raises(ValueError):
+            study.percentile(50)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            completion_study(ModelParameters(), 1.0, replications=0)

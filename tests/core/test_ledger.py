@@ -1,0 +1,202 @@
+"""Tests for the useful-work ledger."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import WorkLedger
+
+
+class FakeState:
+    """Minimal stand-in for SimulationState."""
+
+    def __init__(self, executing=True):
+        self.executing = executing
+
+    def tokens(self, name):
+        assert name == "execution"
+        return 1 if self.executing else 0
+
+
+def accrue(ledger, amount):
+    ledger.integrate(FakeState(executing=True), 0.0, amount)
+
+
+class TestAccrual:
+    def test_accrues_while_executing(self):
+        ledger = WorkLedger()
+        accrue(ledger, 10.0)
+        assert ledger.total_work == pytest.approx(10.0)
+
+    def test_no_accrual_when_stopped(self):
+        ledger = WorkLedger()
+        ledger.integrate(FakeState(executing=False), 0.0, 10.0)
+        assert ledger.total_work == 0.0
+
+    def test_zero_interval(self):
+        ledger = WorkLedger()
+        ledger.integrate(FakeState(), 5.0, 5.0)
+        assert ledger.total_work == 0.0
+
+
+class TestCheckpointLifecycle:
+    def test_buffer_then_commit(self):
+        ledger = WorkLedger()
+        accrue(ledger, 100.0)
+        ledger.checkpoint_buffered()
+        assert ledger.buffered_valid
+        assert ledger.recovery_point == 100.0
+        ledger.checkpoint_committed()
+        assert ledger.durable_work == 100.0
+        assert ledger.counters.checkpoints_committed == 1
+
+    def test_commit_without_capture_is_wiring_bug(self):
+        ledger = WorkLedger()
+        with pytest.raises(RuntimeError):
+            ledger.checkpoint_committed()
+
+    def test_buffered_survives_commit(self):
+        ledger = WorkLedger()
+        accrue(ledger, 50.0)
+        ledger.checkpoint_buffered()
+        ledger.checkpoint_committed()
+        assert ledger.buffered_valid
+
+    def test_io_failure_invalidates_buffer(self):
+        ledger = WorkLedger()
+        accrue(ledger, 50.0)
+        ledger.checkpoint_buffered()
+        ledger.invalidate_buffer()
+        assert not ledger.buffered_valid
+        assert ledger.recovery_point == 0.0
+        assert ledger.counters.checkpoints_aborted_io == 1
+
+    def test_invalidate_after_commit_keeps_durable(self):
+        ledger = WorkLedger()
+        accrue(ledger, 50.0)
+        ledger.checkpoint_buffered()
+        ledger.checkpoint_committed()
+        ledger.invalidate_buffer()
+        assert ledger.recovery_point == 50.0
+
+    def test_queued_fs_writes_commit_in_order(self):
+        ledger = WorkLedger()
+        accrue(ledger, 10.0)
+        ledger.checkpoint_buffered()
+        accrue(ledger, 10.0)
+        ledger.checkpoint_buffered()
+        ledger.checkpoint_committed()
+        assert ledger.durable_work == 10.0
+        ledger.checkpoint_committed()
+        assert ledger.durable_work == 20.0
+
+    def test_buffer_restored_after_stage1(self):
+        ledger = WorkLedger()
+        accrue(ledger, 30.0)
+        ledger.checkpoint_buffered()
+        ledger.checkpoint_committed()
+        ledger.invalidate_buffer()
+        ledger.buffer_restored()
+        assert ledger.buffered_valid
+        assert ledger.recovery_point == 30.0
+
+    def test_timeout_abort_counts(self):
+        ledger = WorkLedger()
+        ledger.checkpoint_aborted_timeout()
+        assert ledger.counters.checkpoints_aborted_timeout == 1
+
+
+class TestFailures:
+    def test_failure_loses_unsaved_work(self):
+        ledger = WorkLedger()
+        accrue(ledger, 100.0)
+        ledger.checkpoint_buffered()
+        ledger.checkpoint_committed()
+        accrue(ledger, 40.0)
+        lost = ledger.compute_failure()
+        assert lost == pytest.approx(40.0)
+        assert ledger.last_lost == pytest.approx(40.0)
+        assert ledger.total_work == pytest.approx(100.0)
+
+    def test_failure_with_no_checkpoint_loses_everything(self):
+        ledger = WorkLedger()
+        accrue(ledger, 25.0)
+        assert ledger.compute_failure() == pytest.approx(25.0)
+        assert ledger.total_work == 0.0
+
+    def test_failure_recovers_from_buffered_copy(self):
+        ledger = WorkLedger()
+        accrue(ledger, 60.0)
+        ledger.checkpoint_buffered()  # buffered, not yet durable
+        accrue(ledger, 15.0)
+        lost = ledger.compute_failure()
+        assert lost == pytest.approx(15.0)
+        assert ledger.total_work == pytest.approx(60.0)
+
+    def test_app_data_loss_rolls_back(self):
+        ledger = WorkLedger()
+        accrue(ledger, 20.0)
+        lost = ledger.app_data_lost()
+        assert lost == pytest.approx(20.0)
+        assert ledger.counters.app_data_losses == 1
+
+    def test_io_failure_resets_last_lost(self):
+        ledger = WorkLedger()
+        accrue(ledger, 20.0)
+        ledger.compute_failure()
+        ledger.io_failure()
+        assert ledger.last_lost == 0.0
+        assert ledger.counters.io_failures == 1
+
+    def test_recovery_interrupted_loses_nothing(self):
+        ledger = WorkLedger()
+        accrue(ledger, 20.0)
+        ledger.compute_failure()
+        ledger.recovery_interrupted()
+        assert ledger.last_lost == 0.0
+        assert ledger.counters.recovery_interruptions == 1
+
+    def test_unsaved_work_tracks_recovery_point(self):
+        ledger = WorkLedger()
+        accrue(ledger, 30.0)
+        ledger.checkpoint_buffered()
+        accrue(ledger, 12.0)
+        assert ledger.unsaved_work == pytest.approx(12.0)
+
+    def test_reboot_counted(self):
+        ledger = WorkLedger()
+        ledger.invalidate_buffer(reboot=True)
+        assert ledger.counters.reboots == 1
+
+
+class TestInvariants:
+    @given(
+        st.lists(
+            st.sampled_from(["accrue", "buffer", "commit", "fail", "io_fail", "restore"]),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=200)
+    def test_recovery_point_never_exceeds_total(self, operations):
+        ledger = WorkLedger()
+        for operation in operations:
+            if operation == "accrue":
+                accrue(ledger, 1.0)
+            elif operation == "buffer":
+                ledger.checkpoint_buffered()
+            elif operation == "commit":
+                if ledger._pending_fs_writes:
+                    ledger.checkpoint_committed()
+            elif operation == "fail":
+                ledger.compute_failure()
+            elif operation == "io_fail":
+                ledger.io_failure()
+                ledger.invalidate_buffer()
+            elif operation == "restore":
+                ledger.buffer_restored()
+            # Core invariants: work never rolls below the recovery
+            # point; durable never exceeds total; losses non-negative.
+            assert ledger.recovery_point <= ledger.total_work + 1e-12
+            assert ledger.durable_work <= ledger.total_work + 1e-12
+            assert ledger.last_lost >= 0.0

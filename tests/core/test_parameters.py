@@ -1,0 +1,172 @@
+"""Tests for ModelParameters (the paper's Table 3)."""
+
+import pytest
+
+from repro.core import (
+    GB,
+    HOUR,
+    MB,
+    MINUTE,
+    YEAR,
+    CoordinationMode,
+    ModelParameters,
+)
+
+
+class TestDefaults:
+    """The defaults must be the paper's base-model values."""
+
+    def test_base_configuration(self):
+        params = ModelParameters()
+        assert params.n_processors == 65536
+        assert params.processors_per_node == 8
+        assert params.checkpoint_interval == 30 * MINUTE
+        assert params.mttf_node == 1 * YEAR
+        assert params.mttr == 10 * MINUTE
+        assert params.mttr_io == 1 * MINUTE
+        assert params.mttq == 10.0
+        assert params.timeout is None
+
+    def test_io_configuration(self):
+        params = ModelParameters()
+        assert params.compute_nodes_per_io_node == 64
+        assert params.bandwidth_compute_to_io == 350 * MB
+        assert params.bandwidth_io_to_fs == pytest.approx(125 * MB)
+        assert params.checkpoint_size_per_node == 256 * MB
+        assert params.app_io_data_per_node == 10 * MB
+
+
+class TestDerived:
+    def test_node_counts(self):
+        params = ModelParameters()
+        assert params.n_nodes == 8192
+        assert params.n_io_nodes == 128
+
+    def test_partial_io_group(self):
+        params = ModelParameters(n_processors=8, processors_per_node=8)
+        assert params.n_nodes == 1
+        assert params.n_io_nodes == 1
+        assert params.nodes_per_io_group == 1
+
+    def test_dump_time_matches_paper(self):
+        # 64 nodes x 256 MB over 350 MB/s = 46.8 s.
+        assert ModelParameters().checkpoint_dump_time == pytest.approx(46.8, abs=0.1)
+
+    def test_fs_write_time_matches_paper(self):
+        # 64 x 256 MB over 125 MB/s = 131 s.
+        assert ModelParameters().checkpoint_fs_write_time == pytest.approx(131.1, abs=0.1)
+
+    def test_fs_read_equals_write(self):
+        params = ModelParameters()
+        assert params.checkpoint_fs_read_time == params.checkpoint_fs_write_time
+
+    def test_mtbf(self):
+        params = ModelParameters()
+        assert params.system_mtbf == pytest.approx(YEAR / 8192)
+
+    def test_mttf_processor(self):
+        params = ModelParameters(processors_per_node=8, mttf_node=1 * YEAR)
+        assert params.mttf_processor == pytest.approx(8 * YEAR)
+
+    def test_failure_rates(self):
+        params = ModelParameters()
+        assert params.compute_failure_rate == pytest.approx(8192 / YEAR)
+        assert params.io_failure_rate == pytest.approx(128 / YEAR)
+
+    def test_coordination_population(self):
+        params = ModelParameters()
+        assert params.coordination_population == 65536
+        nodes = params.with_overrides(coordination_over="nodes")
+        assert nodes.coordination_population == 8192
+
+    def test_app_phases(self):
+        params = ModelParameters(app_io_cycle_period=180.0, compute_fraction=0.9)
+        assert params.app_compute_phase == pytest.approx(162.0)
+        assert params.app_io_phase == pytest.approx(18.0)
+
+    def test_correlated_multipliers(self):
+        params = ModelParameters(
+            frate_correlated_factor=400.0,
+            generic_correlated_coefficient=0.0025,
+        )
+        assert params.correlated_rate_multiplier == 401.0
+        assert params.generic_uniform_multiplier == pytest.approx(2.0)
+
+    def test_generic_multiplier_off_when_disabled(self):
+        assert ModelParameters().generic_uniform_multiplier == 1.0
+        modulated = ModelParameters(
+            generic_correlated_coefficient=0.0025,
+            generic_correlated_mode="modulated",
+        )
+        assert modulated.generic_uniform_multiplier == 1.0
+
+    def test_generic_quiet_phase_mean(self):
+        params = ModelParameters(
+            generic_correlated_coefficient=0.01, correlated_failure_window=180.0
+        )
+        # occupancy alpha: window / (window + quiet) == alpha
+        quiet = params.generic_quiet_phase_mean
+        assert 180.0 / (180.0 + quiet) == pytest.approx(0.01)
+
+    def test_generic_quiet_phase_requires_alpha(self):
+        with pytest.raises(ValueError):
+            _ = ModelParameters().generic_quiet_phase_mean
+
+    def test_quiesce_broadcast_latency(self):
+        assert ModelParameters().quiesce_broadcast_latency == pytest.approx(0.002)
+
+
+class TestValidation:
+    def test_processor_divisibility(self):
+        with pytest.raises(ValueError):
+            ModelParameters(n_processors=100, processors_per_node=8)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_processors", 0),
+            ("processors_per_node", 0),
+            ("checkpoint_interval", 0.0),
+            ("mttf_node", -1.0),
+            ("mttr", 0.0),
+            ("mttq", 0.0),
+            ("compute_fraction", 1.5),
+            ("prob_correlated_failure", -0.1),
+            ("generic_correlated_coefficient", 1.0),
+            ("frate_correlated_factor", -5.0),
+            ("timeout", 0.0),
+            ("recovery_failure_threshold", 0),
+            ("compute_nodes_per_io_node", 0),
+            ("coordination_mode", "bogus"),
+            ("coordination_over", "bogus"),
+            ("generic_correlated_mode", "bogus"),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            ModelParameters(**{field: value})
+
+    def test_frozen(self):
+        params = ModelParameters()
+        with pytest.raises(AttributeError):
+            params.mttq = 5.0
+
+    def test_with_overrides(self):
+        params = ModelParameters().with_overrides(n_processors=8192)
+        assert params.n_processors == 8192
+        assert params.mttq == 10.0
+
+    def test_describe_units(self):
+        info = ModelParameters().describe()
+        assert info["checkpoint_interval_min"] == 30
+        assert info["mttf_node_years"] == 1
+        assert info["n_nodes"] == 8192
+
+
+class TestCoordinationMode:
+    def test_all_modes_listed(self):
+        assert set(CoordinationMode.ALL) == {
+            "fixed",
+            "aggregate_exponential",
+            "max_of_exponentials",
+        }

@@ -1,0 +1,118 @@
+"""Structural tests: the composed model mirrors the paper's Table 1."""
+
+import pytest
+
+from repro.core import ModelParameters, build_system
+from repro.core.submodels import names
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_system(ModelParameters(timeout=60.0))
+
+
+class TestComposition:
+    def test_lints_clean(self, system):
+        assert system.lint() == []
+
+    def test_computing_checkpointing_submodels(self, system):
+        model = system.model
+        assert set(model.submodel_activities("master")) == {
+            "ckpt_trigger",
+            "master_timer",
+            "master_failure",
+        }
+        assert set(model.submodel_activities("compute_nodes")) == {
+            "recv_quiesce",
+            "to_coordination",
+            "coordinate",
+            "skip_chkpt",
+            "dump_chkpt",
+        }
+        assert model.submodel_activities("coordination") == ("coord",)
+        assert set(model.submodel_activities("io_nodes")) == {
+            "start_write_chkpt",
+            "write_chkpt",
+            "start_write_app",
+            "write_app",
+        }
+        assert set(model.submodel_activities("app_workload")) == {
+            "compute_phase_end",
+            "app_io_end",
+        }
+
+    def test_failure_recovery_submodels(self, system):
+        model = system.model
+        assert model.submodel_activities("comp_node_failure") == ("comp_failure",)
+        assert set(model.submodel_activities("comp_node_recovery")) == {
+            "start_recovery",
+            "read_ckpt_fs",
+            "recovery_complete",
+            "recovery_failure",
+        }
+        assert model.submodel_activities("io_node_failure") == ("io_failure",)
+        assert model.submodel_activities("io_node_recovery") == ("io_restart",)
+        assert model.submodel_activities("system_reboot") == ("reboot_complete",)
+
+    def test_correlated_failures_submodel(self, system):
+        assert "prop_window_expire" in system.model.submodel_activities(
+            "correlated_failures"
+        )
+
+    def test_generic_modulation_only_when_enabled(self):
+        plain = build_system(ModelParameters())
+        assert "gen_window_open" not in [a.name for a in plain.model.activities]
+        modulated = build_system(
+            ModelParameters(
+                generic_correlated_coefficient=0.01,
+                generic_correlated_mode="modulated",
+            )
+        )
+        activity_names = [a.name for a in modulated.model.activities]
+        assert "gen_window_open" in activity_names
+        assert "gen_window_close" in activity_names
+
+    def test_no_timer_without_timeout(self):
+        system = build_system(ModelParameters(timeout=None))
+        assert "master_timer" not in [a.name for a in system.model.activities]
+
+    def test_no_app_cycle_for_pure_compute(self):
+        system = build_system(ModelParameters(compute_fraction=1.0))
+        activity_names = [a.name for a in system.model.activities]
+        assert "compute_phase_end" not in activity_names
+        assert "app_io_end" not in activity_names
+
+    def test_initial_marking(self, system):
+        marking = system.model.marking()
+        assert marking[names.EXECUTION] == 1
+        assert marking[names.MASTER_SLEEP] == 1
+        assert marking[names.APP_COMPUTE] == 1
+        assert marking[names.IO_IDLE] == 1
+        assert marking[names.COMP_FAILED] == 0
+        assert marking[names.REBOOTING] == 0
+
+    def test_shared_places_are_shared(self, system):
+        # The execution place referenced by master's gate and by the
+        # compute-nodes submodel must be one object.
+        model = system.model
+        assert model.place(names.EXECUTION) is model.place(names.EXECUTION)
+        assert len([p for p in model.places if p.name == names.EXECUTION]) == 1
+
+    def test_twelve_table1_submodels_covered(self, system):
+        # app_workload, compute_nodes, coordination, io_nodes, master,
+        # comp_node_failure, comp_node_recovery, io_node_failure,
+        # io_node_recovery, system_reboot, correlated_failures are
+        # activity-bearing; useful_work contributes rewards instead.
+        assert set(system.model.submodels) == {
+            "master",
+            "compute_nodes",
+            "coordination",
+            "io_nodes",
+            "app_workload",
+            "comp_node_failure",
+            "comp_node_recovery",
+            "io_node_failure",
+            "io_node_recovery",
+            "system_reboot",
+            "correlated_failures",
+        }

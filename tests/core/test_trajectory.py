@@ -1,0 +1,74 @@
+"""Tests for windowed trajectories and the empirical warm-up check."""
+
+import pytest
+
+from repro.core import HOUR, YEAR, ModelParameters, TrajectoryResult, trajectory
+
+
+class TestTrajectory:
+    def test_window_count_and_times(self):
+        result = trajectory(ModelParameters(), window=10 * HOUR, windows=5, seed=1)
+        assert len(result.times) == 5
+        assert result.times[-1] == pytest.approx(50 * HOUR)
+        assert len(result.series["useful_work"]) == 5
+
+    def test_breakdown_series_present(self):
+        result = trajectory(ModelParameters(), window=10 * HOUR, windows=3, seed=2)
+        assert "frac_execution" in result.series
+        assert "frac_recovering" in result.series
+
+    def test_values_are_fractions(self):
+        result = trajectory(ModelParameters(), window=20 * HOUR, windows=6, seed=3)
+        for value in result.series["frac_execution"]:
+            assert 0.0 <= value <= 1.0
+
+    def test_reproducible(self):
+        a = trajectory(ModelParameters(), window=10 * HOUR, windows=4, seed=4)
+        b = trajectory(ModelParameters(), window=10 * HOUR, windows=4, seed=4)
+        assert a.series["useful_work"] == b.series["useful_work"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trajectory(ModelParameters(), window=0.0, windows=3)
+        with pytest.raises(ValueError):
+            trajectory(ModelParameters(), window=1.0, windows=0)
+
+
+class TestSteadyStateDiagnostics:
+    def test_model_reaches_steady_state_fast(self):
+        # The empirical defence of our short warm-up: the base model's
+        # windowed useful work shows no drift — it settles within the
+        # very first windows (the paper's 1000 h transient is far more
+        # than this model needs).
+        result = trajectory(
+            ModelParameters(), window=25 * HOUR, windows=12, seed=5
+        )
+        settled = result.settled_after("useful_work", tolerance=0.3)
+        assert settled is not None
+        assert settled <= 50 * HOUR
+
+    def test_tail_mean(self):
+        result = TrajectoryResult(window=1.0)
+        result.times = [1.0, 2.0, 3.0, 4.0]
+        result.series["m"] = [0.0, 0.0, 0.6, 0.8]
+        assert result.tail_mean("m", fraction=0.5) == pytest.approx(0.7)
+
+    def test_settled_after_detects_transient(self):
+        result = TrajectoryResult(window=1.0)
+        result.times = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        result.series["m"] = [0.1, 0.2, 0.65, 0.7, 0.72, 0.7]
+        settled = result.settled_after("m", tolerance=0.15)
+        assert settled == pytest.approx(2.0)  # start of the third window
+
+    def test_settled_never_for_oscillating_series(self):
+        result = TrajectoryResult(window=1.0)
+        result.times = [1.0, 2.0, 3.0, 4.0]
+        result.series["m"] = [0.1, 0.9, 0.1, 0.9]
+        # Tail mean 0.5; no window ever comes within 5% of it.
+        assert result.settled_after("m", tolerance=0.05) is None
+
+    def test_tail_mean_empty_rejected(self):
+        result = TrajectoryResult(window=1.0)
+        result.series["m"] = []
+        with pytest.raises(ValueError):
+            result.tail_mean("m")

@@ -1,0 +1,114 @@
+"""Tests for result archival and regression comparison."""
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    Discrepancy,
+    FigureResult,
+    compare_archives,
+    compare_figures,
+    load_archive,
+    load_figure,
+    save_archive,
+    save_figure,
+)
+
+
+def make_figure(figure_id="figX", y=0.5, half=0.02):
+    figure = FigureResult(figure_id, "Title", "x", "useful_work_fraction")
+    figure.series["curve"] = [(1.0, y, half), (2.0, y / 2, half)]
+    figure.notes.append("a note")
+    return figure
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        figure = make_figure()
+        path = save_figure(figure, str(tmp_path))
+        assert os.path.basename(path) == "figX.json"
+        loaded = load_figure(path)
+        assert loaded.figure_id == figure.figure_id
+        assert loaded.series == figure.series
+        assert loaded.notes == figure.notes
+        assert loaded.metric == figure.metric
+
+    def test_archive_roundtrip(self, tmp_path):
+        figures = [make_figure("a"), make_figure("b")]
+        save_archive(figures, str(tmp_path))
+        loaded = load_archive(str(tmp_path))
+        assert set(loaded) == {"a", "b"}
+
+    def test_directory_created(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        save_figure(make_figure(), str(target))
+        assert target.exists()
+
+
+class TestCompareFigures:
+    def test_identical_agree(self):
+        assert compare_figures(make_figure(), make_figure()) == []
+
+    def test_within_tolerance_agrees(self):
+        reference = make_figure(y=0.50)
+        candidate = make_figure(y=0.54)
+        assert compare_figures(reference, candidate, rel_tolerance=0.10) == []
+
+    def test_outside_tolerance_flagged(self):
+        reference = make_figure(y=0.50, half=0.001)
+        candidate = make_figure(y=0.70, half=0.001)
+        discrepancies = compare_figures(reference, candidate, rel_tolerance=0.10)
+        assert discrepancies
+        assert all(d.kind == "value" for d in discrepancies)
+
+    def test_overlapping_intervals_agree_despite_tolerance(self):
+        reference = make_figure(y=0.50, half=0.15)
+        candidate = make_figure(y=0.70, half=0.15)
+        assert compare_figures(reference, candidate, rel_tolerance=0.01) == []
+
+    def test_missing_series_flagged(self):
+        reference = make_figure()
+        candidate = make_figure()
+        candidate.series = {}
+        kinds = {d.kind for d in compare_figures(reference, candidate)}
+        assert kinds == {"missing-series"}
+
+    def test_missing_point_flagged(self):
+        reference = make_figure()
+        candidate = make_figure()
+        candidate.series["curve"] = candidate.series["curve"][:1]
+        kinds = {d.kind for d in compare_figures(reference, candidate)}
+        assert kinds == {"missing-point"}
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError):
+            compare_figures(make_figure(), make_figure(), rel_tolerance=-0.1)
+
+
+class TestCompareArchives:
+    def test_matching_archives(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        save_archive([make_figure("one"), make_figure("two")], str(a))
+        save_archive([make_figure("one"), make_figure("two")], str(b))
+        assert compare_archives(str(a), str(b)) == []
+
+    def test_missing_figure_flagged(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        save_archive([make_figure("one"), make_figure("two")], str(a))
+        save_archive([make_figure("one")], str(b))
+        discrepancies = compare_archives(str(a), str(b))
+        assert len(discrepancies) == 1
+        assert "two" in str(discrepancies[0])
+
+    def test_cli_compare(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        a, b = tmp_path / "a", tmp_path / "b"
+        save_archive([make_figure("one")], str(a))
+        save_archive([make_figure("one", y=0.9, half=0.001)], str(b))
+        assert main(["compare", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "discrepanc" in out
+        save_archive([make_figure("one")], str(b))
+        assert main(["compare", str(a), str(b)]) == 0

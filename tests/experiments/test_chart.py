@@ -1,0 +1,66 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments import FigureResult, render_ascii_chart
+
+
+def demo_figure():
+    figure = FigureResult("demo", "Demo", "n", "useful_work_fraction")
+    figure.series["alpha"] = [(1.0, 0.9, 0.0), (2.0, 0.7, 0.0), (4.0, 0.4, 0.0)]
+    figure.series["beta"] = [(1.0, 0.95, 0.0), (4.0, 0.85, 0.0)]
+    return figure
+
+
+class TestRenderAsciiChart:
+    def test_contains_title_and_legend(self):
+        text = render_ascii_chart(demo_figure())
+        assert "Demo" in text
+        assert "a = alpha" in text
+        assert "b = beta" in text
+
+    def test_axis_labels(self):
+        text = render_ascii_chart(demo_figure())
+        assert "(n)" in text
+        assert "0.95" in text  # y max
+        assert "0.4" in text  # y min
+
+    def test_markers_plotted(self):
+        text = render_ascii_chart(demo_figure(), width=40, height=8)
+        plot_lines = [line for line in text.splitlines() if "|" in line]
+        body = "".join(line.split("|", 1)[1] for line in plot_lines)
+        assert body.count("a") == 3
+        assert body.count("b") == 2
+
+    def test_extremes_on_boundary_rows(self):
+        text = render_ascii_chart(demo_figure(), width=40, height=8)
+        lines = [line for line in text.splitlines() if "|" in line]
+        assert "b" in lines[0]  # y max (0.95) on the top row
+        assert "a" in lines[-1]  # y min (0.4) on the bottom row
+
+    def test_single_point_series(self):
+        figure = FigureResult("one", "One", "x", "useful_work_fraction")
+        figure.series["s"] = [(1.0, 0.5, 0.0)]
+        text = render_ascii_chart(figure)
+        assert "s" in text
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        figure = FigureResult("flat", "Flat", "x", "useful_work_fraction")
+        figure.series["s"] = [(1.0, 0.5, 0.0), (2.0, 0.5, 0.0)]
+        render_ascii_chart(figure)  # must not raise
+
+    def test_empty_figure(self):
+        figure = FigureResult("empty", "Empty", "x", "useful_work_fraction")
+        assert "empty" in render_ascii_chart(figure).lower()
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            render_ascii_chart(demo_figure(), width=5)
+        with pytest.raises(ValueError):
+            render_ascii_chart(demo_figure(), height=2)
+
+    def test_cli_chart_flag_parses(self):
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(["run-figure", "fig3", "--chart"])
+        assert args.chart

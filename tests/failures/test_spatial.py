@@ -1,0 +1,101 @@
+"""Tests for spatial-correlation trace tooling."""
+
+import pytest
+
+from repro.core import MINUTE, YEAR
+from repro.failures import (
+    generate_spatial_trace,
+    group_concentration,
+    spatial_locality,
+)
+
+N_NODES = 4096
+NEIGHBORHOOD = 64
+
+
+def trace(locality, seed=1, mttf_years=0.02, horizon_hours=5000):
+    return generate_spatial_trace(
+        N_NODES,
+        mttf_years * YEAR,
+        horizon_hours * 3600.0,
+        seed=seed,
+        locality=locality,
+        neighborhood=NEIGHBORHOOD,
+        window=3 * MINUTE,
+    )
+
+
+class TestGenerateSpatialTrace:
+    def test_rate_preserved(self):
+        records = trace(locality=0.5)
+        horizon = 5000 * 3600.0
+        expected = N_NODES / (0.02 * YEAR) * horizon
+        assert len(records) == pytest.approx(expected, rel=0.1)
+
+    def test_node_ids_in_range(self):
+        for record in trace(locality=0.8):
+            assert 0 <= record.node_id < N_NODES
+
+    def test_zero_locality_has_no_correlated_marks(self):
+        assert not any(record.correlated for record in trace(locality=0.0))
+
+    def test_high_locality_marks_some(self):
+        # With the tiny window only failures in quick succession can be
+        # correlated; make failures dense enough for that to happen.
+        records = generate_spatial_trace(
+            N_NODES, 0.0005 * YEAR, 500 * 3600.0, seed=2,
+            locality=0.9, neighborhood=NEIGHBORHOOD, window=3 * MINUTE,
+        )
+        assert any(record.correlated for record in records)
+
+    def test_deterministic(self):
+        assert trace(0.5, seed=7) == trace(0.5, seed=7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_spatial_trace(0, YEAR, 1.0)
+        with pytest.raises(ValueError):
+            generate_spatial_trace(10, YEAR, 1.0, locality=1.5)
+        with pytest.raises(ValueError):
+            generate_spatial_trace(10, YEAR, 1.0, neighborhood=0)
+
+
+class TestSpatialLocality:
+    def test_independent_trace_near_baseline(self):
+        # Baseline co-location probability = neighborhood / n_nodes.
+        records = generate_spatial_trace(
+            N_NODES, 0.0005 * YEAR, 2000 * 3600.0, seed=3,
+            locality=0.0, neighborhood=NEIGHBORHOOD, window=3 * MINUTE,
+        )
+        measured = spatial_locality(records, NEIGHBORHOOD, window=3 * MINUTE)
+        baseline = NEIGHBORHOOD / N_NODES
+        assert measured == pytest.approx(baseline, abs=0.05)
+
+    def test_local_trace_well_above_baseline(self):
+        records = generate_spatial_trace(
+            N_NODES, 0.0005 * YEAR, 2000 * 3600.0, seed=3,
+            locality=0.8, neighborhood=NEIGHBORHOOD, window=3 * MINUTE,
+        )
+        measured = spatial_locality(records, NEIGHBORHOOD, window=3 * MINUTE)
+        assert measured > 0.5
+
+    def test_empty_window_pairs(self):
+        # Two failures far apart in time: no close pairs at all.
+        sparse = trace(locality=0.0, mttf_years=10.0, horizon_hours=100000)
+        assert spatial_locality(sparse, NEIGHBORHOOD, window=1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spatial_locality([], neighborhood=0)
+
+
+class TestGroupConcentration:
+    def test_uniform_trace_near_one(self):
+        records = trace(locality=0.0)
+        concentration = group_concentration(records, N_NODES, NEIGHBORHOOD)
+        # Max/mean over 64 groups of a uniform multinomial stays small.
+        assert 1.0 <= concentration < 1.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            group_concentration([], N_NODES)

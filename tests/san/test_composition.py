@@ -1,0 +1,135 @@
+"""Tests for Rep-style replicated composition."""
+
+import pytest
+
+from repro.san import (
+    Arc,
+    Case,
+    Exponential,
+    InputGate,
+    Namespace,
+    RewardVariable,
+    SANModel,
+    Simulator,
+    TimedActivity,
+    replicate_submodel,
+)
+from repro.san.errors import ModelDefinitionError
+
+
+def station(ns, index):
+    """An M/M/1 station drawing jobs from a shared pool."""
+    queue = ns.add_place("queue")
+    pool = ns.add_place("pool", initial=6)
+    ns.add_activity(
+        TimedActivity(
+            "arrive",
+            Exponential(1.0),
+            input_arcs=[Arc(pool)],
+            cases=[Case(output_arcs=[Arc(queue)])],
+        )
+    )
+    ns.add_activity(
+        TimedActivity(
+            "serve",
+            Exponential(2.0),
+            input_arcs=[Arc(queue)],
+            cases=[Case(output_arcs=[Arc(pool)])],
+        )
+    )
+
+
+class TestNamespace:
+    def test_private_names_prefixed(self):
+        model = SANModel("m")
+        ns = Namespace(model, "a.", shared=set())
+        ns.add_place("queue")
+        assert model.has_place("a.queue")
+        assert not model.has_place("queue")
+
+    def test_shared_names_untouched(self):
+        model = SANModel("m")
+        ns = Namespace(model, "a.", shared={"pool"})
+        ns.add_place("pool", initial=3)
+        assert model.place("pool").initial == 3
+
+    def test_name_resolution(self):
+        ns = Namespace(SANModel("m"), "a.", shared={"pool"})
+        assert ns.name("queue") == "a.queue"
+        assert ns.name("pool") == "pool"
+
+    def test_activity_renamed(self):
+        model = SANModel("m")
+        ns = Namespace(model, "a.", shared=set())
+        queue = ns.add_place("q")
+        ns.add_activity(
+            TimedActivity("serve", Exponential(1.0), input_arcs=[Arc(queue)])
+        )
+        assert model.activity("a.serve")
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            Namespace(SANModel("m"), "", shared=set())
+
+    def test_place_lookup_through_namespace(self):
+        model = SANModel("m")
+        ns = Namespace(model, "a.", shared=set())
+        created = ns.add_place("q", initial=2)
+        assert ns.place("q") is created
+
+
+class TestReplicate:
+    def test_replicas_have_private_state(self):
+        model = SANModel("m")
+        replicate_submodel(model, station, count=3, shared=["pool"])
+        assert model.has_place("rep0.queue")
+        assert model.has_place("rep1.queue")
+        assert model.has_place("rep2.queue")
+        # One shared pool, not three.
+        pools = [p for p in model.places if p.name == "pool"]
+        assert len(pools) == 1
+
+    def test_shared_initial_tokens_not_duplicated(self):
+        model = SANModel("m")
+        replicate_submodel(model, station, count=3, shared=["pool"])
+        assert model.place("pool").tokens == 6
+
+    def test_replica_count_validated(self):
+        with pytest.raises(ModelDefinitionError):
+            replicate_submodel(SANModel("m"), station, count=0)
+
+    def test_duplicate_prefix_detected(self):
+        with pytest.raises(ModelDefinitionError):
+            replicate_submodel(
+                SANModel("m"), station, count=2, prefix_format="same."
+            )
+
+    def test_namespaces_returned(self):
+        model = SANModel("m")
+        namespaces = replicate_submodel(model, station, count=2, shared=["pool"])
+        assert [ns.prefix for ns in namespaces] == ["rep0.", "rep1."]
+
+    def test_replicated_model_simulates(self):
+        model = SANModel("m")
+        replicate_submodel(model, station, count=3, shared=["pool"])
+        assert model.validate() == []
+        reward = RewardVariable(
+            "pool_level", rate=lambda s: float(s.tokens("pool"))
+        )
+        output = Simulator(model, streams=4).run(until=2000.0, rewards=[reward])
+        # Three competing stations drain the shared pool: the average
+        # pool level sits strictly between empty and full.
+        average = output.time_average("pool_level")
+        assert 0.0 < average < 6.0
+        # All six activities fired.
+        for index in range(3):
+            assert output.firings[f"rep{index}.arrive"] > 0
+            assert output.firings[f"rep{index}.serve"] > 0
+
+    def test_replicas_are_symmetric(self):
+        model = SANModel("m")
+        replicate_submodel(model, station, count=2, shared=["pool"])
+        output = Simulator(model, streams=6).run(until=50_000.0)
+        a = output.firings["rep0.serve"]
+        b = output.firings["rep1.serve"]
+        assert a == pytest.approx(b, rel=0.1)

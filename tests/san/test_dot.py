@@ -1,0 +1,112 @@
+"""Tests for the DOT export."""
+
+import pytest
+
+from repro.san import (
+    Arc,
+    Case,
+    Exponential,
+    InputGate,
+    InstantaneousActivity,
+    SANModel,
+    TimedActivity,
+    to_dot,
+)
+
+
+def small_model():
+    model = SANModel("m")
+    a = model.add_place("a", initial=2)
+    b = model.add_place("b")
+    model.add_activity(
+        TimedActivity(
+            "move",
+            Exponential(1.0),
+            input_arcs=[Arc(a, weight=2)],
+            input_gates=[
+                InputGate("g", predicate=lambda s: True, reads=["b"])
+            ],
+            cases=[Case(output_arcs=[Arc(b)])],
+            resample_on=["b"],
+        ),
+        submodel="left",
+    )
+    model.add_activity(
+        InstantaneousActivity(
+            "back", input_arcs=[Arc(b)], cases=[Case(output_arcs=[Arc(a)])]
+        ),
+        submodel="right",
+    )
+    return model
+
+
+class TestToDot:
+    def test_structure(self):
+        dot = to_dot(small_model())
+        assert dot.startswith('digraph "san" {')
+        assert dot.rstrip().endswith("}")
+
+    def test_places_rendered_with_marking(self):
+        dot = to_dot(small_model())
+        assert '"p:a" [shape=circle, label="a\\n(2)"]' in dot
+        assert '"p:b" [shape=circle, label="b"]' in dot
+
+    def test_arcs_rendered(self):
+        dot = to_dot(small_model())
+        assert '"p:a" -> "a:move" [label="2"];' in dot
+        assert '"a:move" -> "p:b";' in dot
+        assert '"p:b" -> "a:back";' in dot
+
+    def test_gate_reads_dashed(self):
+        dot = to_dot(small_model())
+        assert 'style=dashed' in dot
+
+    def test_resample_dotted(self):
+        dot = to_dot(small_model())
+        assert 'style=dotted' in dot
+
+    def test_gate_edges_can_be_suppressed(self):
+        dot = to_dot(small_model(), include_gate_reads=False)
+        assert "dashed" not in dot
+        assert "dotted" not in dot
+
+    def test_clusters_by_submodel(self):
+        dot = to_dot(small_model())
+        assert "subgraph cluster_0" in dot
+        assert 'label="left"' in dot
+        assert 'label="right"' in dot
+
+    def test_clusters_optional(self):
+        dot = to_dot(small_model(), group_by_submodel=False)
+        assert "subgraph" not in dot
+
+    def test_full_checkpoint_model_renders(self):
+        from repro.core import ModelParameters, build_system
+
+        system = build_system(ModelParameters(timeout=60.0))
+        dot = to_dot(system.model)
+        assert '"a:comp_failure"' in dot
+        assert '"p:execution"' in dot
+        # Balanced braces.
+        assert dot.count("{") == dot.count("}")
+
+    def test_case_labels_for_probabilistic_activities(self):
+        model = SANModel("m")
+        a = model.add_place("a", initial=1)
+        heads = model.add_place("heads")
+        tails = model.add_place("tails")
+        model.add_activity(
+            TimedActivity(
+                "flip",
+                Exponential(1.0),
+                input_arcs=[Arc(a)],
+                cases=[
+                    Case(output_arcs=[Arc(heads)]),
+                    Case(output_arcs=[Arc(tails)]),
+                ],
+                case_probabilities=[0.5, 0.5],
+            )
+        )
+        dot = to_dot(model)
+        assert 'label="case 0"' in dot
+        assert 'label="case 1"' in dot

@@ -1,0 +1,83 @@
+"""Tests for repro.san.rng: reproducible, independent named streams."""
+
+import numpy as np
+import pytest
+
+from repro.san.rng import StreamRegistry, stable_stream_key
+
+
+class TestStableStreamKey:
+    def test_deterministic(self):
+        assert stable_stream_key("alpha") == stable_stream_key("alpha")
+
+    def test_distinct_names_distinct_keys(self):
+        assert stable_stream_key("alpha") != stable_stream_key("beta")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= stable_stream_key("anything") < 2**64
+
+    def test_empty_name_allowed(self):
+        assert isinstance(stable_stream_key(""), int)
+
+
+class TestStreamRegistry:
+    def test_same_seed_same_stream(self):
+        a = StreamRegistry(seed=7).get("failures").random(5)
+        b = StreamRegistry(seed=7).get("failures").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = StreamRegistry(seed=1).get("x").random(5)
+        b = StreamRegistry(seed=2).get("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        registry = StreamRegistry(seed=3)
+        a = registry.get("x").random(5)
+        b = registry.get("y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_access_order_does_not_matter(self):
+        first = StreamRegistry(seed=5)
+        first.get("a")
+        value_b_after_a = first.get("b").random()
+        second = StreamRegistry(seed=5)
+        value_b_alone = second.get("b").random()
+        assert value_b_after_a == value_b_alone
+
+    def test_get_returns_same_generator_object(self):
+        registry = StreamRegistry(seed=0)
+        assert registry.get("s") is registry.get("s")
+
+    def test_spawn_differs_from_parent(self):
+        parent = StreamRegistry(seed=9)
+        child = parent.spawn(0)
+        assert parent.get("x").random() != child.get("x").random()
+
+    def test_spawn_replications_differ(self):
+        parent = StreamRegistry(seed=9)
+        assert (
+            parent.spawn(0).get("x").random() != parent.spawn(1).get("x").random()
+        )
+
+    def test_spawn_deterministic(self):
+        a = StreamRegistry(seed=4).spawn(3).get("s").random()
+        b = StreamRegistry(seed=4).spawn(3).get("s").random()
+        assert a == b
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StreamRegistry(seed=0).spawn(-1)
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(TypeError):
+            StreamRegistry(seed="nope")
+
+    def test_names_lists_created_streams(self):
+        registry = StreamRegistry(seed=0)
+        registry.get("b")
+        registry.get("a")
+        assert list(registry.names()) == ["a", "b"]
+
+    def test_seed_property(self):
+        assert StreamRegistry(seed=42).seed == 42

@@ -1,0 +1,245 @@
+"""Tests for the CTMC state-space generator and solver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.san import (
+    Arc,
+    Case,
+    Deterministic,
+    Exponential,
+    InputGate,
+    InstantaneousActivity,
+    SANModel,
+    StateSpaceGenerator,
+    TimedActivity,
+)
+from repro.san.errors import StateSpaceError
+
+
+def mm1k_model(arrival=1.0, service=2.0, capacity=5):
+    model = SANModel("mm1k")
+    queue = model.add_place("queue")
+    free = model.add_place("free", initial=capacity)
+    model.add_activity(
+        TimedActivity(
+            "arrive", Exponential(arrival), input_arcs=[Arc(free)],
+            cases=[Case(output_arcs=[Arc(queue)])],
+        )
+    )
+    model.add_activity(
+        TimedActivity(
+            "serve", Exponential(service), input_arcs=[Arc(queue)],
+            cases=[Case(output_arcs=[Arc(free)])],
+        )
+    )
+    return model
+
+
+def mm1k_expected_length(rho, capacity):
+    probabilities = np.array([rho**i for i in range(capacity + 1)])
+    probabilities /= probabilities.sum()
+    return float(np.dot(np.arange(capacity + 1), probabilities))
+
+
+class TestGeneration:
+    def test_state_count(self):
+        space = StateSpaceGenerator(mm1k_model(capacity=5)).generate()
+        assert space.size == 6
+
+    def test_rejects_non_exponential(self):
+        model = SANModel("bad")
+        a = model.add_place("a", initial=1)
+        model.add_activity(
+            TimedActivity("det", Deterministic(1.0), input_arcs=[Arc(a)])
+        )
+        with pytest.raises(StateSpaceError):
+            StateSpaceGenerator(model)
+
+    def test_max_states_enforced(self):
+        model = SANModel("unbounded")
+        queue = model.add_place("queue")
+        model.add_activity(
+            TimedActivity(
+                "arrive", Exponential(1.0), cases=[Case(output_arcs=[Arc(queue)])]
+            )
+        )
+        with pytest.raises(StateSpaceError):
+            StateSpaceGenerator(model, max_states=50).generate()
+
+    def test_model_restored_after_generation(self):
+        model = mm1k_model()
+        StateSpaceGenerator(model).generate()
+        assert model.place("free").tokens == 5
+        assert model.place("queue").tokens == 0
+
+    def test_vanishing_markings_collapsed(self):
+        # a --exp--> b, b --instantaneous--> c: state 'b' is vanishing.
+        model = SANModel("vanish")
+        a = model.add_place("a", initial=1)
+        b = model.add_place("b")
+        c = model.add_place("c")
+        model.add_activity(
+            TimedActivity(
+                "ab", Exponential(1.0), input_arcs=[Arc(a)],
+                cases=[Case(output_arcs=[Arc(b)])],
+            )
+        )
+        model.add_activity(
+            InstantaneousActivity(
+                "bc", input_arcs=[Arc(b)], cases=[Case(output_arcs=[Arc(c)])]
+            )
+        )
+        model.add_activity(
+            TimedActivity(
+                "ca", Exponential(1.0), input_arcs=[Arc(c)],
+                cases=[Case(output_arcs=[Arc(a)])],
+            )
+        )
+        space = StateSpaceGenerator(model).generate()
+        markings = {tuple(m) for m in space.markings}
+        assert all(m[space.place_names.index("b")] == 0 for m in markings)
+        assert space.size == 2
+
+
+class TestSteadyState:
+    @pytest.mark.parametrize("rho", [0.25, 0.5, 0.9])
+    def test_mm1k_queue_length(self, rho):
+        capacity = 6
+        space = StateSpaceGenerator(
+            mm1k_model(arrival=rho, service=1.0, capacity=capacity)
+        ).generate()
+        solution = space.steady_state()
+        length = solution.expected_reward(lambda m: m["queue"])
+        assert length == pytest.approx(mm1k_expected_length(rho, capacity), rel=1e-9)
+
+    def test_probabilities_sum_to_one(self):
+        solution = StateSpaceGenerator(mm1k_model()).generate().steady_state()
+        assert float(np.sum(solution.probabilities)) == pytest.approx(1.0)
+
+    def test_probability_of_predicate(self):
+        space = StateSpaceGenerator(
+            mm1k_model(arrival=1.0, service=1.0, capacity=4)
+        ).generate()
+        solution = space.steady_state()
+        # Symmetric birth-death: uniform over 5 states.
+        assert solution.probability_of(lambda m: m["queue"] == 0) == pytest.approx(0.2)
+
+    def test_generator_rows_sum_to_zero(self):
+        space = StateSpaceGenerator(mm1k_model()).generate()
+        q = space.generator_matrix()
+        assert np.allclose(q.sum(axis=1), 0.0)
+
+    def test_marking_dependent_rate(self):
+        # Arrival rate halves when the queue is non-empty.
+        model = SANModel("m")
+        queue = model.add_place("queue")
+        free = model.add_place("free", initial=2)
+
+        def rate(state):
+            return 2.0 if state.tokens("queue") == 0 else 1.0
+
+        model.add_activity(
+            TimedActivity(
+                "arrive", Exponential(rate), input_arcs=[Arc(free)],
+                cases=[Case(output_arcs=[Arc(queue)])],
+            )
+        )
+        model.add_activity(
+            TimedActivity(
+                "serve", Exponential(2.0), input_arcs=[Arc(queue)],
+                cases=[Case(output_arcs=[Arc(free)])],
+            )
+        )
+        solution = StateSpaceGenerator(model).generate().steady_state()
+        # Balance: pi1 = pi0 * (2/2), pi2 = pi1 * (1/2).
+        p0 = solution.probability_of(lambda m: m["queue"] == 0)
+        p1 = solution.probability_of(lambda m: m["queue"] == 1)
+        p2 = solution.probability_of(lambda m: m["queue"] == 2)
+        assert p1 == pytest.approx(p0, rel=1e-9)
+        assert p2 == pytest.approx(p1 / 2, rel=1e-9)
+
+    def test_timed_case_probabilities_split_rate(self):
+        # One exponential with two cases 0.3/0.7 must equal two
+        # exponentials with rates 0.3 and 0.7.
+        model = SANModel("m")
+        a = model.add_place("a", initial=1)
+        left = model.add_place("left")
+        right = model.add_place("right")
+        model.add_activity(
+            TimedActivity(
+                "split",
+                Exponential(1.0),
+                input_arcs=[Arc(a)],
+                cases=[Case(output_arcs=[Arc(left)]), Case(output_arcs=[Arc(right)])],
+                case_probabilities=[0.3, 0.7],
+            )
+        )
+        for place in (left, right):
+            model.add_activity(
+                TimedActivity(
+                    f"return_{place.name}",
+                    Exponential(5.0),
+                    input_arcs=[Arc(place)],
+                    cases=[Case(output_arcs=[Arc(a)])],
+                )
+            )
+        solution = StateSpaceGenerator(model).generate().steady_state()
+        p_left = solution.probability_of(lambda m: m["left"] == 1)
+        p_right = solution.probability_of(lambda m: m["right"] == 1)
+        assert p_left / p_right == pytest.approx(0.3 / 0.7, rel=1e-9)
+
+
+class TestSimulatorAgreement:
+    """The discrete-event simulator must agree with the exact solution."""
+
+    def test_mm1k_simulation_matches_exact(self):
+        from repro.san import RewardVariable, Simulator
+
+        model = mm1k_model(arrival=1.0, service=2.0, capacity=8)
+        exact = (
+            StateSpaceGenerator(model)
+            .generate()
+            .steady_state()
+            .expected_reward(lambda m: m["queue"])
+        )
+        model.reset()
+        output = Simulator(model, streams=123).run(
+            until=200_000.0,
+            warmup=1_000.0,
+            rewards=[RewardVariable("len", rate=lambda s: float(s.tokens("queue")))],
+        )
+        assert output.time_average("len") == pytest.approx(exact, rel=0.02)
+
+    def test_three_state_cycle_matches_exact(self):
+        from repro.san import RewardVariable, Simulator
+
+        def build():
+            model = SANModel("cycle")
+            places = [model.add_place(f"s{i}", initial=1 if i == 0 else 0)
+                      for i in range(3)]
+            rates = [1.0, 3.0, 0.5]
+            for i in range(3):
+                model.add_activity(
+                    TimedActivity(
+                        f"hop{i}",
+                        Exponential(rates[i]),
+                        input_arcs=[Arc(places[i])],
+                        cases=[Case(output_arcs=[Arc(places[(i + 1) % 3])])],
+                    )
+                )
+            return model
+
+        exact = (
+            StateSpaceGenerator(build())
+            .generate()
+            .steady_state()
+            .probability_of(lambda m: m["s1"] == 1)
+        )
+        output = Simulator(build(), streams=5).run(
+            until=100_000.0,
+            rewards=[RewardVariable("s1", rate=lambda s: float(s.tokens("s1")))],
+        )
+        assert output.time_average("s1") == pytest.approx(exact, rel=0.03)

@@ -1,0 +1,139 @@
+"""Tests for transient CTMC analysis (uniformization)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.san import (
+    Arc,
+    Case,
+    Exponential,
+    SANModel,
+    StateSpaceGenerator,
+    TimedActivity,
+    TransientSolver,
+)
+from repro.san.errors import StateSpaceError
+
+
+def on_off_model(lam=0.5, mu=2.0):
+    model = SANModel("onoff")
+    up = model.add_place("up", initial=1)
+    down = model.add_place("down")
+    model.add_activity(
+        TimedActivity(
+            "fail", Exponential(lam), input_arcs=[Arc(up)],
+            cases=[Case(output_arcs=[Arc(down)])],
+        )
+    )
+    model.add_activity(
+        TimedActivity(
+            "repair", Exponential(mu), input_arcs=[Arc(down)],
+            cases=[Case(output_arcs=[Arc(up)])],
+        )
+    )
+    return model
+
+
+def exact_up_probability(t, lam, mu):
+    return mu / (lam + mu) + lam / (lam + mu) * math.exp(-(lam + mu) * t)
+
+
+@pytest.fixture(scope="module")
+def solver():
+    space = StateSpaceGenerator(on_off_model()).generate()
+    return TransientSolver(space)
+
+
+class TestTransientProbabilities:
+    @pytest.mark.parametrize("t", [0.0, 0.1, 0.5, 1.0, 3.0, 10.0])
+    def test_matches_closed_form(self, solver, t):
+        p_up = solver.solve(t).probability_of(lambda m: m["up"] == 1)
+        assert p_up == pytest.approx(exact_up_probability(t, 0.5, 2.0), abs=1e-7)
+
+    def test_converges_to_steady_state(self, solver):
+        space = StateSpaceGenerator(on_off_model()).generate()
+        steady = space.steady_state().probability_of(lambda m: m["up"] == 1)
+        late = solver.solve(100.0).probability_of(lambda m: m["up"] == 1)
+        assert late == pytest.approx(steady, abs=1e-9)
+
+    def test_probabilities_normalised(self, solver):
+        probabilities = solver.solve(0.7).probabilities
+        assert float(np.sum(probabilities)) == pytest.approx(1.0)
+        assert (probabilities >= 0).all()
+
+    def test_solve_many(self, solver):
+        solutions = solver.solve_many([0.1, 0.2, 0.3])
+        assert [s.time for s in solutions] == [0.1, 0.2, 0.3]
+
+    def test_expected_instantaneous_reward(self, solver):
+        value = solver.solve(1.0).expected_reward(lambda m: 10.0 * m["up"])
+        assert value == pytest.approx(10 * exact_up_probability(1.0, 0.5, 2.0), abs=1e-6)
+
+    def test_negative_time_rejected(self, solver):
+        with pytest.raises(StateSpaceError):
+            solver.solve(-1.0)
+
+
+class TestAccumulatedReward:
+    def test_matches_closed_form(self, solver):
+        lam, mu, t = 0.5, 2.0, 2.0
+        accumulated = solver.accumulated_reward(lambda m: float(m["up"]), t)
+        exact = mu / (lam + mu) * t + lam / (lam + mu) ** 2 * (
+            1 - math.exp(-(lam + mu) * t)
+        )
+        assert accumulated == pytest.approx(exact, abs=1e-6)
+
+    def test_zero_horizon(self, solver):
+        assert solver.accumulated_reward(lambda m: 1.0, 0.0) == 0.0
+
+    def test_constant_rate_integrates_to_time(self, solver):
+        assert solver.accumulated_reward(lambda m: 1.0, 5.0) == pytest.approx(
+            5.0, abs=1e-6
+        )
+
+    def test_matches_simulation(self):
+        # Cross-check: simulated accumulated uptime equals the
+        # uniformization answer.
+        from repro.san import RewardVariable, Simulator
+
+        t = 3.0
+        space = StateSpaceGenerator(on_off_model()).generate()
+        expected = TransientSolver(space).accumulated_reward(
+            lambda m: float(m["up"]), t
+        )
+        totals = []
+        for seed in range(400):
+            model = on_off_model()
+            output = Simulator(model, streams=seed).run(
+                until=t,
+                rewards=[RewardVariable("up", rate=lambda s: float(s.tokens("up")))],
+            )
+            totals.append(output.rewards["up"].accumulated)
+        assert float(np.mean(totals)) == pytest.approx(expected, rel=0.03)
+
+
+class TestInitialDistribution:
+    def test_custom_initial(self):
+        space = StateSpaceGenerator(on_off_model()).generate()
+        # All mass on the 'down' state.
+        down_index = next(
+            i
+            for i, marking in enumerate(space.markings)
+            if dict(zip(space.place_names, marking))["down"] == 1
+        )
+        pi0 = [0.0] * space.size
+        pi0[down_index] = 1.0
+        solver = TransientSolver(space, initial=pi0)
+        assert solver.solve(0.0).probability_of(lambda m: m["down"] == 1) == 1.0
+
+    def test_invalid_initial_rejected(self):
+        space = StateSpaceGenerator(on_off_model()).generate()
+        with pytest.raises(StateSpaceError):
+            TransientSolver(space, initial=[0.5, 0.7])
+
+    def test_invalid_tolerance_rejected(self):
+        space = StateSpaceGenerator(on_off_model()).generate()
+        with pytest.raises(StateSpaceError):
+            TransientSolver(space, tolerance=2.0)

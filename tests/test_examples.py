@@ -1,0 +1,58 @@
+"""Smoke tests: every example must run end to end and say something.
+
+Examples are the library's front door; a release where one crashes is
+broken regardless of unit-test status. Each runs in a subprocess (as a
+user would run it) and must exit 0 with its key talking points in the
+output.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+#: script name -> fragments its output must contain.
+EXPECTATIONS = {
+    "quickstart.py": ["useful work fraction", "total useful work", "failures"],
+    "capacity_planning.py": ["simulated optimum", "predicted optimum"],
+    "checkpoint_interval_tuning.py": ["Young", "Daly", "simulated UWF"],
+    "correlated_failure_study.py": ["r = ", "UWF"],
+    "protocol_trace.py": ["coordination time", "abort probability"],
+    "job_completion.py": ["processors", "stretch"],
+    "design_space.py": ["predicted TUW", "simulated UWF"],
+    "reliability_engineering.py": ["P(F_0)", "clustering"],
+}
+
+
+def run_example(name: str) -> str:
+    path = os.path.join(EXAMPLES_DIR, name)
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{name} exited {result.returncode}:\n{result.stderr[-2000:]}"
+    )
+    return result.stdout
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(EXPECTATIONS))
+def test_example_runs(name):
+    output = run_example(name)
+    for fragment in EXPECTATIONS[name]:
+        assert fragment in output, f"{name} output lacks {fragment!r}"
+
+
+def test_every_example_is_covered():
+    scripts = {
+        entry for entry in os.listdir(EXAMPLES_DIR) if entry.endswith(".py")
+    }
+    assert scripts == set(EXPECTATIONS), (
+        "examples and smoke expectations out of sync"
+    )
