@@ -59,12 +59,19 @@ class SimulationPlan:
         Number of independent replications (each with its own streams).
     confidence:
         Confidence level of the reported intervals.
+    wall_clock_budget:
+        Optional real-time budget (seconds) per replication; a run
+        that exceeds it raises
+        :class:`~repro.san.errors.WallClockExceededError` instead of
+        hanging its sweep worker. ``None`` (default) disables the
+        guard.
     """
 
     warmup: float = DEFAULT_WARMUP
     observation: float = DEFAULT_OBSERVATION
     replications: int = DEFAULT_REPLICATIONS
     confidence: float = 0.95
+    wall_clock_budget: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.warmup < 0:
@@ -75,6 +82,10 @@ class SimulationPlan:
             raise ValueError(f"replications must be >= 1, got {self.replications}")
         if not 0 < self.confidence < 1:
             raise ValueError(f"confidence must be in (0, 1), got {self.confidence}")
+        if self.wall_clock_budget is not None and self.wall_clock_budget <= 0:
+            raise ValueError(
+                f"wall_clock_budget must be > 0, got {self.wall_clock_budget}"
+            )
 
     @property
     def horizon(self) -> float:
@@ -143,7 +154,12 @@ def run_single(
     simulator = Simulator(
         system.model, ctx=system.ledger, streams=StreamRegistry(seed)
     )
-    output = simulator.run(until=plan.horizon, warmup=plan.warmup, rewards=rewards)
+    output = simulator.run(
+        until=plan.horizon,
+        warmup=plan.warmup,
+        rewards=rewards,
+        wall_clock_budget=plan.wall_clock_budget,
+    )
     measures = {name: result.time_average for name, result in output.rewards.items()}
     measures["_events"] = float(output.event_count)
     # Stash the counters for the caller (not a reward).

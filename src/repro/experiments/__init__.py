@@ -29,7 +29,16 @@ from .archive import (
     save_archive,
     save_figure,
 )
+from .faultinject import FaultPlan, InjectedCrash, SweepAborted
 from .paper_claims import CLAIMS, Claim, ClaimOutcome, evaluate_claims, render_claims
+from .resilience import (
+    CheckpointError,
+    CheckpointJournal,
+    FailureReport,
+    ResilienceOptions,
+    RetryPolicy,
+    SweepSupervisor,
+)
 from .runner import FigureResult, SweepPoint, run_sweep
 from .validation import ShapeCheck, validate_figure
 
@@ -61,4 +70,13 @@ __all__ = [
     "ClaimOutcome",
     "evaluate_claims",
     "render_claims",
+    "ResilienceOptions",
+    "RetryPolicy",
+    "FailureReport",
+    "CheckpointJournal",
+    "CheckpointError",
+    "SweepSupervisor",
+    "FaultPlan",
+    "InjectedCrash",
+    "SweepAborted",
 ]

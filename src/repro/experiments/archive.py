@@ -14,9 +14,11 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+import tempfile
+from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional
 
+from .resilience import FailureReport
 from .runner import FigureResult
 
 __all__ = [
@@ -32,7 +34,13 @@ __all__ = [
 
 def save_figure(figure: FigureResult, directory: str) -> str:
     """Write one figure as ``<directory>/<figure_id>.json``; returns
-    the path."""
+    the path.
+
+    The write is atomic: the JSON is rendered to a temporary file in
+    the same directory, fsync'd, and :func:`os.replace`'d into place,
+    so a crash mid-save leaves either the previous archive or the new
+    one — never a truncated file.
+    """
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"{figure.figure_id}.json")
     payload = {
@@ -45,25 +53,58 @@ def save_figure(figure: FigureResult, directory: str) -> str:
             for label, points in figure.series.items()
         },
         "notes": list(figure.notes),
+        "failures": [asdict(report) for report in figure.failures],
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=f".{figure.figure_id}.", suffix=".json.tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
     return path
 
 
 def load_figure(path: str) -> FigureResult:
-    """Read a figure written by :func:`save_figure`."""
+    """Read a figure written by :func:`save_figure`.
+
+    Raises a :class:`ValueError` naming the offending path when the
+    file is not valid JSON or lacks the expected structure, so a
+    corrupted archive is diagnosable instead of surfacing as a bare
+    ``KeyError`` deep inside a comparison.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        payload = json.load(handle)
-    figure = FigureResult(
-        figure_id=payload["figure_id"],
-        title=payload["title"],
-        x_label=payload["x_label"],
-        metric=payload["metric"],
-    )
-    for label, points in payload["series"].items():
-        figure.series[label] = [(float(x), float(y), float(h)) for x, y, h in points]
-    figure.notes = list(payload.get("notes", []))
+        raw = handle.read()
+    try:
+        payload = json.loads(raw)
+    except ValueError as exc:
+        raise ValueError(f"malformed figure archive {path!r}: {exc}") from exc
+    try:
+        figure = FigureResult(
+            figure_id=payload["figure_id"],
+            title=payload["title"],
+            x_label=payload["x_label"],
+            metric=payload["metric"],
+        )
+        for label, points in payload["series"].items():
+            figure.series[label] = [
+                (float(x), float(y), float(h)) for x, y, h in points
+            ]
+        figure.notes = list(payload.get("notes", []))
+        figure.failures = [
+            FailureReport(**report) for report in payload.get("failures", [])
+        ]
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        raise ValueError(
+            f"malformed figure archive {path!r}: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
     return figure
 
 

@@ -6,6 +6,8 @@ Usage::
     python -m repro table3
     python -m repro run-figure fig4a --preset quick --seed 7
     python -m repro run-all --preset standard --output EXPERIMENTS.out.md
+    python -m repro run-figure fig4a --checkpoint-dir ckpt --resume \
+        --retries 3 --point-timeout 1800 --processes 4
 """
 
 from __future__ import annotations
@@ -139,19 +141,89 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="archive each regenerated figure as JSON in this directory",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "journal every completed point to DIR/<figure_id>.journal.jsonl "
+            "so an interrupted sweep can be resumed"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "resume from an existing checkpoint journal (default); "
+            "--no-resume discards it and starts fresh"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="times a failed or hung point is retried (with backoff)",
+    )
+    parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="initial backoff before a retry; doubles per attempt",
+    )
+    parser.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock limit per point attempt; hung workers are killed "
+            "and retried (requires --processes >= 2)"
+        ),
+    )
+    parser.add_argument(
+        "--wall-clock-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="real-time budget per replication inside the simulator",
+    )
+
+
+def _resilience_from_args(args: argparse.Namespace):
+    from .resilience import ResilienceOptions, RetryPolicy
+
+    return ResilienceOptions(
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+        resume=getattr(args, "resume", True),
+        retry=RetryPolicy(
+            max_retries=getattr(args, "retries", 2),
+            backoff_base=getattr(args, "retry_backoff", 0.5),
+        ),
+        point_timeout=getattr(args, "point_timeout", None),
+        wall_clock_budget=getattr(args, "wall_clock_budget", None),
+    )
 
 
 def _run_one(figure_id: str, args: argparse.Namespace, stream) -> bool:
     runner = FIGURE_RUNNERS[figure_id]
     started = time.time()
-    figure = runner(preset=args.preset, seed=args.seed, processes=args.processes)
+    figure = runner(
+        preset=args.preset,
+        seed=args.seed,
+        processes=args.processes,
+        resilience=_resilience_from_args(args),
+    )
     elapsed = time.time() - started
     print(render_figure(figure))
     if getattr(args, "chart", False):
         print()
         print(render_ascii_chart(figure))
     print(f"({elapsed:.1f} s, preset={args.preset})")
-    ok = True
+    ok = not figure.failures
+    for report in figure.failures:
+        print(f"point failure: {report.summary()}")
     if not args.no_validate:
         for check in validate_figure(figure):
             print(str(check))

@@ -1,0 +1,149 @@
+"""Deterministic fault injection for the sweep runner.
+
+The paper studies what happens when failures strike *during*
+checkpointing; this module lets the test suite (and the CI smoke job)
+do the same to the harness itself. A :class:`FaultPlan` is attached to
+:class:`~repro.experiments.resilience.ResilienceOptions` and injects,
+deterministically by point index and attempt number:
+
+* **crashes** — the worker raises :class:`InjectedCrash` before
+  simulating, exercising the retry/backoff path;
+* **hangs** — the worker sleeps past the supervisor's point timeout,
+  exercising hang detection and pool replacement;
+* **aborts** — the supervisor raises :class:`SweepAborted` after the
+  k-th completed point has been journaled, simulating the sweep
+  process being killed mid-run (the resume path's test vector);
+
+plus journal-corruption helpers (:func:`corrupt_journal_tail`,
+:func:`corrupt_journal_line`, :func:`truncate_journal`) that model a
+torn write or bit rot in the checkpoint file itself.
+
+Everything here is picklable: the plan rides into worker processes
+inside the task arguments.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "FaultPlan",
+    "InjectedCrash",
+    "SweepAborted",
+    "corrupt_journal_line",
+    "corrupt_journal_tail",
+    "truncate_journal",
+]
+
+
+class InjectedCrash(RuntimeError):
+    """An artificial worker failure raised by a :class:`FaultPlan`."""
+
+
+class SweepAborted(RuntimeError):
+    """The supervisor was told to die mid-sweep (simulated kill)."""
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of injected faults.
+
+    Attributes
+    ----------
+    crashes:
+        ``point index -> attempts`` on which the worker raises
+        :class:`InjectedCrash`.
+    hangs:
+        ``point index -> attempts`` on which the worker sleeps for
+        ``hang_seconds`` before proceeding.
+    hang_seconds:
+        How long an injected hang sleeps. Pick it well above the
+        supervisor's ``point_timeout`` to model a genuine hang, or
+        below it to model a slow-but-successful point.
+    abort_after:
+        Raise :class:`SweepAborted` in the supervisor once this many
+        points have completed (and been journaled) in the current run.
+    """
+
+    crashes: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    hangs: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    hang_seconds: float = 3600.0
+    abort_after: Optional[int] = None
+
+    # -- construction helpers (chainable) ------------------------------
+    def crash(self, index: int, attempts: Sequence[int] = (0,)) -> "FaultPlan":
+        """Crash the given point on the given attempt numbers."""
+        self.crashes[index] = tuple(attempts)
+        return self
+
+    def hang(
+        self,
+        index: int,
+        attempts: Sequence[int] = (0,),
+        seconds: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Hang the given point on the given attempt numbers."""
+        self.hangs[index] = tuple(attempts)
+        if seconds is not None:
+            self.hang_seconds = float(seconds)
+        return self
+
+    def abort_after_points(self, count: int) -> "FaultPlan":
+        """Kill the sweep after ``count`` completed points."""
+        self.abort_after = int(count)
+        return self
+
+    # -- hooks ----------------------------------------------------------
+    def before_point(self, index: int, attempt: int) -> None:
+        """Worker-side hook, called before a point is simulated."""
+        if attempt in self.hangs.get(index, ()):
+            time.sleep(self.hang_seconds)
+        if attempt in self.crashes.get(index, ()):
+            raise InjectedCrash(
+                f"injected crash at point {index}, attempt {attempt}"
+            )
+
+    def after_success(self, completed_count: int) -> None:
+        """Supervisor-side hook, called after a point is journaled."""
+        if self.abort_after is not None and completed_count >= self.abort_after:
+            raise SweepAborted(
+                f"injected abort after {completed_count} completed point(s)"
+            )
+
+
+# ----------------------------------------------------------------------
+# Journal corruption
+# ----------------------------------------------------------------------
+def corrupt_journal_tail(
+    path: str, garbage: str = '{"kind": "point", "series": "tru'
+) -> None:
+    """Append a torn (half-written) record to a journal, as if the
+    process died mid-append."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(garbage)
+
+
+def corrupt_journal_line(path: str, line_index: int, garbage: str = "\x00garbage\x00") -> None:
+    """Overwrite one journal line with garbage (bit rot)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not 0 <= line_index < len(lines):
+        raise IndexError(
+            f"journal {path!r} has {len(lines)} lines; cannot corrupt line "
+            f"{line_index}"
+        )
+    lines[line_index] = garbage
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def truncate_journal(path: str, keep_lines: int) -> None:
+    """Drop all but the first ``keep_lines`` lines of a journal."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    kept = lines[:keep_lines]
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in kept:
+            handle.write(line + "\n")

@@ -16,6 +16,7 @@ from ..analytical import markov
 from ..cluster import ClusterSimulator
 from ..core.parameters import HOUR, MINUTE, YEAR, CoordinationMode, ModelParameters
 from .config import INTERVAL_GRID_MIN, PROCESSOR_GRID, base_parameters, plan_for
+from .resilience import ResilienceOptions
 from .runner import FigureResult, SweepPoint, run_sweep
 
 __all__ = [
@@ -38,7 +39,8 @@ __all__ = [
 ]
 
 
-def _sweep(figure_id, title, x_label, metric, points, preset, seed, processes):
+def _sweep(figure_id, title, x_label, metric, points, preset, seed, processes,
+           resilience=None):
     return run_sweep(
         figure_id,
         title,
@@ -48,6 +50,7 @@ def _sweep(figure_id, title, x_label, metric, points, preset, seed, processes):
         plan_for(preset),
         seed=seed,
         processes=processes,
+        resilience=resilience,
     )
 
 
@@ -55,7 +58,10 @@ def _sweep(figure_id, title, x_label, metric, points, preset, seed, processes):
 # Figure 4: base-model sensitivity study
 # ----------------------------------------------------------------------
 def figure_4a(
-    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+    preset: str = "standard",
+    seed: int = 0,
+    processes: Optional[int] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> FigureResult:
     """Total useful work vs number of processors for different MTTFs
     (MTTR = 10 min, checkpoint interval = 30 min)."""
@@ -80,11 +86,15 @@ def figure_4a(
         preset,
         seed,
         processes,
+        resilience,
     )
 
 
 def figure_4b(
-    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+    preset: str = "standard",
+    seed: int = 0,
+    processes: Optional[int] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> FigureResult:
     """Total useful work vs checkpoint interval for different numbers
     of processors (MTTF = 1 yr, MTTR = 10 min)."""
@@ -109,11 +119,15 @@ def figure_4b(
         preset,
         seed,
         processes,
+        resilience,
     )
 
 
 def figure_4c(
-    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+    preset: str = "standard",
+    seed: int = 0,
+    processes: Optional[int] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> FigureResult:
     """Total useful work vs number of processors for different MTTRs
     (MTTF = 1 yr, checkpoint interval = 30 min)."""
@@ -136,11 +150,15 @@ def figure_4c(
         preset,
         seed,
         processes,
+        resilience,
     )
 
 
 def figure_4d(
-    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+    preset: str = "standard",
+    seed: int = 0,
+    processes: Optional[int] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> FigureResult:
     """Total useful work vs checkpoint interval for different MTTRs
     (MTTF = 1 yr, 64K processors)."""
@@ -165,11 +183,15 @@ def figure_4d(
         preset,
         seed,
         processes,
+        resilience,
     )
 
 
 def figure_4e(
-    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+    preset: str = "standard",
+    seed: int = 0,
+    processes: Optional[int] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> FigureResult:
     """Total useful work vs number of processors for different
     checkpoint intervals (MTTF = 1 yr, MTTR = 10 min)."""
@@ -194,11 +216,15 @@ def figure_4e(
         preset,
         seed,
         processes,
+        resilience,
     )
 
 
 def figure_4f(
-    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+    preset: str = "standard",
+    seed: int = 0,
+    processes: Optional[int] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> FigureResult:
     """Total useful work vs checkpoint interval for different MTTFs
     (MTTR = 10 min, 64K processors)."""
@@ -224,6 +250,7 @@ def figure_4f(
         preset,
         seed,
         processes,
+        resilience,
     )
 
 
@@ -234,6 +261,7 @@ def _nodes_figure(
     preset: str,
     seed: int,
     processes: Optional[int],
+    resilience: Optional[ResilienceOptions],
 ) -> FigureResult:
     base = base_parameters()
     points = [
@@ -258,24 +286,34 @@ def _nodes_figure(
         preset,
         seed,
         processes,
+        resilience,
     )
 
 
 def figure_4g(
-    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+    preset: str = "standard",
+    seed: int = 0,
+    processes: Optional[int] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> FigureResult:
     """Total useful work vs number of nodes at 32 processors per node
     (MTTF per node of 1 and 2 years)."""
-    return _nodes_figure("fig4g", 32, (8192, 16384, 32768), preset, seed, processes)
+    return _nodes_figure(
+        "fig4g", 32, (8192, 16384, 32768), preset, seed, processes, resilience
+    )
 
 
 def figure_4h(
-    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+    preset: str = "standard",
+    seed: int = 0,
+    processes: Optional[int] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> FigureResult:
     """Total useful work vs number of nodes at 16 processors per node
     (MTTF per node of 1 and 2 years)."""
     return _nodes_figure(
-        "fig4h", 16, (8192, 16384, 32768, 65536), preset, seed, processes
+        "fig4h", 16, (8192, 16384, 32768, 65536), preset, seed, processes,
+        resilience,
     )
 
 
@@ -283,7 +321,10 @@ def figure_4h(
 # Figure 5: coordination only (no failures, no timeout)
 # ----------------------------------------------------------------------
 def figure_5(
-    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+    preset: str = "standard",
+    seed: int = 0,
+    processes: Optional[int] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> FigureResult:
     """Useful work fraction vs processors under pure coordination.
 
@@ -323,6 +364,7 @@ def figure_5(
         preset,
         seed,
         processes,
+        resilience,
     )
     # Attach the closed-form prediction for each curve as a note.
     for mttq in (10.0, 2.0, 0.5):
@@ -343,7 +385,10 @@ def figure_5(
 # Figure 6: coordination + timeout + failures
 # ----------------------------------------------------------------------
 def figure_6(
-    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+    preset: str = "standard",
+    seed: int = 0,
+    processes: Optional[int] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> FigureResult:
     """Useful work fraction vs processors under coordination with
     timeouts (MTTF per node = 3 yrs, interval = 30 min, MTTQ = 10 s)."""
@@ -388,6 +433,7 @@ def figure_6(
         preset,
         seed,
         processes,
+        resilience,
     )
 
 
@@ -395,7 +441,10 @@ def figure_6(
 # Figures 7 and 8: correlated failures
 # ----------------------------------------------------------------------
 def figure_7(
-    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+    preset: str = "standard",
+    seed: int = 0,
+    processes: Optional[int] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> FigureResult:
     """Useful work fraction vs probability of correlated failure for
     error-propagation correlated failures (MTTF = 3 yrs, 256K
@@ -423,11 +472,15 @@ def figure_7(
         preset,
         seed,
         processes,
+        resilience,
     )
 
 
 def figure_8(
-    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+    preset: str = "standard",
+    seed: int = 0,
+    processes: Optional[int] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> FigureResult:
     """Useful work fraction vs processors with and without generic
     correlated failures (coefficient = 0.0025, factor = 400, MTTF =
@@ -462,6 +515,7 @@ def figure_8(
         preset,
         seed,
         processes,
+        resilience,
     )
 
 
@@ -469,7 +523,10 @@ def figure_8(
 # Closed-form / cross-validation "figures"
 # ----------------------------------------------------------------------
 def figure_3(
-    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+    preset: str = "standard",
+    seed: int = 0,
+    processes: Optional[int] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> FigureResult:
     """The Section 6 birth–death chain, solved exactly for the paper's
     worked example (n = 1024, p = 0.3, MTTR = 10 min, MTTF = 25 yrs,
@@ -504,7 +561,10 @@ def figure_3(
 
 
 def coordination_law(
-    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+    preset: str = "standard",
+    seed: int = 0,
+    processes: Optional[int] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> FigureResult:
     """Cross-validation of the Section 5 coordination law against the
     message-level cluster simulator: measured mean coordination time
@@ -541,11 +601,16 @@ def coordination_law(
 
 
 def section_7_1(
-    preset: str = "standard", seed: int = 0, processes: Optional[int] = None
+    preset: str = "standard",
+    seed: int = 0,
+    processes: Optional[int] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> FigureResult:
     """The Section 7.1 headline: the optimum processor count for the
     base configuration and the useful work fraction at the peak."""
-    figure_a = figure_4a(preset=preset, seed=seed, processes=processes)
+    figure_a = figure_4a(
+        preset=preset, seed=seed, processes=processes, resilience=resilience
+    )
     label = "MTTF (yrs) = 1"
     peak_x = figure_a.peak_x(label)
     points = dict(

@@ -1,0 +1,748 @@
+"""Fault-tolerant sweep execution: checkpoint journal + supervisor.
+
+The paper this repository reproduces models systems that survive
+failures by periodically persisting partial state; this module makes
+the *harness itself* practice that discipline. It provides the three
+pieces :func:`~repro.experiments.runner.run_sweep` composes:
+
+* :class:`CheckpointJournal` — an append-only, fsync'd JSON-lines file
+  holding one record per completed sweep point. An interrupted sweep
+  resumes from its journal, simulating only the missing points; since
+  every point's seed is derived from its position, the resumed figure
+  is bit-identical to an uninterrupted run. Torn or corrupted tails
+  (the harness-level analogue of a failure *during* checkpointing) are
+  detected and truncated back to the last intact record.
+
+* :class:`SweepSupervisor` — replaces the bare ``pool.imap`` loop.
+  Each point runs under an optional wall-clock timeout, is retried up
+  to ``RetryPolicy.max_retries`` times with exponential backoff (each
+  retry on a freshly derived seed stream so a poisoned sample path is
+  not replayed), and a point that exhausts its retries is recorded as
+  a structured :class:`FailureReport` instead of aborting the sweep.
+  If the worker pool itself dies, execution degrades to serial.
+
+* :class:`ResilienceOptions` / :class:`RetryPolicy` — the
+  configuration threaded from the CLI (``--resume``, ``--retries``,
+  ``--point-timeout``, ...) down to the executive.
+
+Determinism contract: a point's outcome depends only on its
+``(params, plan, seed)``; the seed of attempt ``k`` is a stable hash
+of ``(base_seed, k)``. Scheduling, pool size, resume and injected
+faults therefore never change the *values* of points that succeed.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..san.rng import stable_stream_key
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointJournal",
+    "FailureReport",
+    "JournalState",
+    "PointTask",
+    "ResilienceOptions",
+    "RetryPolicy",
+    "SupervisorResult",
+    "SweepSupervisor",
+    "derive_attempt_seed",
+    "failure_payload",
+]
+
+#: A point outcome as journaled and assembled: (series, x, mean, half_width).
+Outcome = Tuple[str, float, float, float]
+#: Journal key of a point.
+PointKey = Tuple[str, float]
+
+
+class CheckpointError(RuntimeError):
+    """The checkpoint journal cannot be used (fingerprint mismatch,
+    unusable header, ...). Carries the journal path in the message."""
+
+
+def derive_attempt_seed(base_seed: int, attempt: int) -> int:
+    """The seed of retry ``attempt`` for a point whose first attempt
+    used ``base_seed``.
+
+    Attempt 0 keeps the base seed (so runs without failures match the
+    historical seeding exactly); attempt ``k > 0`` folds ``(seed, k)``
+    through the same stable hash the stream registry uses, giving the
+    retry an independent sample path instead of deterministically
+    replaying whatever poisoned the first attempt.
+    """
+    if attempt == 0:
+        return base_seed
+    return stable_stream_key(f"retry/{base_seed}/{attempt}")
+
+
+def failure_payload(exc: BaseException) -> Dict[str, str]:
+    """Serialise an exception for transport out of a worker process."""
+    return {
+        "error_type": type(exc).__name__,
+        "error_message": str(exc),
+        "traceback": traceback.format_exc(),
+    }
+
+
+@dataclass
+class FailureReport:
+    """One sweep point that exhausted its retries.
+
+    Attached to ``FigureResult.failures`` (and summarised into
+    ``FigureResult.notes``) instead of aborting the sweep mid-run.
+    """
+
+    series: str
+    x: float
+    index: int
+    attempts: int
+    error_type: str
+    error_message: str
+    traceback: str = ""
+
+    def summary(self) -> str:
+        return (
+            f"point {self.series!r} @ x={self.x:g} failed after "
+            f"{self.attempts} attempt(s): {self.error_type}: {self.error_message}"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed or hung points are retried.
+
+    ``delay_for(attempt)`` is the backoff slept before attempt
+    ``attempt`` (1-based for retries): ``backoff_base * backoff_factor
+    ** (attempt - 1)``, capped at ``backoff_max``.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max < 0:
+            raise ValueError(f"backoff_max must be >= 0, got {self.backoff_max}")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff (seconds) before the given retry attempt (>= 1)."""
+        if attempt < 1:
+            return 0.0
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+
+
+@dataclass
+class ResilienceOptions:
+    """Sweep-level fault-tolerance configuration.
+
+    Attributes
+    ----------
+    checkpoint_dir:
+        Directory holding one ``<figure_id>.journal.jsonl`` per sweep.
+        ``None`` disables checkpointing entirely.
+    resume:
+        When a journal exists, skip its completed points (default).
+        ``False`` discards any existing journal and starts fresh.
+    retry:
+        The per-point retry/backoff policy.
+    point_timeout:
+        Wall-clock seconds one point attempt may run before the
+        supervisor declares it hung. Enforced only with worker
+        processes (a hung in-process call cannot be preempted); a
+        serial sweep records a note instead.
+    wall_clock_budget:
+        Per-replication real-time budget forwarded into
+        :class:`~repro.core.simulation.SimulationPlan`; a run that
+        exceeds it raises inside the worker and goes through the
+        normal retry path.
+    fault_plan:
+        Optional :class:`~repro.experiments.faultinject.FaultPlan`
+        used by the tests and the CI smoke job to inject worker
+        crashes, hangs and mid-sweep aborts deterministically.
+    """
+
+    checkpoint_dir: Optional[str] = None
+    resume: bool = True
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    point_timeout: Optional[float] = None
+    wall_clock_budget: Optional[float] = None
+    fault_plan: Optional[Any] = None
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One unit of supervised work: a sweep point still to simulate.
+
+    ``args`` is the picklable prefix of the worker's argument tuple;
+    the supervisor appends ``(seed, index, attempt, fault_plan)``.
+    """
+
+    index: int
+    series: str
+    x: float
+    base_seed: int
+    args: Tuple[Any, ...]
+
+    @property
+    def key(self) -> PointKey:
+        return (self.series, self.x)
+
+
+@dataclass
+class JournalState:
+    """What :meth:`CheckpointJournal.load` recovered."""
+
+    outcomes: Dict[PointKey, Outcome] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+
+class CheckpointJournal:
+    """Append-only JSON-lines journal of completed sweep points.
+
+    Layout: a ``header`` record carrying a fingerprint of the sweep
+    configuration, followed by one ``point`` record per completed
+    point. Every append is flushed and fsync'd, so after a crash the
+    journal holds every completed point except, at worst, a torn final
+    line — which :meth:`load` detects and truncates.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # Fingerprinting
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fingerprint(
+        figure_id: str,
+        metric: str,
+        seed: int,
+        plan: Any,
+        point_signatures: Sequence[Tuple[str, float, str]],
+    ) -> str:
+        """A stable digest of everything that determines point values.
+
+        Two sweeps share a fingerprint iff resuming one from the
+        other's journal is sound. Wall-clock budgets and retry
+        policies are deliberately excluded: they affect *whether* a
+        point completes, never its value.
+        """
+        import hashlib
+
+        digest = hashlib.blake2b(digest_size=16)
+        core = (
+            figure_id,
+            metric,
+            int(seed),
+            float(getattr(plan, "warmup", 0.0)),
+            float(getattr(plan, "observation", 0.0)),
+            int(getattr(plan, "replications", 1)),
+            float(getattr(plan, "confidence", 0.95)),
+        )
+        digest.update(repr(core).encode("utf-8"))
+        for series, x, params_repr in point_signatures:
+            digest.update(f"{series}\x00{x!r}\x00{params_repr}\n".encode("utf-8"))
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Reading / recovery
+    # ------------------------------------------------------------------
+    def load(self, expected_fingerprint: str) -> JournalState:
+        """Recover completed points from an existing journal.
+
+        * No journal: empty state.
+        * Unreadable or corrupt header: the journal is discarded (a
+          torn first write left nothing recoverable) with a note.
+        * Fingerprint mismatch: :class:`CheckpointError` — resuming a
+          different configuration would silently mix results.
+        * Corrupt line after a valid prefix: the prefix is kept, the
+          file is atomically truncated back to it, and a note records
+          how many records were dropped.
+        """
+        state = JournalState()
+        if not os.path.exists(self.path):
+            return state
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            return state
+
+        header: Optional[Dict[str, Any]] = None
+        valid_lines: List[str] = []
+        dropped = 0
+        for position, line in enumerate(lines):
+            record = self._parse_record(line)
+            if record is None:
+                dropped = len(lines) - position
+                break
+            if position == 0:
+                if record.get("kind") != "header" or "fingerprint" not in record:
+                    record = None
+                    dropped = len(lines)
+                    break
+                header = record
+            elif record.get("kind") == "point":
+                state.outcomes[(record["series"], float(record["x"]))] = (
+                    record["series"],
+                    float(record["x"]),
+                    float(record["mean"]),
+                    float(record["half_width"]),
+                )
+            else:
+                # Unknown record kind: treat as corruption from here on.
+                dropped = len(lines) - position
+                break
+            valid_lines.append(line)
+
+        if header is None:
+            state.outcomes.clear()
+            state.notes.append(
+                f"checkpoint journal {self.path!r} had an unusable header; "
+                "starting the sweep from scratch"
+            )
+            self.discard()
+            return state
+        if header["fingerprint"] != expected_fingerprint:
+            raise CheckpointError(
+                f"checkpoint journal {self.path!r} was written by a different "
+                f"sweep configuration (journal fingerprint "
+                f"{header['fingerprint']}, expected {expected_fingerprint}); "
+                "pass resume=False (CLI: --no-resume) to discard it"
+            )
+        if dropped:
+            state.notes.append(
+                f"checkpoint journal {self.path!r}: dropped {dropped} corrupt "
+                f"trailing line(s); kept {len(state.outcomes)} intact point(s)"
+            )
+            self._rewrite(valid_lines)
+        return state
+
+    @staticmethod
+    def _parse_record(line: str) -> Optional[Dict[str, Any]]:
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            record = json.loads(line)
+        except ValueError:
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("kind") == "point":
+            required = ("series", "x", "mean", "half_width")
+            if any(name not in record for name in required):
+                return None
+            if not isinstance(record["series"], str):
+                return None
+            try:
+                float(record["x"]), float(record["mean"]), float(record["half_width"])
+            except (TypeError, ValueError):
+                return None
+        return record
+
+    def _rewrite(self, lines: Sequence[str]) -> None:
+        """Atomically replace the journal with the given valid prefix."""
+        directory = os.path.dirname(self.path) or "."
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".journal-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for line in lines:
+                    handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def begin(self, fingerprint: str, meta: Dict[str, Any]) -> None:
+        """Open the journal for appending, writing a header if new."""
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if fresh:
+            header = {"kind": "header", "version": self.VERSION,
+                      "fingerprint": fingerprint}
+            header.update(meta)
+            self._append(header)
+
+    def record_point(
+        self,
+        index: int,
+        series: str,
+        x: float,
+        mean: float,
+        half_width: float,
+        attempt: int,
+        seed_used: int,
+    ) -> None:
+        """Durably journal one completed point."""
+        self._append(
+            {
+                "kind": "point",
+                "index": index,
+                "series": series,
+                "x": x,
+                "mean": mean,
+                "half_width": half_width,
+                "attempt": attempt,
+                "seed_used": seed_used,
+            }
+        )
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            raise CheckpointError(
+                f"journal {self.path!r} is not open; call begin() first"
+            )
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def discard(self) -> None:
+        """Delete any existing journal file."""
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+@dataclass
+class SupervisorResult:
+    """Everything a supervised execution produced."""
+
+    outcomes: Dict[int, Outcome] = field(default_factory=dict)
+    failures: List[FailureReport] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    attempts: Dict[int, int] = field(default_factory=dict)
+
+
+class _PendingQueue:
+    """Retry-aware work queue: FIFO of ready entries plus a delayed
+    set whose backoff deadlines have not passed yet."""
+
+    def __init__(self, indices: Sequence[int]) -> None:
+        self.ready: Deque[Tuple[int, int]] = deque((i, 0) for i in indices)
+        self.delayed: List[Tuple[float, int, int]] = []
+
+    def __bool__(self) -> bool:
+        return bool(self.ready) or bool(self.delayed)
+
+    def promote(self, now: float) -> None:
+        """Move delayed entries whose deadline passed into the ready queue."""
+        due = [entry for entry in self.delayed if entry[0] <= now]
+        if due:
+            self.delayed = [e for e in self.delayed if e[0] > now]
+            for _, index, attempt in sorted(due):
+                self.ready.append((index, attempt))
+
+    def defer(self, index: int, attempt: int, not_before: float) -> None:
+        self.delayed.append((not_before, index, attempt))
+
+    def requeue_front(self, entries: Sequence[Tuple[int, int]]) -> None:
+        for index, attempt in reversed(entries):
+            self.ready.appendleft((index, attempt))
+
+    def next_deadline(self) -> Optional[float]:
+        return min((e[0] for e in self.delayed), default=None)
+
+
+class SweepSupervisor:
+    """Runs point tasks to completion under failures, hangs and pool
+    death.
+
+    Parameters
+    ----------
+    worker:
+        A picklable module-level callable invoked as
+        ``worker(*task.args, seed, task.index, attempt, fault_plan)``
+        returning ``("ok", outcome)`` or ``("error", payload)`` (see
+        :func:`failure_payload`). Workers catch their own exceptions
+        so nothing un-picklable ever crosses the process boundary.
+    options:
+        The :class:`ResilienceOptions` in effect.
+    processes:
+        Worker process count; ``1`` executes in-process (serial).
+    on_success:
+        Callback ``(task, outcome, attempt, seed_used) -> None`` fired
+        (in the supervisor process) after each completed point —
+        journal append, progress reporting and fault-plan abort hooks
+        live there. Exceptions it raises propagate: an abort injected
+        mid-sweep behaves exactly like the process being killed.
+    """
+
+    def __init__(
+        self,
+        worker: Callable[..., Tuple[str, Any]],
+        options: ResilienceOptions,
+        processes: int = 1,
+        on_success: Optional[Callable[[PointTask, Outcome, int, int], None]] = None,
+    ) -> None:
+        self.worker = worker
+        self.options = options
+        self.processes = max(1, processes)
+        self.on_success = on_success
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[PointTask]) -> SupervisorResult:
+        result = SupervisorResult()
+        if not tasks:
+            return result
+        by_index = {task.index: task for task in tasks}
+        queue = _PendingQueue([task.index for task in tasks])
+
+        if self.processes > 1:
+            self._run_pooled(queue, by_index, result)
+        else:
+            if self.options.point_timeout is not None:
+                result.notes.append(
+                    "point_timeout is not enforceable in serial execution; "
+                    "pass processes >= 2 to supervise hung points"
+                )
+            self._run_serial(queue, by_index, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping
+    # ------------------------------------------------------------------
+    def _worker_args(self, task: PointTask, attempt: int) -> Tuple[Any, ...]:
+        seed = derive_attempt_seed(task.base_seed, attempt)
+        return task.args + (seed, task.index, attempt, self.options.fault_plan)
+
+    def _record_success(
+        self,
+        task: PointTask,
+        outcome: Outcome,
+        attempt: int,
+        result: SupervisorResult,
+    ) -> None:
+        result.outcomes[task.index] = outcome
+        result.attempts[task.index] = attempt + 1
+        if self.on_success is not None:
+            self.on_success(
+                task, outcome, attempt, derive_attempt_seed(task.base_seed, attempt)
+            )
+
+    def _record_attempt_failure(
+        self,
+        task: PointTask,
+        attempt: int,
+        payload: Dict[str, str],
+        queue: _PendingQueue,
+        result: SupervisorResult,
+        now: float,
+    ) -> None:
+        retry = self.options.retry
+        if attempt < retry.max_retries:
+            next_attempt = attempt + 1
+            queue.defer(task.index, next_attempt, now + retry.delay_for(next_attempt))
+        else:
+            result.attempts[task.index] = attempt + 1
+            result.failures.append(
+                FailureReport(
+                    series=task.series,
+                    x=task.x,
+                    index=task.index,
+                    attempts=attempt + 1,
+                    error_type=payload.get("error_type", "Exception"),
+                    error_message=payload.get("error_message", ""),
+                    traceback=payload.get("traceback", ""),
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Serial execution
+    # ------------------------------------------------------------------
+    def _run_serial(
+        self,
+        queue: _PendingQueue,
+        by_index: Dict[int, PointTask],
+        result: SupervisorResult,
+    ) -> None:
+        while queue:
+            now = time.monotonic()
+            queue.promote(now)
+            if not queue.ready:
+                deadline = queue.next_deadline()
+                if deadline is not None:
+                    time.sleep(max(0.0, deadline - now))
+                continue
+            index, attempt = queue.ready.popleft()
+            task = by_index[index]
+            status, payload = self.worker(*self._worker_args(task, attempt))
+            if status == "ok":
+                self._record_success(task, payload, attempt, result)
+            else:
+                self._record_attempt_failure(
+                    task, attempt, payload, queue, result, time.monotonic()
+                )
+
+    # ------------------------------------------------------------------
+    # Pooled execution
+    # ------------------------------------------------------------------
+    def _run_pooled(
+        self,
+        queue: _PendingQueue,
+        by_index: Dict[int, PointTask],
+        result: SupervisorResult,
+    ) -> None:
+        try:
+            pool = multiprocessing.Pool(self.processes)
+        except Exception as exc:
+            result.notes.append(
+                f"could not start worker pool ({type(exc).__name__}: {exc}); "
+                "degrading to serial execution"
+            )
+            self._run_serial(queue, by_index, result)
+            return
+
+        # inflight: (index, attempt, AsyncResult, submit_time), FIFO.
+        inflight: Deque[Tuple[int, int, Any, float]] = deque()
+        timeout = self.options.point_timeout
+        try:
+            while queue or inflight:
+                now = time.monotonic()
+                queue.promote(now)
+                try:
+                    while queue.ready and len(inflight) < self.processes:
+                        index, attempt = queue.ready.popleft()
+                        task = by_index[index]
+                        async_result = pool.apply_async(
+                            self.worker, self._worker_args(task, attempt)
+                        )
+                        inflight.append((index, attempt, async_result, now))
+                except Exception as exc:
+                    queue.requeue_front(
+                        [(index, attempt)]
+                        + [(i, a) for i, a, _, _ in inflight]
+                    )
+                    inflight.clear()
+                    result.notes.append(
+                        f"worker pool died ({type(exc).__name__}: {exc}); "
+                        "degrading to serial execution"
+                    )
+                    self._shutdown_pool(pool)
+                    pool = None
+                    self._run_serial(queue, by_index, result)
+                    return
+
+                if not inflight:
+                    deadline = queue.next_deadline()
+                    if deadline is not None:
+                        time.sleep(max(0.0, deadline - time.monotonic()))
+                    continue
+
+                index, attempt, async_result, submitted = inflight[0]
+                task = by_index[index]
+                try:
+                    if timeout is not None:
+                        remaining = submitted + timeout - time.monotonic()
+                        async_result.wait(max(0.0, remaining))
+                        if not async_result.ready():
+                            # Hung worker: the pool slot is lost. Kill the
+                            # pool, put the other in-flight points back, and
+                            # retry the hung point on a fresh pool.
+                            inflight.popleft()
+                            queue.requeue_front(
+                                [(i, a) for i, a, _, _ in inflight]
+                            )
+                            inflight.clear()
+                            self._record_attempt_failure(
+                                task,
+                                attempt,
+                                {
+                                    "error_type": "PointTimeout",
+                                    "error_message": (
+                                        f"no result within {timeout:g} s "
+                                        f"(attempt {attempt + 1})"
+                                    ),
+                                },
+                                queue,
+                                result,
+                                time.monotonic(),
+                            )
+                            self._shutdown_pool(pool, terminate=True)
+                            pool = multiprocessing.Pool(self.processes)
+                            continue
+                    status, payload = async_result.get()
+                except Exception as exc:
+                    # The pool infrastructure itself failed (workers never
+                    # raise through the protocol). Fall back to serial.
+                    queue.requeue_front(
+                        [(i, a) for i, a, _, _ in inflight]
+                    )
+                    inflight.clear()
+                    result.notes.append(
+                        f"worker pool died ({type(exc).__name__}: {exc}); "
+                        "degrading to serial execution"
+                    )
+                    self._shutdown_pool(pool, terminate=True)
+                    pool = None
+                    self._run_serial(queue, by_index, result)
+                    return
+
+                inflight.popleft()
+                if status == "ok":
+                    self._record_success(task, payload, attempt, result)
+                else:
+                    self._record_attempt_failure(
+                        task, attempt, payload, queue, result, time.monotonic()
+                    )
+        finally:
+            if pool is not None:
+                self._shutdown_pool(pool, terminate=True)
+
+    @staticmethod
+    def _shutdown_pool(pool: Any, terminate: bool = False) -> None:
+        try:
+            if terminate:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+        except Exception:
+            pass

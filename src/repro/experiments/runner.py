@@ -4,16 +4,33 @@ A *sweep* is a list of points, each a full model configuration; the
 runner simulates every point (serially, or across worker processes
 when the machine has them) and returns a :class:`FigureResult` shaped
 like the paper's plot: an x-grid and one series of y-values per curve.
+
+Execution is fault tolerant (see :mod:`repro.experiments.resilience`):
+with a ``checkpoint_dir`` every completed point is journaled and an
+interrupted sweep resumes bit-identically; failed or hung points are
+retried with exponential backoff and, if they never succeed, reported
+as structured :class:`~repro.experiments.resilience.FailureReport`
+entries on the figure instead of aborting the other points.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.parameters import ModelParameters
 from ..core.simulation import SimulationPlan, SimulationResult, simulate
+from .resilience import (
+    CheckpointJournal,
+    FailureReport,
+    Outcome,
+    PointTask,
+    ResilienceOptions,
+    SupervisorResult,
+    SweepSupervisor,
+    failure_payload,
+)
 
 __all__ = ["SweepPoint", "FigureResult", "run_sweep"]
 
@@ -43,7 +60,9 @@ class FigureResult:
 
     ``series`` maps a curve label to ``[(x, y, half_width), ...]``
     sorted by x. ``metric`` names the y-axis ("total_useful_work" or
-    "useful_work_fraction").
+    "useful_work_fraction"). ``failures`` lists points that exhausted
+    their retries (also summarised in ``notes``); their entries are
+    absent from ``series``.
     """
 
     figure_id: str
@@ -52,6 +71,7 @@ class FigureResult:
     metric: str
     series: Dict[str, List[Tuple[float, float, float]]] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    failures: List[FailureReport] = field(default_factory=list)
 
     def y_values(self, label: str) -> List[float]:
         """The y series of one curve (sorted by x)."""
@@ -67,18 +87,54 @@ class FigureResult:
         return max(points, key=lambda p: p[1])[0]
 
 
-def _simulate_point(
-    args: Tuple[SweepPoint, SimulationPlan, int]
-) -> Tuple[str, float, float, float]:
-    point, plan, seed = args
-    result = simulate(point.params, plan, seed=seed)
-    metric_value = result.useful_work_fraction
-    return (
-        point.series,
-        point.x,
-        metric_value.mean,
-        metric_value.half_width,
-    )
+def _simulate_point_worker(
+    point: SweepPoint,
+    plan: SimulationPlan,
+    seed: int,
+    index: int,
+    attempt: int,
+    fault_plan,
+) -> Tuple[str, object]:
+    """Supervised worker: simulate one point, never raise.
+
+    Exceptions are serialised via :func:`failure_payload` before they
+    cross the process boundary, so structured errors with rich
+    payloads can never poison the pool's result pipe.
+    """
+    try:
+        if fault_plan is not None:
+            fault_plan.before_point(index, attempt)
+        result: SimulationResult = simulate(point.params, plan, seed=seed)
+        metric_value = result.useful_work_fraction
+        outcome: Outcome = (
+            point.series,
+            point.x,
+            metric_value.mean,
+            metric_value.half_width,
+        )
+        return ("ok", outcome)
+    except Exception as exc:
+        return ("error", failure_payload(exc))
+
+
+def _check_unique_points(points: Sequence[SweepPoint]) -> None:
+    """Reject sweeps with colliding ``(series, x)`` keys.
+
+    Two points sharing a key are ambiguous everywhere downstream: the
+    figure plots one y per (series, x), the journal resumes by that
+    key, and the total-useful-work scaling must know *which* point's
+    processor count applies.
+    """
+    seen: Dict[Tuple[str, float], int] = {}
+    for index, point in enumerate(points):
+        key = (point.series, float(point.x))
+        if key in seen:
+            raise ValueError(
+                f"duplicate sweep point: series {point.series!r} at "
+                f"x={point.x:g} appears at indices {seen[key]} and {index}; "
+                "every (series, x) pair must be unique within a sweep"
+            )
+        seen[key] = index
 
 
 def run_sweep(
@@ -91,41 +147,140 @@ def run_sweep(
     seed: int = 0,
     processes: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    resilience: Optional[ResilienceOptions] = None,
 ) -> FigureResult:
     """Simulate every point and assemble the figure.
 
     ``metric`` selects the reported y value: ``"useful_work_fraction"``
     or ``"total_useful_work"`` (the latter scales the fraction by the
     point's processor count). Point ``i`` uses seed ``seed + i`` so a
-    sweep is reproducible and points are independent.
+    sweep is reproducible and points are independent; a retried point
+    uses a seed derived from ``(seed + i, attempt)``.
+
+    ``resilience`` configures checkpointing, resume, retries, timeouts
+    and fault injection; see
+    :class:`~repro.experiments.resilience.ResilienceOptions`. With a
+    ``checkpoint_dir`` the sweep journals every completed point to
+    ``<checkpoint_dir>/<figure_id>.journal.jsonl`` and a re-run resumes
+    from it, producing a figure bit-identical to an uninterrupted run.
     """
     if metric not in ("useful_work_fraction", "total_useful_work"):
         raise ValueError(f"unknown metric {metric!r}")
-    tasks = [(point, plan, seed + index) for index, point in enumerate(points)]
-    outcomes: List[Tuple[str, float, float, float]] = []
+    _check_unique_points(points)
+
+    options = resilience or ResilienceOptions()
+    if options.wall_clock_budget is not None:
+        plan = replace(plan, wall_clock_budget=options.wall_clock_budget)
+
+    total = len(points)
+    notes: List[str] = []
+    completed: Dict[Tuple[str, float], Outcome] = {}
+    journal: Optional[CheckpointJournal] = None
+    if options.checkpoint_dir:
+        journal = CheckpointJournal(
+            os.path.join(options.checkpoint_dir, f"{figure_id}.journal.jsonl")
+        )
+        fingerprint = CheckpointJournal.fingerprint(
+            figure_id,
+            metric,
+            seed,
+            plan,
+            [(p.series, float(p.x), repr(p.params)) for p in points],
+        )
+        if options.resume:
+            state = journal.load(fingerprint)
+            completed = state.outcomes
+            notes.extend(state.notes)
+        else:
+            journal.discard()
+        journal.begin(
+            fingerprint,
+            {"figure_id": figure_id, "metric": metric, "seed": seed,
+             "n_points": total},
+        )
+        if completed:
+            notes.append(
+                f"resumed from checkpoint journal: {len(completed)} of "
+                f"{total} point(s) already simulated"
+            )
+
+    done = len(completed)
+    if progress and done:
+        progress(done, total)
+
+    tasks = [
+        PointTask(
+            index=index,
+            series=point.series,
+            x=float(point.x),
+            base_seed=seed + index,
+            args=(point, plan),
+        )
+        for index, point in enumerate(points)
+        if (point.series, float(point.x)) not in completed
+    ]
+
+    completed_this_run = 0
+
+    def on_success(task: PointTask, outcome: Outcome, attempt: int,
+                   seed_used: int) -> None:
+        nonlocal done, completed_this_run
+        if journal is not None:
+            journal.record_point(
+                task.index, outcome[0], outcome[1], outcome[2], outcome[3],
+                attempt, seed_used,
+            )
+        done += 1
+        completed_this_run += 1
+        if progress:
+            progress(done, total)
+        if options.fault_plan is not None:
+            options.fault_plan.after_success(completed_this_run)
+
     worker_count = processes if processes is not None else 1
-    if worker_count > 1:
-        with multiprocessing.Pool(worker_count) as pool:
-            for index, outcome in enumerate(pool.imap(_simulate_point, tasks)):
-                outcomes.append(outcome)
-                if progress:
-                    progress(index + 1, len(tasks))
-    else:
-        for index, task in enumerate(tasks):
-            outcomes.append(_simulate_point(task))
-            if progress:
-                progress(index + 1, len(tasks))
+    supervisor = SweepSupervisor(
+        _simulate_point_worker,
+        options,
+        processes=worker_count,
+        on_success=on_success,
+    )
+    try:
+        supervised: SupervisorResult = supervisor.run(tasks)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    outcomes_by_key: Dict[Tuple[str, float], Outcome] = dict(completed)
+    for index, outcome in supervised.outcomes.items():
+        outcomes_by_key[(outcome[0], float(outcome[1]))] = outcome
+    notes.extend(supervised.notes)
+
+    if progress and supervised.failures:
+        # Failed points still count as "handled" so progress reaches total.
+        done += len(supervised.failures)
+        progress(done, total)
 
     figure = FigureResult(figure_id, title, x_label, metric)
-    scale = {point.series + "@" + repr(float(point.x)): point.params.n_processors
-             for point in points}
-    for label, x, mean, half_width in outcomes:
+    figure.failures = list(supervised.failures)
+    for report in supervised.failures:
+        notes.append("FAILED: " + report.summary())
+    figure.notes = notes
+
+    # Assemble in declared point order (deterministic regardless of
+    # scheduling); the scale factor comes from the point itself, so two
+    # configurations can never collide the way a (series, x)-keyed
+    # lookup table could.
+    for point in points:
+        outcome = outcomes_by_key.get((point.series, float(point.x)))
+        if outcome is None:
+            continue
+        _, x, mean, half_width = outcome
         if metric == "total_useful_work":
-            factor = scale[label + "@" + repr(float(x))]
+            factor = point.params.n_processors
             entry = (x, mean * factor, half_width * factor)
         else:
             entry = (x, mean, half_width)
-        figure.series.setdefault(label, []).append(entry)
+        figure.series.setdefault(point.series, []).append(entry)
     for label in figure.series:
         figure.series[label].sort(key=lambda p: p[0])
     return figure

@@ -34,17 +34,27 @@ from .distributions import (
 )
 from .errors import (
     DistributionError,
+    InvariantViolationError,
+    LivelockError,
     ModelDefinitionError,
     SANError,
     SimulationError,
     StateSpaceError,
+    WallClockExceededError,
 )
 from .gates import InputGate, OutputGate
 from .model import SANModel
 from .places import ExtendedPlace, Place
 from .rewards import RewardResult, RewardVariable
 from .rng import StreamRegistry
-from .simulator import SimulationOutput, SimulationState, Simulator
+from .simulator import (
+    Invariant,
+    SimulationOutput,
+    SimulationState,
+    Simulator,
+    monotone_nondecreasing,
+    non_negative_markings,
+)
 from .statespace import StateSpace, StateSpaceGenerator, SteadyStateSolution
 from .transient import TransientSolution, TransientSolver
 from .statistics import (
@@ -78,6 +88,9 @@ __all__ = [
     "SimulationError",
     "StateSpaceError",
     "DistributionError",
+    "LivelockError",
+    "WallClockExceededError",
+    "InvariantViolationError",
     "InputGate",
     "OutputGate",
     "SANModel",
@@ -92,6 +105,9 @@ __all__ = [
     "Simulator",
     "SimulationState",
     "SimulationOutput",
+    "Invariant",
+    "non_negative_markings",
+    "monotone_nondecreasing",
     "StateSpace",
     "StateSpaceGenerator",
     "SteadyStateSolution",

@@ -2,9 +2,23 @@
 
 All errors raised by :mod:`repro.san` derive from :class:`SANError` so
 callers can catch modeling problems without masking unrelated bugs.
+
+The executive's guard rails raise *structured* subclasses of
+:class:`SimulationError` — :class:`LivelockError`,
+:class:`WallClockExceededError` and :class:`InvariantViolationError` —
+that carry the offending activity, the simulated time and a snapshot
+of the marking, so a failed run is diagnosable from the exception
+alone (important when the run happened in a worker process and all
+that comes back is the exception).
+
+All structured errors remain picklable across process boundaries:
+their diagnostic payload is carried in attributes *and* rendered into
+the message, and ``__reduce__`` rebuilds the attributes.
 """
 
 from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
 
 
 class SANError(Exception):
@@ -28,3 +42,118 @@ class StateSpaceError(SANError):
 
 class DistributionError(SANError):
     """A distribution received invalid parameters."""
+
+
+def _format_time(time: Optional[float]) -> str:
+    return "?" if time is None else f"{time:.6g}"
+
+
+def _format_marking(marking: Optional[Dict[str, Any]], limit: int = 12) -> str:
+    """Render a marking snapshot compactly for an exception message."""
+    if not marking:
+        return "(no marking captured)"
+    items = sorted(marking.items())
+    shown = ", ".join(f"{name}={value}" for name, value in items[:limit])
+    if len(items) > limit:
+        shown += f", ... ({len(items) - limit} more places)"
+    return "{" + shown + "}"
+
+
+class _DiagnosableSimulationError(SimulationError):
+    """A simulation error carrying a state dump.
+
+    Subclasses populate :attr:`time` (simulated time at failure) and
+    :attr:`marking` (place name -> tokens/value snapshot).
+    """
+
+    def __init__(self, message: str, *, time: Optional[float] = None,
+                 marking: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.time = time
+        self.marking = dict(marking) if marking else {}
+
+    def __reduce__(self) -> Tuple[Any, ...]:
+        return (_rebuild_error, (type(self), self.args, self.__dict__.copy()))
+
+
+def _rebuild_error(cls: type, args: Tuple[Any, ...], state: Dict[str, Any]):
+    error = cls.__new__(cls)
+    Exception.__init__(error, *args)
+    error.__dict__.update(state)
+    return error
+
+
+class LivelockError(_DiagnosableSimulationError):
+    """A safety valve tripped: the executive fired an unbounded chain
+    of events without simulated time advancing.
+
+    Attributes
+    ----------
+    activity:
+        Name of the last activity that fired before the valve tripped.
+    kind:
+        ``"instantaneous"`` (stabilisation never converged) or
+        ``"zero-delay"`` (timed events piling up at one instant).
+    fired:
+        How many firings the valve allowed before giving up.
+    time / marking:
+        Simulated time and marking snapshot at the failure.
+    """
+
+    def __init__(self, kind: str, activity: str, fired: int, *,
+                 time: Optional[float] = None,
+                 marking: Optional[Dict[str, Any]] = None) -> None:
+        message = (
+            f"{kind} livelock: {fired} firings without simulated time "
+            f"advancing (last activity {activity!r} at t={_format_time(time)}); "
+            f"marking {_format_marking(marking)}"
+        )
+        super().__init__(message, time=time, marking=marking)
+        self.kind = kind
+        self.activity = activity
+        self.fired = fired
+
+
+class WallClockExceededError(_DiagnosableSimulationError):
+    """The run exceeded its real-time (wall-clock) budget.
+
+    Attributes
+    ----------
+    budget / elapsed:
+        The allowed and actually consumed wall-clock seconds.
+    """
+
+    def __init__(self, budget: float, elapsed: float, *,
+                 time: Optional[float] = None,
+                 marking: Optional[Dict[str, Any]] = None) -> None:
+        message = (
+            f"wall-clock budget exhausted: {elapsed:.3f} s used of "
+            f"{budget:.3f} s allowed (simulated time t={_format_time(time)}); "
+            f"marking {_format_marking(marking)}"
+        )
+        super().__init__(message, time=time, marking=marking)
+        self.budget = budget
+        self.elapsed = elapsed
+
+
+class InvariantViolationError(_DiagnosableSimulationError):
+    """A user-supplied invariant hook reported a violation.
+
+    Attributes
+    ----------
+    invariant:
+        Name of the violated invariant (the hook's ``__name__``).
+    detail:
+        The hook's human-readable description of what went wrong.
+    """
+
+    def __init__(self, invariant: str, detail: str, *,
+                 time: Optional[float] = None,
+                 marking: Optional[Dict[str, Any]] = None) -> None:
+        message = (
+            f"invariant {invariant!r} violated at t={_format_time(time)}: {detail}; "
+            f"marking {_format_marking(marking)}"
+        )
+        super().__init__(message, time=time, marking=marking)
+        self.invariant = invariant
+        self.detail = detail

@@ -21,18 +21,36 @@ hours.
 from __future__ import annotations
 
 import heapq
+import time as _time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .activities import Activity, TimedActivity
-from .errors import SimulationError
+from .errors import (
+    InvariantViolationError,
+    LivelockError,
+    SimulationError,
+    WallClockExceededError,
+)
 from .model import SANModel
 from .places import ExtendedPlace, Place
 from .rewards import RewardResult, RewardVariable
 from .rng import StreamRegistry
 from .trace import NullTracer, Tracer
 
-__all__ = ["SimulationState", "SimulationOutput", "Simulator"]
+__all__ = [
+    "SimulationState",
+    "SimulationOutput",
+    "Simulator",
+    "Invariant",
+    "non_negative_markings",
+    "monotone_nondecreasing",
+]
+
+#: An invariant hook: inspects the state after every event and returns
+#: ``None`` when satisfied, or a human-readable description of the
+#: violation (the executive raises :class:`InvariantViolationError`).
+Invariant = Callable[["SimulationState"], Optional[str]]
 
 #: Safety valve against livelocks of instantaneous activities.
 MAX_INSTANTANEOUS_CHAIN = 100_000
@@ -71,8 +89,56 @@ class SimulationState:
         """Current value of the named extended place."""
         return self._extended[name].value
 
+    def marking_snapshot(self) -> Dict[str, Any]:
+        """The full marking as a plain dict (for diagnostics/dumps)."""
+        snapshot: Dict[str, Any] = {
+            name: place.tokens for name, place in self._places.items()
+        }
+        snapshot.update(
+            {name: place.value for name, place in self._extended.items()}
+        )
+        return snapshot
+
     def __repr__(self) -> str:
         return f"SimulationState(t={self.time:.6g})"
+
+
+def non_negative_markings(state: "SimulationState") -> Optional[str]:
+    """Built-in invariant: every discrete place holds >= 0 tokens.
+
+    Arc semantics already forbid underflow, but gate functions mutate
+    places directly and can corrupt the marking; this hook catches
+    that class of modeling bug at the event where it happens.
+    """
+    for name, place in state._places.items():
+        if place.tokens < 0:
+            return f"place {name!r} holds {place.tokens} tokens"
+    return None
+
+
+def monotone_nondecreasing(
+    getter: Callable[["SimulationState"], float], label: str
+) -> Invariant:
+    """Build an invariant asserting ``getter(state)`` never decreases.
+
+    Used for cumulative quantities (e.g. the work ledger's integrated
+    useful work between reward intervals) that must be monotone: a
+    decrease means double-counted rollback or a sign error.
+    """
+    last: List[Optional[float]] = [None]
+
+    def invariant(state: "SimulationState") -> Optional[str]:
+        value = getter(state)
+        previous = last[0]
+        last[0] = value
+        if previous is not None and value < previous:
+            return (
+                f"{label} decreased from {previous:.6g} to {value:.6g}"
+            )
+        return None
+
+    invariant.__name__ = f"monotone_nondecreasing({label})"
+    return invariant
 
 
 @dataclass
@@ -138,6 +204,12 @@ class Simulator:
     tracer:
         Optional :class:`~repro.san.trace.Tracer` receiving every
         firing.
+    max_instantaneous_chain:
+        Safety valve: maximum instantaneous firings per stabilisation
+        before the executive declares a livelock. Defaults to the
+        module constant; tests lower it to keep livelock tests fast.
+    max_events_per_instant:
+        Safety valve: maximum timed firings at one simulated instant.
     """
 
     def __init__(
@@ -146,6 +218,8 @@ class Simulator:
         ctx: Any = None,
         streams: Any = 0,
         tracer: Optional[Tracer] = None,
+        max_instantaneous_chain: int = MAX_INSTANTANEOUS_CHAIN,
+        max_events_per_instant: int = MAX_EVENTS_PER_INSTANT,
     ) -> None:
         if isinstance(streams, StreamRegistry):
             self._streams = streams
@@ -159,6 +233,16 @@ class Simulator:
         self._ctx_integrate = getattr(ctx, "integrate", None)
         # `is not None`, not truthiness: an empty MemoryTracer is falsy.
         self.tracer = tracer if tracer is not None else NullTracer()
+        if max_instantaneous_chain < 1:
+            raise SimulationError(
+                f"max_instantaneous_chain must be >= 1, got {max_instantaneous_chain}"
+            )
+        if max_events_per_instant < 1:
+            raise SimulationError(
+                f"max_events_per_instant must be >= 1, got {max_events_per_instant}"
+            )
+        self._max_instantaneous_chain = max_instantaneous_chain
+        self._max_events_per_instant = max_events_per_instant
         self._timed: Tuple[TimedActivity, ...] = model.timed_activities
         self._instantaneous = model.instantaneous_activities
         self._schedules: Dict[str, _Schedule] = {a.name: _Schedule() for a in self._timed}
@@ -185,6 +269,8 @@ class Simulator:
         warmup: float = 0.0,
         rewards: Sequence[RewardVariable] = (),
         stop_when: Optional[Any] = None,
+        wall_clock_budget: Optional[float] = None,
+        invariants: Sequence[Invariant] = (),
     ) -> SimulationOutput:
         """Execute the model from time 0 to ``until``.
 
@@ -197,11 +283,26 @@ class Simulator:
         True the run ends at the current time (used for job-completion
         studies). ``until`` then acts as a hard cap.
 
+        ``wall_clock_budget`` bounds the *real* time (seconds) the run
+        may consume; exceeding it raises
+        :class:`~repro.san.errors.WallClockExceededError` with a state
+        dump, so a runaway configuration fails fast and diagnosably
+        instead of hanging a sweep worker forever.
+
+        ``invariants`` are hooks ``state -> Optional[str]`` evaluated
+        after every stabilised event; a non-``None`` return raises
+        :class:`~repro.san.errors.InvariantViolationError` naming the
+        hook and the violation.
+
         Calling :meth:`run` again **continues** the same trajectory
         from where the previous call stopped (pending clocks are
         preserved); each call accumulates its own reward window — the
         basis of single-run batch-means estimation.
         """
+        if wall_clock_budget is not None and wall_clock_budget <= 0:
+            raise SimulationError(
+                f"wall_clock_budget must be > 0, got {wall_clock_budget}"
+            )
         if until <= self.state.time:
             raise SimulationError(
                 f"until ({until}) must exceed the current time "
@@ -223,9 +324,11 @@ class Simulator:
         event_count = 0
         events_at_instant = 0
         last_instant = -1.0
+        wall_start = _time.monotonic() if wall_clock_budget is not None else 0.0
 
         event_count += self._stabilize(impulse_map, accumulators, warmup)
         self._refresh_schedules()
+        self._check_invariants(invariants)
 
         while self._heap:
             fire_time, _, generation, activity = heapq.heappop(self._heap)
@@ -241,10 +344,13 @@ class Simulator:
             self._integrate(rate_rewards, accumulators, state.time, fire_time, warmup)
             if fire_time == last_instant:
                 events_at_instant += 1
-                if events_at_instant > MAX_EVENTS_PER_INSTANT:
-                    raise SimulationError(
-                        f"more than {MAX_EVENTS_PER_INSTANT} events at t={fire_time}; "
-                        f"zero-delay livelock (last activity {activity.name!r})"
+                if events_at_instant > self._max_events_per_instant:
+                    raise LivelockError(
+                        "zero-delay",
+                        activity.name,
+                        events_at_instant,
+                        time=fire_time,
+                        marking=state.marking_snapshot(),
                     )
             else:
                 last_instant = fire_time
@@ -260,6 +366,16 @@ class Simulator:
             event_count += 1
             event_count += self._stabilize(impulse_map, accumulators, warmup)
             self._refresh_schedules()
+            self._check_invariants(invariants)
+            if wall_clock_budget is not None:
+                elapsed = _time.monotonic() - wall_start
+                if elapsed > wall_clock_budget:
+                    raise WallClockExceededError(
+                        wall_clock_budget,
+                        elapsed,
+                        time=state.time,
+                        marking=state.marking_snapshot(),
+                    )
             if stop_when is not None and stop_when(state):
                 break
 
@@ -360,14 +476,31 @@ class Simulator:
                     self._fire(activity, impulse_map, accumulators, warmup)
                     self._refresh_schedules()
                     fired += 1
-                    if fired > MAX_INSTANTANEOUS_CHAIN:
-                        raise SimulationError(
-                            f"instantaneous livelock: {fired} firings without "
-                            f"stabilising (last: {activity.name!r})"
+                    if fired > self._max_instantaneous_chain:
+                        raise LivelockError(
+                            "instantaneous",
+                            activity.name,
+                            fired,
+                            time=state.time,
+                            marking=state.marking_snapshot(),
                         )
                     break
             else:
                 return fired
+
+    def _check_invariants(self, invariants: Sequence[Invariant]) -> None:
+        if not invariants:
+            return
+        state = self.state
+        for invariant in invariants:
+            detail = invariant(state)
+            if detail is not None:
+                raise InvariantViolationError(
+                    getattr(invariant, "__name__", repr(invariant)),
+                    detail,
+                    time=state.time,
+                    marking=state.marking_snapshot(),
+                )
 
     def _refresh_schedules(self) -> None:
         """Reconcile timed-activity clocks with the current marking."""

@@ -46,6 +46,55 @@ class TestRoundTrip:
         assert target.exists()
 
 
+class TestRobustness:
+    def test_malformed_json_error_names_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"figure_id": "x", truncated')
+        with pytest.raises(ValueError, match="malformed figure archive"):
+            load_figure(str(path))
+        with pytest.raises(ValueError, match="broken.json"):
+            load_figure(str(path))
+
+    def test_valid_json_wrong_structure_error_names_path(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text('{"figure_id": "x"}')  # missing title/series/...
+        with pytest.raises(ValueError, match="malformed figure archive"):
+            load_figure(str(path))
+
+    def test_no_temporary_files_left_behind(self, tmp_path):
+        save_figure(make_figure(), str(tmp_path))
+        leftovers = [
+            name for name in os.listdir(str(tmp_path))
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_save_overwrites_atomically(self, tmp_path):
+        save_figure(make_figure(y=0.5), str(tmp_path))
+        save_figure(make_figure(y=0.9), str(tmp_path))
+        loaded = load_figure(str(tmp_path / "figX.json"))
+        assert loaded.series["curve"][0][1] == 0.9
+
+    def test_failures_roundtrip(self, tmp_path):
+        from repro.experiments import FailureReport
+
+        figure = make_figure()
+        figure.failures.append(
+            FailureReport(
+                series="curve", x=3.0, index=2, attempts=3,
+                error_type="InjectedCrash", error_message="boom",
+                traceback="Traceback ...",
+            )
+        )
+        path = save_figure(figure, str(tmp_path))
+        loaded = load_figure(path)
+        assert len(loaded.failures) == 1
+        report = loaded.failures[0]
+        assert report.error_type == "InjectedCrash"
+        assert report.x == 3.0
+        assert report.attempts == 3
+
+
 class TestCompareFigures:
     def test_identical_agree(self):
         assert compare_figures(make_figure(), make_figure()) == []

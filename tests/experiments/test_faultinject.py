@@ -1,0 +1,95 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.faultinject import (
+    FaultPlan,
+    InjectedCrash,
+    SweepAborted,
+    corrupt_journal_line,
+    corrupt_journal_tail,
+    truncate_journal,
+)
+
+
+class TestFaultPlan:
+    def test_crash_fires_only_on_configured_attempts(self):
+        plan = FaultPlan().crash(2, attempts=(0, 1))
+        with pytest.raises(InjectedCrash, match="point 2, attempt 0"):
+            plan.before_point(2, 0)
+        with pytest.raises(InjectedCrash):
+            plan.before_point(2, 1)
+        plan.before_point(2, 2)  # retries past the plan succeed
+        plan.before_point(0, 0)  # other points are untouched
+
+    def test_hang_sleeps_configured_duration(self):
+        plan = FaultPlan().hang(1, attempts=(0,), seconds=0.05)
+        import time
+
+        started = time.monotonic()
+        plan.before_point(1, 0)
+        assert time.monotonic() - started >= 0.05
+        started = time.monotonic()
+        plan.before_point(1, 1)  # attempt not in plan: no sleep
+        assert time.monotonic() - started < 0.05
+
+    def test_abort_after_points(self):
+        plan = FaultPlan().abort_after_points(2)
+        plan.after_success(1)
+        with pytest.raises(SweepAborted, match="after 2 completed"):
+            plan.after_success(2)
+
+    def test_no_abort_configured_is_silent(self):
+        FaultPlan().after_success(100)
+
+    def test_chaining_builds_one_plan(self):
+        plan = FaultPlan().crash(0).hang(1, seconds=9.0).abort_after_points(5)
+        assert plan.crashes == {0: (0,)}
+        assert plan.hangs == {1: (0,)}
+        assert plan.hang_seconds == 9.0
+        assert plan.abort_after == 5
+
+    def test_plan_is_picklable(self):
+        plan = FaultPlan().crash(3, attempts=(0, 1)).hang(4, seconds=1.5)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.crashes == plan.crashes
+        assert clone.hangs == plan.hangs
+        assert clone.hang_seconds == plan.hang_seconds
+        with pytest.raises(InjectedCrash):
+            clone.before_point(3, 1)
+
+
+class TestCorruptionHelpers:
+    def write_journal(self, tmp_path, lines=('{"kind": "header"}', '{"kind": "point"}')):
+        path = tmp_path / "j.jsonl"
+        path.write_text("".join(line + "\n" for line in lines))
+        return str(path)
+
+    def test_corrupt_tail_appends_torn_record(self, tmp_path):
+        path = self.write_journal(tmp_path)
+        corrupt_journal_tail(path)
+        lines = open(path).read().splitlines()
+        assert len(lines) == 3
+        assert lines[2].startswith('{"kind": "point", "series"')
+        assert not lines[2].endswith("}")  # genuinely torn
+
+    def test_corrupt_line_overwrites_in_place(self, tmp_path):
+        path = self.write_journal(tmp_path)
+        corrupt_journal_line(path, 1)
+        lines = open(path).read().splitlines()
+        assert lines[0] == '{"kind": "header"}'
+        assert "garbage" in lines[1]
+
+    def test_corrupt_line_bounds_checked(self, tmp_path):
+        path = self.write_journal(tmp_path)
+        with pytest.raises(IndexError, match="cannot corrupt line 5"):
+            corrupt_journal_line(path, 5)
+
+    def test_truncate_keeps_prefix(self, tmp_path):
+        path = self.write_journal(
+            tmp_path, lines=("a", "b", "c", "d")
+        )
+        truncate_journal(path, 2)
+        assert open(path).read() == "a\nb\n"

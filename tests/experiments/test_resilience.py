@@ -1,0 +1,349 @@
+"""Tests for fault-tolerant sweep execution: checkpoint/resume,
+retry with backoff, hang supervision, and graceful degradation."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import HOUR, ModelParameters, SimulationPlan
+from repro.experiments import SweepPoint, run_sweep
+from repro.experiments.faultinject import (
+    FaultPlan,
+    SweepAborted,
+    corrupt_journal_line,
+    corrupt_journal_tail,
+)
+from repro.experiments.resilience import (
+    CheckpointError,
+    CheckpointJournal,
+    ResilienceOptions,
+    RetryPolicy,
+    derive_attempt_seed,
+)
+
+TINY = SimulationPlan(warmup=1 * HOUR, observation=10 * HOUR, replications=1)
+FAST_RETRY = RetryPolicy(max_retries=2, backoff_base=0.01, backoff_max=0.05)
+
+
+def make_points(count=4):
+    base = ModelParameters(n_processors=8192)
+    return [SweepPoint("s", float(i + 1), base) for i in range(count)]
+
+
+def sweep(points, seed=7, **kwargs):
+    return run_sweep(
+        "fig-test", "t", "x", "useful_work_fraction", points, TINY,
+        seed=seed, **kwargs,
+    )
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule(self):
+        policy = RetryPolicy(max_retries=5, backoff_base=0.5,
+                             backoff_factor=2.0, backoff_max=3.0)
+        assert policy.delay_for(1) == 0.5
+        assert policy.delay_for(2) == 1.0
+        assert policy.delay_for(3) == 2.0
+        assert policy.delay_for(4) == 3.0  # capped
+        assert policy.delay_for(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_attempt_seed_derivation(self):
+        assert derive_attempt_seed(123, 0) == 123
+        first_retry = derive_attempt_seed(123, 1)
+        assert first_retry != 123
+        assert first_retry == derive_attempt_seed(123, 1)  # stable
+        assert first_retry != derive_attempt_seed(123, 2)
+        assert first_retry != derive_attempt_seed(124, 1)
+
+
+class TestDuplicatePointDetection:
+    def test_duplicate_series_x_rejected(self):
+        base = ModelParameters(n_processors=8192)
+        points = [
+            SweepPoint("s", 1.0, base),
+            # Same (series, x), different configuration: previously this
+            # silently overwrote the total-useful-work scale factor.
+            SweepPoint("s", 1.0, base.with_overrides(n_processors=16384)),
+        ]
+        with pytest.raises(ValueError, match="duplicate sweep point"):
+            sweep(points)
+
+    def test_same_x_different_series_allowed(self):
+        base = ModelParameters(n_processors=8192)
+        points = [SweepPoint("a", 1.0, base), SweepPoint("b", 1.0, base)]
+        figure = sweep(points)
+        assert set(figure.series) == {"a", "b"}
+
+
+class TestRetries:
+    def test_crash_is_retried_and_succeeds(self):
+        plan = FaultPlan().crash(0, attempts=(0,))
+        figure = sweep(
+            make_points(2),
+            resilience=ResilienceOptions(retry=FAST_RETRY, fault_plan=plan),
+        )
+        assert not figure.failures
+        assert len(figure.series["s"]) == 2
+
+    def test_exhausted_retries_reported_not_raised(self):
+        plan = FaultPlan().crash(1, attempts=(0, 1, 2))
+        figure = sweep(
+            make_points(3),
+            resilience=ResilienceOptions(retry=FAST_RETRY, fault_plan=plan),
+        )
+        assert len(figure.failures) == 1
+        report = figure.failures[0]
+        assert report.series == "s"
+        assert report.x == 2.0
+        assert report.attempts == 3
+        assert report.error_type == "InjectedCrash"
+        assert "injected crash" in report.error_message
+        assert "InjectedCrash" in report.traceback
+        # The other points survived, and the failure is summarised in notes.
+        assert [x for x, _, _ in figure.series["s"]] == [1.0, 3.0]
+        assert any("FAILED" in note for note in figure.notes)
+
+    def test_no_retries_means_single_attempt(self):
+        plan = FaultPlan().crash(0, attempts=(0,))
+        figure = sweep(
+            make_points(1),
+            resilience=ResilienceOptions(
+                retry=RetryPolicy(max_retries=0), fault_plan=plan
+            ),
+        )
+        assert len(figure.failures) == 1
+        assert figure.failures[0].attempts == 1
+
+    def test_progress_reaches_total_despite_failures(self):
+        calls = []
+        plan = FaultPlan().crash(0, attempts=(0, 1, 2))
+        sweep(
+            make_points(2),
+            progress=lambda done, total: calls.append((done, total)),
+            resilience=ResilienceOptions(retry=FAST_RETRY, fault_plan=plan),
+        )
+        assert calls[-1] == (2, 2)
+
+
+class TestCheckpointResume:
+    def test_interrupted_sweep_resumes_bit_identical(self, tmp_path):
+        points = make_points(4)
+        reference = sweep(points)
+
+        plan = FaultPlan().abort_after_points(2)
+        with pytest.raises(SweepAborted):
+            sweep(
+                points,
+                resilience=ResilienceOptions(
+                    checkpoint_dir=str(tmp_path), fault_plan=plan
+                ),
+            )
+        journal_path = tmp_path / "fig-test.journal.jsonl"
+        assert journal_path.exists()
+        # header + 2 completed points
+        assert len(journal_path.read_text().splitlines()) == 3
+
+        resumed = sweep(
+            points, resilience=ResilienceOptions(checkpoint_dir=str(tmp_path))
+        )
+        assert resumed.series == reference.series
+        assert any("resumed" in note for note in resumed.notes)
+
+    def test_resumed_points_are_not_resimulated(self, tmp_path):
+        points = make_points(3)
+        sweep(points, resilience=ResilienceOptions(checkpoint_dir=str(tmp_path)))
+
+        # A crash-everything plan proves nothing runs on resume: the
+        # sweep still succeeds because every point comes from the journal.
+        plan = FaultPlan()
+        for index in range(len(points)):
+            plan.crash(index, attempts=(0, 1, 2))
+        resumed = sweep(
+            points,
+            resilience=ResilienceOptions(
+                checkpoint_dir=str(tmp_path), retry=FAST_RETRY, fault_plan=plan
+            ),
+        )
+        assert not resumed.failures
+        assert len(resumed.series["s"]) == 3
+
+    def test_no_resume_discards_journal(self, tmp_path):
+        points = make_points(2)
+        sweep(points, resilience=ResilienceOptions(checkpoint_dir=str(tmp_path)))
+        plan = FaultPlan().crash(0, attempts=(0, 1, 2))
+        figure = sweep(
+            points,
+            resilience=ResilienceOptions(
+                checkpoint_dir=str(tmp_path), resume=False,
+                retry=FAST_RETRY, fault_plan=plan,
+            ),
+        )
+        # resume=False re-simulated everything, so the injected crash bit.
+        assert len(figure.failures) == 1
+
+    def test_mismatched_configuration_refuses_resume(self, tmp_path):
+        points = make_points(2)
+        sweep(points, resilience=ResilienceOptions(checkpoint_dir=str(tmp_path)))
+        with pytest.raises(CheckpointError, match="different sweep configuration"):
+            sweep(
+                points, seed=8,
+                resilience=ResilienceOptions(checkpoint_dir=str(tmp_path)),
+            )
+
+    def test_progress_counts_resumed_points(self, tmp_path):
+        points = make_points(3)
+        plan = FaultPlan().abort_after_points(2)
+        with pytest.raises(SweepAborted):
+            sweep(
+                points,
+                resilience=ResilienceOptions(
+                    checkpoint_dir=str(tmp_path), fault_plan=plan
+                ),
+            )
+        calls = []
+        sweep(
+            points,
+            progress=lambda done, total: calls.append((done, total)),
+            resilience=ResilienceOptions(checkpoint_dir=str(tmp_path)),
+        )
+        assert calls[0] == (2, 3)
+        assert calls[-1] == (3, 3)
+
+
+class TestJournalCorruption:
+    def run_and_abort(self, tmp_path, points, after=2):
+        plan = FaultPlan().abort_after_points(after)
+        with pytest.raises(SweepAborted):
+            sweep(
+                points,
+                resilience=ResilienceOptions(
+                    checkpoint_dir=str(tmp_path), fault_plan=plan
+                ),
+            )
+        return os.path.join(str(tmp_path), "fig-test.journal.jsonl")
+
+    def test_torn_tail_is_truncated_and_resume_succeeds(self, tmp_path):
+        points = make_points(4)
+        reference = sweep(points)
+        journal_path = self.run_and_abort(tmp_path, points)
+        corrupt_journal_tail(journal_path)
+        resumed = sweep(
+            points, resilience=ResilienceOptions(checkpoint_dir=str(tmp_path))
+        )
+        assert resumed.series == reference.series
+        assert any("corrupt" in note for note in resumed.notes)
+
+    def test_mid_file_corruption_keeps_valid_prefix(self, tmp_path):
+        points = make_points(4)
+        reference = sweep(points)
+        journal_path = self.run_and_abort(tmp_path, points, after=3)
+        corrupt_journal_line(journal_path, 2)  # second point record
+        resumed = sweep(
+            points, resilience=ResilienceOptions(checkpoint_dir=str(tmp_path))
+        )
+        # Only the first point survived the corruption; the rest were
+        # re-simulated, and the figure still matches bit-identically.
+        assert resumed.series == reference.series
+
+    def test_corrupt_header_starts_fresh(self, tmp_path):
+        points = make_points(2)
+        reference = sweep(points)
+        journal_path = self.run_and_abort(tmp_path, points, after=1)
+        corrupt_journal_line(journal_path, 0)  # destroy the header
+        figure = sweep(
+            points, resilience=ResilienceOptions(checkpoint_dir=str(tmp_path))
+        )
+        assert figure.series == reference.series
+        assert any("unusable header" in note for note in figure.notes)
+
+
+class TestJournalUnit:
+    def test_fingerprint_sensitivity(self):
+        signatures = [("s", 1.0, "params-a"), ("s", 2.0, "params-b")]
+        base = CheckpointJournal.fingerprint("f", "m", 0, TINY, signatures)
+        assert base == CheckpointJournal.fingerprint("f", "m", 0, TINY, signatures)
+        assert base != CheckpointJournal.fingerprint("f", "m", 1, TINY, signatures)
+        assert base != CheckpointJournal.fingerprint(
+            "f", "m", 0, TINY, [("s", 1.0, "params-a"), ("s", 2.0, "params-c")]
+        )
+
+    def test_journal_roundtrip_preserves_floats_exactly(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = CheckpointJournal(path)
+        journal.begin("fp", {})
+        mean = 0.12345678901234567
+        journal.record_point(0, "s", 1.0, mean, 1e-17, attempt=0, seed_used=3)
+        journal.close()
+        state = CheckpointJournal(path).load("fp")
+        assert state.outcomes[("s", 1.0)] == ("s", 1.0, mean, 1e-17)
+
+    def test_load_missing_journal_is_empty(self, tmp_path):
+        state = CheckpointJournal(str(tmp_path / "absent.jsonl")).load("fp")
+        assert state.outcomes == {}
+
+    def test_append_requires_begin(self, tmp_path):
+        journal = CheckpointJournal(str(tmp_path / "j.jsonl"))
+        with pytest.raises(CheckpointError):
+            journal.record_point(0, "s", 1.0, 0.5, 0.0, attempt=0, seed_used=0)
+
+    def test_journal_records_are_json_lines(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = CheckpointJournal(path)
+        journal.begin("fp", {"figure_id": "f"})
+        journal.record_point(0, "s", 1.0, 0.5, 0.1, attempt=1, seed_used=99)
+        journal.close()
+        header, point = [json.loads(line) for line in open(path)]
+        assert header["kind"] == "header"
+        assert header["figure_id"] == "f"
+        assert point["kind"] == "point"
+        assert point["attempt"] == 1
+        assert point["seed_used"] == 99
+
+
+class TestPoolSupervision:
+    def test_pool_crash_retry_matches_serial(self):
+        points = make_points(3)
+        reference = sweep(points)
+        plan = FaultPlan().crash(1, attempts=(0,))
+        figure = sweep(
+            points,
+            processes=2,
+            resilience=ResilienceOptions(retry=FAST_RETRY, fault_plan=plan),
+        )
+        assert not figure.failures
+        # Every x is present; the untouched points are bit-identical to
+        # the serial reference. The retried point ran with a fresh
+        # derived seed, so only its presence (not its value) is pinned.
+        assert [x for x, _, _ in figure.series["s"]] == [1.0, 2.0, 3.0]
+        assert figure.series["s"][0] == reference.series["s"][0]
+        assert figure.series["s"][2] == reference.series["s"][2]
+
+    def test_hung_worker_is_killed_and_retried(self):
+        points = make_points(2)
+        reference = sweep(points)
+        plan = FaultPlan().hang(0, attempts=(0,), seconds=60)
+        figure = sweep(
+            points,
+            processes=2,
+            resilience=ResilienceOptions(
+                retry=FAST_RETRY, point_timeout=3.0, fault_plan=plan
+            ),
+        )
+        assert not figure.failures
+        assert [x for x, _, _ in figure.series["s"]] == [1.0, 2.0]
+        # The point that was never hung matches the serial run exactly.
+        assert figure.series["s"][1] == reference.series["s"][1]
+
+    def test_serial_timeout_records_note(self):
+        figure = sweep(
+            make_points(1),
+            resilience=ResilienceOptions(point_timeout=5.0),
+        )
+        assert any("point_timeout" in note for note in figure.notes)

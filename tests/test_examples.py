@@ -24,6 +24,7 @@ EXPECTATIONS = {
     "job_completion.py": ["processors", "stretch"],
     "design_space.py": ["predicted TUW", "simulated UWF"],
     "reliability_engineering.py": ["P(F_0)", "clustering"],
+    "resilience_smoke.py": ["resume OK", "retry OK", "resilience smoke: PASS"],
 }
 
 
