@@ -57,6 +57,10 @@ class Engine:
         self._sequence = 0
         self._stopped = False
         self.event_count = 0
+        # Kernel counters (see repro.san.profiling for the SAN analogue):
+        # heap traffic and the lazy-cancellation overhead it hides.
+        self.heap_pushes = 0
+        self.stale_pops = 0
 
     def schedule(self, delay: float, callback: Callable, *args: Any) -> EventHandle:
         """Run ``callback(*args)`` after ``delay`` time units."""
@@ -65,6 +69,7 @@ class Engine:
         handle = EventHandle(self.now + delay, callback, args)
         self._sequence += 1
         heapq.heappush(self._heap, (handle.time, self._sequence, handle))
+        self.heap_pushes += 1
         return handle
 
     def schedule_at(self, time: float, callback: Callable, *args: Any) -> EventHandle:
@@ -89,6 +94,7 @@ class Engine:
                 return
             heapq.heappop(self._heap)
             if handle.cancelled:
+                self.stale_pops += 1
                 continue
             self.now = time
             handle.callback(*handle.args)

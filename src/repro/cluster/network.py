@@ -11,11 +11,21 @@ Two abstractions back the cluster simulator:
   256 MB each through their group's 350 MB/s link all complete at the
   aggregate time, matching the SAN model's deterministic dump
   latency).
+
+The link runs on *virtual time*: it tracks one scalar — the cumulative
+per-transfer service ``S`` (bytes any always-active transfer would have
+received) — advancing it by ``bandwidth / k * dt`` whenever the
+composition changes. A transfer admitted at ``S0`` with ``n`` bytes
+finishes exactly when ``S`` reaches ``S0 + n``, so start/cancel/finish
+cost O(log k) (a heap keyed by finish-``S``, with cancelled entries
+discarded lazily) instead of the former O(k) remaining-work rescan of
+every in-flight transfer on every composition change.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
 
 from .engine import Engine, EventHandle
 
@@ -58,18 +68,58 @@ class Network:
 
 
 class Transfer:
-    """One in-flight transfer on a :class:`SharedLink`."""
+    """One in-flight transfer on a :class:`SharedLink`.
 
-    __slots__ = ("remaining", "on_complete", "cancelled")
+    ``virtual_start``/``virtual_finish`` are the link's virtual-time
+    coordinates: the transfer is done when the link's cumulative
+    per-transfer service reaches ``virtual_finish``.
+    """
+
+    __slots__ = (
+        "nbytes",
+        "on_complete",
+        "cancelled",
+        "done",
+        "virtual_start",
+        "virtual_finish",
+        "_link",
+        "_frozen_remaining",
+    )
 
     def __init__(self, nbytes: float, on_complete: Callable[[], None]) -> None:
-        self.remaining = float(nbytes)
+        self.nbytes = float(nbytes)
         self.on_complete = on_complete
         self.cancelled = False
+        self.done = False
+        self.virtual_start = 0.0
+        self.virtual_finish = self.nbytes
+        self._link: Optional["SharedLink"] = None
+        self._frozen_remaining: Optional[float] = None
+
+    @property
+    def remaining(self) -> float:
+        """Bytes still to deliver (frozen at cancellation time for a
+        cancelled transfer, 0 once complete)."""
+        if self.done:
+            return 0.0
+        if self._frozen_remaining is not None:
+            return self._frozen_remaining
+        link = self._link
+        if link is None:
+            return self.nbytes
+        link._advance()
+        return max(0.0, self.virtual_finish - link._virtual)
 
     def cancel(self) -> None:
-        """Abandon the transfer (its callback never runs)."""
-        self.cancelled = True
+        """Abandon the transfer (its callback never runs).
+
+        Prefer :meth:`SharedLink.cancel`, which also releases this
+        transfer's bandwidth share immediately; this method alone marks
+        the transfer dead and lets the link notice lazily.
+        """
+        if not self.cancelled and not self.done:
+            self._frozen_remaining = self.remaining
+            self.cancelled = True
 
 
 class SharedLink:
@@ -86,10 +136,17 @@ class SharedLink:
             raise ValueError(f"bandwidth must be > 0, got {bandwidth}")
         self._engine = engine
         self.bandwidth = float(bandwidth)
-        self._active: List[Transfer] = []
+        #: Cumulative per-transfer service, in bytes (virtual time).
+        self._virtual = 0.0
+        self._n_active = 0
+        #: Finish-order heap of (virtual_finish, seq, transfer); entries
+        #: for cancelled transfers are discarded lazily on pop.
+        self._finish_heap: List[Tuple[float, int, Transfer]] = []
+        self._sequence = 0
         self._last_update = engine.now
         self._completion_event: Optional[EventHandle] = None
-        self.bytes_delivered = 0.0
+        #: Bytes fully accounted for (completed + cancelled transfers).
+        self._banked_bytes = 0.0
 
     # ------------------------------------------------------------------
     def transfer(self, nbytes: float, on_complete: Callable[[], None]) -> Transfer:
@@ -99,71 +156,126 @@ class SharedLink:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         self._advance()
         item = Transfer(nbytes, on_complete)
-        self._active.append(item)
+        item._link = self
+        item.virtual_start = self._virtual
+        item.virtual_finish = self._virtual + item.nbytes
+        self._n_active += 1
+        self._sequence += 1
+        heapq.heappush(
+            self._finish_heap, (item.virtual_finish, self._sequence, item)
+        )
         self._reschedule()
         return item
 
     def cancel(self, item: Transfer) -> None:
         """Abort an in-flight transfer and release its bandwidth share
         immediately."""
-        if item.cancelled:
+        if item.cancelled or item.done:
             return
         self._advance()
-        item.cancel()
+        progressed = min(item.nbytes, max(0.0, self._virtual - item.virtual_start))
+        item._frozen_remaining = item.nbytes - progressed
+        item.cancelled = True
+        self._banked_bytes += progressed
+        self._n_active -= 1
         self._reschedule()
 
     def cancel_all(self) -> None:
         """Abort every in-flight transfer (e.g. the I/O nodes failed)."""
         self._advance()
-        for item in self._active:
-            item.cancel()
+        for _, _, item in self._finish_heap:
+            if item.cancelled or item.done:
+                continue
+            progressed = min(
+                item.nbytes, max(0.0, self._virtual - item.virtual_start)
+            )
+            item._frozen_remaining = item.nbytes - progressed
+            item.cancelled = True
+            self._banked_bytes += progressed
+        self._n_active = 0
+        del self._finish_heap[:]
         self._reschedule()
 
     @property
     def active_transfers(self) -> int:
         """Number of in-flight transfers."""
-        return len(self._active)
+        return self._n_active
+
+    @property
+    def bytes_delivered(self) -> float:
+        """Total bytes moved so far (completed, cancelled-partial, and
+        live-partial progress)."""
+        self._advance()
+        live = sum(
+            min(item.nbytes, max(0.0, self._virtual - item.virtual_start))
+            for _, _, item in self._finish_heap
+            if not item.cancelled and not item.done
+        )
+        return self._banked_bytes + live
 
     # ------------------------------------------------------------------
     def _advance(self) -> None:
-        """Progress every active transfer to the current time."""
+        """Advance virtual time to the present — O(1), no per-transfer
+        work; every live transfer's progress is implied by ``_virtual``."""
         now = self._engine.now
         dt = now - self._last_update
         self._last_update = now
-        if dt <= 0 or not self._active:
-            return
-        rate = self.bandwidth / len(self._active)
-        for item in self._active:
-            progressed = min(item.remaining, rate * dt)
-            item.remaining -= progressed
-            self.bytes_delivered += progressed
+        if dt > 0 and self._n_active:
+            self._virtual += self.bandwidth * dt / self._n_active
 
     def _reschedule(self) -> None:
-        """Schedule the next completion for the smallest remainder."""
+        """(Re)schedule the engine event for the next completion."""
         if self._completion_event is not None:
             self._completion_event.cancel()
             self._completion_event = None
-        self._active = [t for t in self._active if not t.cancelled]
-        if not self._active:
+        heap = self._finish_heap
+        while heap and (heap[0][2].cancelled or heap[0][2].done):
+            heapq.heappop(heap)
+        if not heap:
             return
-        smallest = min(item.remaining for item in self._active)
-        delay = smallest * len(self._active) / self.bandwidth
-        self._completion_event = self._engine.schedule(delay, self._complete)
+        delay = (
+            (heap[0][0] - self._virtual) * self._n_active / self.bandwidth
+        )
+        self._completion_event = self._engine.schedule(max(0.0, delay), self._complete)
 
     def _complete(self) -> None:
         """Finish every transfer whose bytes have drained."""
         self._completion_event = None
         self._advance()
         eps = COMPLETION_EPSILON_BYTES
-        live = [t for t in self._active if not t.cancelled]
-        finished = [t for t in live if t.remaining <= eps]
-        if not finished and live:
+        heap = self._finish_heap
+        finished: List[Transfer] = []
+        threshold = self._virtual + eps
+        while heap:
+            virtual_finish, _, item = heap[0]
+            if item.cancelled or item.done:
+                heapq.heappop(heap)
+                continue
+            if virtual_finish > threshold:
+                break
+            heapq.heappop(heap)
+            finished.append(item)
+        if not finished:
             # Guard against clock underflow: this event was scheduled
-            # for the smallest remainder's completion, so at least that
-            # transfer is done up to floating-point noise.
-            smallest = min(t.remaining for t in live)
-            finished = [t for t in live if t.remaining <= smallest + eps]
-        self._active = [t for t in live if t not in finished]
+            # for the earliest finisher, so at least that transfer is
+            # done up to floating-point noise. Finish it (and any peer
+            # within eps of it) despite the residual.
+            forced_threshold: Optional[float] = None
+            while heap:
+                virtual_finish, _, item = heap[0]
+                if item.cancelled or item.done:
+                    heapq.heappop(heap)
+                    continue
+                if forced_threshold is None:
+                    forced_threshold = virtual_finish + eps
+                elif virtual_finish > forced_threshold:
+                    break
+                heapq.heappop(heap)
+                finished.append(item)
+        for item in finished:
+            item.done = True
+            self._banked_bytes += item.nbytes
+            self._n_active -= 1
         self._reschedule()
         for item in finished:
             item.on_complete()

@@ -71,6 +71,7 @@ class WorkLedger:
 
     def __init__(self, execution_place_name: str = "execution") -> None:
         self._execution_place = execution_place_name
+        self._execution = None  # cached Place, bound on first integrate
         self.total_work = 0.0
         self.durable_work = 0.0
         self.buffered_work: Optional[float] = None
@@ -87,8 +88,21 @@ class WorkLedger:
         Called by the simulator before the clock advances, while the
         marking still describes the elapsed interval.
         """
-        if end > start and state.tokens(self._execution_place):
-            self.total_work += end - start
+        if end > start:
+            # Bind the execution place once: this hook runs on every
+            # inter-event interval, and a ledger only ever serves one
+            # model instance (build_system pairs them up). States that
+            # expose only `tokens` (test fakes) keep the name lookup.
+            place = self._execution
+            if place is None:
+                try:
+                    place = self._execution = state.place(self._execution_place)
+                except AttributeError:
+                    if state.tokens(self._execution_place):
+                        self.total_work += end - start
+                    return
+            if place.tokens:
+                self.total_work += end - start
 
     # ------------------------------------------------------------------
     # Checkpoint lifecycle

@@ -23,6 +23,7 @@ from ..san import (
     StreamRegistry,
     confidence_interval,
 )
+from ..san import profiling
 from .ledger import LedgerCounters
 from .parameters import HOUR, ModelParameters
 from .submodels import USEFUL_WORK, breakdown_rewards, useful_work_reward
@@ -162,8 +163,12 @@ def run_single(
     )
     measures = {name: result.time_average for name, result in output.rewards.items()}
     measures["_events"] = float(output.event_count)
-    # Stash the counters for the caller (not a reward).
+    # Stash the counters and kernel stats for the caller (not rewards;
+    # underscore measure keys are popped by `simulate` and must stay
+    # floats, so richer diagnostics ride function attributes instead).
     run_single.last_counters = system.ledger.counters  # type: ignore[attr-defined]
+    run_single.last_kernel_stats = output.kernel_stats  # type: ignore[attr-defined]
+    profiling.record(output.kernel_stats)
     return measures
 
 
@@ -201,6 +206,7 @@ def simulate_batch_means(
     for batch in range(batches):
         until = warmup + (batch + 1) * batch_length
         output = simulator.run(until=until, warmup=0.0, rewards=rewards)
+        profiling.record(output.kernel_stats)
         event_counts.append(output.event_count)
         for name, result in output.rewards.items():
             per_reward.setdefault(name, []).append(result.time_average)

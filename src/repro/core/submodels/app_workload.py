@@ -48,7 +48,11 @@ def build_app_workload(
             input_gates=[
                 InputGate(
                     "app_progressing",
-                    predicate=lambda s: s.tokens(names.EXECUTION) > 0,
+                    # Captures the Place: this predicate runs on every
+                    # application cycle, and the direct attribute read
+                    # skips a name lookup per call. `reads=` still
+                    # drives the dependency index.
+                    predicate=lambda s, _execution=execution: _execution.tokens > 0,
                     reads=[names.EXECUTION],
                 )
             ],
@@ -58,7 +62,9 @@ def build_app_workload(
     )
 
     def queue_background_write(state) -> None:
-        state.place(names.APP_DATA_PENDING).add(1)
+        # `add` flows through the place's dirty sink as usual; only the
+        # name lookup is skipped (this gate runs every I/O phase).
+        app_pending.add(1)
 
     # The I/O phase is not gated on `execution`: an in-flight I/O write
     # cannot be quiesced and runs to completion (Section 3.3).

@@ -58,7 +58,11 @@ def build_compute_nodes(
             input_gates=[
                 InputGate(
                     "master_requested_quiesce",
-                    predicate=lambda s: s.tokens(names.MASTER_CKPT) > 0,
+                    # Predicates capture their Place objects (default
+                    # args): direct attribute reads skip the per-call
+                    # name lookup. `reads=` still drives the
+                    # dependency index.
+                    predicate=lambda s, _p=master_ckpt: _p.tokens > 0,
                     reads=[names.MASTER_CKPT],
                 )
             ],
@@ -76,12 +80,12 @@ def build_compute_nodes(
             input_gates=[
                 InputGate(
                     "safe_point_reached",
-                    predicate=lambda s: (
-                        s.tokens(names.QUIESCING) > 0
-                        and s.tokens(names.APP_COMPUTE) > 0
-                        and s.tokens(names.COORD_STARTED) == 0
-                        and s.tokens(names.COORD_COMPLETE) == 0
-                        and s.tokens(names.TIMEDOUT) == 0
+                    predicate=lambda s, _q=quiescing, _a=app_compute, _cs=coord_started, _cc=coord_complete, _t=timedout: (
+                        _q.tokens > 0
+                        and _a.tokens > 0
+                        and _cs.tokens == 0
+                        and _cc.tokens == 0
+                        and _t.tokens == 0
                     ),
                     reads=[
                         names.QUIESCING,
@@ -110,7 +114,7 @@ def build_compute_nodes(
             input_gates=[
                 InputGate(
                     "not_timed_out",
-                    predicate=lambda s: s.tokens(names.TIMEDOUT) == 0,
+                    predicate=lambda s, _p=timedout: _p.tokens == 0,
                     reads=[names.TIMEDOUT],
                 )
             ],
@@ -184,7 +188,7 @@ def build_compute_nodes(
             input_gates=[
                 InputGate(
                     "ionode_is_idle",
-                    predicate=lambda s: s.tokens(names.IO_IDLE) > 0,
+                    predicate=lambda s, _p=io_idle: _p.tokens > 0,
                     reads=[names.IO_IDLE],
                 )
             ],

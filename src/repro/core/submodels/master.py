@@ -60,7 +60,9 @@ def build_master(model: SANModel, params: ModelParameters, ledger: WorkLedger) -
             input_gates=[
                 InputGate(
                     "system_computing",
-                    predicate=lambda s: s.tokens(names.EXECUTION) > 0,
+                    # Captured Place: direct attribute read, no name
+                    # lookup; `reads=` still drives the index.
+                    predicate=lambda s, _p=execution: _p.tokens > 0,
                     reads=[names.EXECUTION],
                 )
             ],
@@ -113,7 +115,7 @@ def build_master(model: SANModel, params: ModelParameters, ledger: WorkLedger) -
             input_gates=[
                 InputGate(
                     "checkpointing_in_progress",
-                    predicate=lambda s: s.tokens(names.MASTER_CKPT) > 0,
+                    predicate=lambda s, _p=master_ckpt: _p.tokens > 0,
                     function=abort_protocol,
                     reads=[names.MASTER_CKPT],
                 )

@@ -189,6 +189,15 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         metavar="SECONDS",
         help="real-time budget per replication inside the simulator",
     )
+    parser.add_argument(
+        "--kernel-stats",
+        action="store_true",
+        help=(
+            "print aggregated simulation-kernel counters (heap traffic, "
+            "enabling checks avoided, events/sec) after the sweep; "
+            "forces a serial sweep (worker processes do not report stats)"
+        ),
+    )
 
 
 def _resilience_from_args(args: argparse.Namespace):
@@ -207,15 +216,31 @@ def _resilience_from_args(args: argparse.Namespace):
 
 
 def _run_one(figure_id: str, args: argparse.Namespace, stream) -> bool:
+    from ..san import profiling
+
     runner = FIGURE_RUNNERS[figure_id]
+    processes = args.processes
+    kernel_stats = getattr(args, "kernel_stats", False)
+    if kernel_stats:
+        if processes not in (None, 1):
+            print("--kernel-stats forces a serial sweep (ignoring --processes)")
+        processes = None
+        profiling.enable_aggregation(reset=True)
     started = time.time()
-    figure = runner(
-        preset=args.preset,
-        seed=args.seed,
-        processes=args.processes,
-        resilience=_resilience_from_args(args),
-    )
+    try:
+        figure = runner(
+            preset=args.preset,
+            seed=args.seed,
+            processes=processes,
+            resilience=_resilience_from_args(args),
+        )
+    finally:
+        stats = profiling.aggregated() if kernel_stats else None
+        if kernel_stats:
+            profiling.disable_aggregation()
     elapsed = time.time() - started
+    if stats is not None:
+        print(stats.summary())
     print(render_figure(figure))
     if getattr(args, "chart", False):
         print()

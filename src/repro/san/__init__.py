@@ -45,9 +45,11 @@ from .errors import (
 from .gates import InputGate, OutputGate
 from .model import SANModel
 from .places import ExtendedPlace, Place
+from .profiling import KernelStats
 from .rewards import RewardResult, RewardVariable
 from .rng import StreamRegistry
 from .simulator import (
+    KERNELS,
     Invariant,
     SimulationOutput,
     SimulationState,
@@ -105,6 +107,8 @@ __all__ = [
     "Simulator",
     "SimulationState",
     "SimulationOutput",
+    "KernelStats",
+    "KERNELS",
     "Invariant",
     "non_negative_markings",
     "monotone_nondecreasing",

@@ -24,7 +24,7 @@ distribution-preserving by memorylessness).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from .distributions import Distribution
 from .errors import ModelDefinitionError
@@ -177,6 +177,27 @@ class Activity:
         for case in self.cases:
             names.extend(arc.place.name for arc in case.output_arcs)
         return names
+
+    def dependency_places(self) -> Optional[FrozenSet[str]]:
+        """Place names whose change can affect this activity's enabling
+        or pending clock, or ``None`` if they cannot be known.
+
+        The set is the union of the input-arc places, every input
+        gate's declared ``reads``, and (for timed activities) the
+        ``resample_on`` places. When any input gate declines to declare
+        its reads the footprint is unknowable and the method returns
+        ``None`` — the incremental kernel then re-evaluates the
+        activity after every event, preserving full-rescan semantics
+        for that activity.
+        """
+        names = {arc.place.name for arc in self.input_arcs}
+        for gate in self.input_gates:
+            if not gate.declares_reads:
+                return None
+            names.update(gate.reads)
+        if self.timed:
+            names.update(self.resample_on)  # type: ignore[attr-defined]
+        return frozenset(names)
 
     def __repr__(self) -> str:
         kind = "timed" if self.timed else "instantaneous"

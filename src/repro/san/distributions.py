@@ -92,8 +92,19 @@ class Deterministic(Distribution):
     """
 
     def __init__(self, value: Param) -> None:
-        if not callable(value) and value < 0:
-            raise DistributionError(f"Deterministic delay must be >= 0, got {value}")
+        if not callable(value):
+            if value < 0:
+                raise DistributionError(
+                    f"Deterministic delay must be >= 0, got {value}"
+                )
+            # Constant delay: shadow the method with an instance-level
+            # closure returning the precomputed float. The simulator
+            # binds `distribution.sample` once per activity, so this
+            # removes a parameter resolution per scheduled event (the
+            # checkpoint model's hottest activities are all constant
+            # Deterministic).
+            constant = float(value)
+            self.sample = lambda rng, state=None: constant  # type: ignore[assignment]
         self._value = value
 
     def sample(self, rng: np.random.Generator, state: object = None) -> float:
@@ -118,8 +129,16 @@ class Exponential(Distribution):
     """
 
     def __init__(self, rate: Param) -> None:
-        if not callable(rate) and rate <= 0:
-            raise DistributionError(f"Exponential rate must be > 0, got {rate}")
+        if not callable(rate):
+            if rate <= 0:
+                raise DistributionError(f"Exponential rate must be > 0, got {rate}")
+            # Constant rate: precompute the scale. `1.0 / float(rate)`
+            # is exactly the value the generic path would compute, so
+            # the draw is bit-identical.
+            scale = 1.0 / float(rate)
+            self.sample = (  # type: ignore[assignment]
+                lambda rng, state=None: float(rng.exponential(scale))
+            )
         self._rate = rate
 
     @classmethod

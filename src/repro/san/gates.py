@@ -43,13 +43,20 @@ class InputGate:
         ``state -> None``; executed when the activity fires, after
         input arcs consumed their tokens.
     reads:
-        Optional list of place names the predicate reads. Purely
-        declarative today (used by tracing and model linting); the
-        simulator re-evaluates predicates after every firing, so an
-        incomplete list cannot cause missed enablings.
+        Place names the predicate reads. This is the gate's dependency
+        contract with the incremental kernel: when every gate of an
+        activity declares its reads, the simulator re-evaluates the
+        activity only after one of those places (or an input-arc place)
+        changes. A gate that leaves ``reads`` undeclared (``None``)
+        keeps the conservative behaviour — its activity is re-checked
+        after every firing — so existing models stay correct at the
+        cost of the full rescan. Declaring ``reads=[]`` asserts the
+        predicate reads no marking at all. A *declared but incomplete*
+        list is a modeling bug: the incremental kernel would miss
+        enablings the full kernel catches.
     """
 
-    __slots__ = ("name", "predicate", "function", "reads")
+    __slots__ = ("name", "predicate", "function", "reads", "declares_reads")
 
     def __init__(
         self,
@@ -68,6 +75,7 @@ class InputGate:
         self.predicate = predicate
         self.function = function
         self.reads = tuple(reads or ())
+        self.declares_reads = reads is not None
 
     def __repr__(self) -> str:
         return f"InputGate({self.name!r})"

@@ -217,6 +217,28 @@ class SANModel:
             warnings.append("model has no activities")
         return warnings
 
+    def dependency_index(self) -> Dict[str, Tuple[str, ...]]:
+        """Static index: place name -> names of dependent activities.
+
+        An activity *depends* on a place when the place's marking can
+        affect the activity's enabling or pending clock — it appears in
+        an input arc, a declared input-gate ``reads``, or (timed)
+        ``resample_on``. Activities with an undeclared gate footprint
+        (see :meth:`Activity.dependency_places`) are listed under the
+        pseudo-place ``"*"``: the incremental kernel re-evaluates them
+        after every event. The index is what turns the executive's
+        post-firing work from O(all activities) into O(fan-out).
+        """
+        index: Dict[str, List[str]] = {}
+        for activity in self._activity_order:
+            deps = activity.dependency_places()
+            if deps is None:
+                index.setdefault("*", []).append(activity.name)
+                continue
+            for name in sorted(deps):
+                index.setdefault(name, []).append(activity.name)
+        return {name: tuple(dependents) for name, dependents in index.items()}
+
     def marking(self) -> Dict[str, int]:
         """Snapshot of the discrete marking as ``{place: tokens}``."""
         return {name: place.tokens for name, place in self._places.items()}

@@ -10,6 +10,14 @@ counters to (a) re-sample timed activities that declared sensitivity to
 a place (marking-dependent rates such as the correlated-failure
 multiplier) and (b) skip re-evaluating activities whose inputs did not
 change.
+
+Mutations additionally notify an optional ``sink``: the incremental
+simulation kernel installs the run's dirty list there, so every place
+change enqueues the place for dependency-indexed reconciliation
+instead of forcing a full rescan of all activities. The sink is any
+object with ``append`` (the kernel uses a plain list on the
+:class:`~repro.san.simulator.SimulationState`); places with no sink
+pay a single ``is not None`` check per mutation.
 """
 
 from __future__ import annotations
@@ -32,7 +40,7 @@ class Place:
         Initial marking (default 0 tokens).
     """
 
-    __slots__ = ("name", "tokens", "initial", "version")
+    __slots__ = ("name", "tokens", "initial", "version", "sink", "deps")
 
     def __init__(self, name: str, initial: int = 0) -> None:
         if not name:
@@ -43,6 +51,11 @@ class Place:
         self.initial = int(initial)
         self.tokens = int(initial)
         self.version = 0
+        self.sink = None
+        # (timed, instantaneous) dependent-activity indices, filled in
+        # by the simulator from the model's dependency index so the
+        # dirty-list drain needs no name lookups.
+        self.deps = ((), ())
 
     def add(self, count: int = 1) -> None:
         """Add ``count`` tokens (count may be 0, never negative)."""
@@ -51,6 +64,8 @@ class Place:
         if count:
             self.tokens += count
             self.version += 1
+            if self.sink is not None:
+                self.sink.append(self)
 
     def remove(self, count: int = 1) -> None:
         """Remove ``count`` tokens; underflow is a simulation bug."""
@@ -63,6 +78,8 @@ class Place:
         if count:
             self.tokens -= count
             self.version += 1
+            if self.sink is not None:
+                self.sink.append(self)
 
     def set(self, count: int) -> None:
         """Set the marking directly (used by gate functions)."""
@@ -71,6 +88,8 @@ class Place:
         if count != self.tokens:
             self.tokens = int(count)
             self.version += 1
+            if self.sink is not None:
+                self.sink.append(self)
 
     def clear(self) -> None:
         """Remove all tokens."""
@@ -80,6 +99,8 @@ class Place:
         """Restore the initial marking (between replications)."""
         self.tokens = self.initial
         self.version += 1
+        if self.sink is not None:
+            self.sink.append(self)
 
     @property
     def empty(self) -> bool:
@@ -101,7 +122,7 @@ class ExtendedPlace:
     gate functions and reward definitions only.
     """
 
-    __slots__ = ("name", "value", "initial", "version")
+    __slots__ = ("name", "value", "initial", "version", "sink", "deps")
 
     def __init__(self, name: str, initial: float = 0.0) -> None:
         if not name:
@@ -110,21 +131,29 @@ class ExtendedPlace:
         self.initial = float(initial)
         self.value = float(initial)
         self.version = 0
+        self.sink = None
+        self.deps = ((), ())
 
     def set(self, value: float) -> None:
         """Assign a new value."""
         self.value = float(value)
         self.version += 1
+        if self.sink is not None:
+            self.sink.append(self)
 
     def add(self, delta: float) -> None:
         """Increment the value by ``delta``."""
         self.value += float(delta)
         self.version += 1
+        if self.sink is not None:
+            self.sink.append(self)
 
     def reset(self) -> None:
         """Restore the initial value (between replications)."""
         self.value = self.initial
         self.version += 1
+        if self.sink is not None:
+            self.sink.append(self)
 
     def __repr__(self) -> str:
         return f"ExtendedPlace({self.name!r}, value={self.value})"

@@ -20,7 +20,7 @@ steady-state measures discard the initial transient.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from .errors import ModelDefinitionError
 
@@ -42,6 +42,14 @@ class RewardVariable:
     impulses:
         Optional mapping ``activity name -> (state, case) -> float``
         added whenever that activity fires.
+    reads:
+        Optional declaration of the places (discrete or extended) whose
+        markings fully determine the rate. The simulator then caches
+        the rate value and only re-evaluates the function when one of
+        the declared places' version counters changed — the same
+        declared-footprint contract input gates use. Leave ``None``
+        (the default) for rates with an undeclarable footprint (e.g.
+        reading mutable context); those are re-evaluated every event.
 
     Examples
     --------
@@ -57,6 +65,7 @@ class RewardVariable:
         name: str,
         rate: Optional[RateFunction] = None,
         impulses: Optional[Mapping[str, ImpulseFunction]] = None,
+        reads: Optional[Sequence[str]] = None,
     ) -> None:
         if not name:
             raise ModelDefinitionError("reward variable name must be non-empty")
@@ -66,8 +75,15 @@ class RewardVariable:
             )
         if rate is not None and not callable(rate):
             raise ModelDefinitionError(f"reward variable {name!r}: rate must be callable")
+        if reads is not None and rate is None:
+            raise ModelDefinitionError(
+                f"reward variable {name!r}: reads= only applies to rate rewards"
+            )
         self.name = name
         self.rate = rate
+        self.reads: Optional[Tuple[str, ...]] = (
+            None if reads is None else tuple(reads)
+        )
         self.impulses: Dict[str, ImpulseFunction] = dict(impulses or {})
         for activity_name, function in self.impulses.items():
             if not callable(function):

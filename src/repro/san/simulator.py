@@ -16,12 +16,38 @@ The executive implements standard SAN execution semantics:
 Rate rewards are integrated only after the ``warmup`` transient, which
 is how the paper's steady-state simulation discards its initial 1000
 hours.
+
+Two kernels implement step 2 (and the scan half of step 1):
+
+* the **incremental** kernel (default) builds a static dependency
+  index at construction — place → the activities whose enabling or
+  clock can depend on it (input arcs, declared input-gate ``reads``,
+  ``resample_on``) — and reconciles only the activities affected by
+  the places an event actually changed (collected through the places'
+  dirty ``sink``). Activities owning a gate that does not declare its
+  reads fall back to being re-checked after every event, so models
+  that never declared anything keep full-rescan semantics.
+* the **full** kernel re-scans every activity after every firing —
+  the pre-index behaviour, kept as the semantic reference.
+
+Both kernels are trajectory-preserving: for the same seed they produce
+bit-identical firing sequences, because the dependency index only ever
+skips re-evaluations whose outcome could not have changed, candidates
+are visited in the same deterministic order, and each activity samples
+from its own named stream. ``tests/integration/test_kernel_equivalence``
+asserts this A/B on the full checkpoint model.
+
+Per-run kernel counters (heap traffic, checks performed vs skipped,
+re-samples, stabilisation chains, events/sec) are reported on
+:attr:`SimulationOutput.kernel_stats` — see :mod:`repro.san.profiling`.
 """
 
 from __future__ import annotations
 
 import heapq
 import time as _time
+from collections import Counter
+from operator import attrgetter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -34,7 +60,8 @@ from .errors import (
 )
 from .model import SANModel
 from .places import ExtendedPlace, Place
-from .rewards import RewardResult, RewardVariable
+from .profiling import KernelStats
+from .rewards import RateFunction, RewardResult, RewardVariable
 from .rng import StreamRegistry
 from .trace import NullTracer, Tracer
 
@@ -45,6 +72,7 @@ __all__ = [
     "Invariant",
     "non_negative_markings",
     "monotone_nondecreasing",
+    "KERNELS",
 ]
 
 #: An invariant hook: inspects the state after every event and returns
@@ -57,16 +85,25 @@ MAX_INSTANTANEOUS_CHAIN = 100_000
 #: Safety valve against livelocks of zero-delay timed activities.
 MAX_EVENTS_PER_INSTANT = 1_000_000
 
+#: The selectable scheduling kernels.
+KERNELS = ("incremental", "full")
+
+#: C-level attribute reader for place version counters (hot path).
+_VERSION = attrgetter("version")
+
 
 class SimulationState:
     """The live state handed to gates, distributions and rewards.
 
     Exposes the simulation clock (:attr:`time`), the user context
     (:attr:`ctx` — the checkpoint model stores its work ledger there)
-    and marking access by place name.
+    and marking access by place name. :attr:`dirty_places` is the
+    incremental kernel's event-local dirty list: every place mutation
+    appends the place here (via the place's ``sink``), and the kernel
+    drains it into its reconciliation sets between firings.
     """
 
-    __slots__ = ("model", "time", "ctx", "_places", "_extended")
+    __slots__ = ("model", "time", "ctx", "_places", "_extended", "dirty_places")
 
     def __init__(self, model: SANModel, ctx: Any = None) -> None:
         self.model = model
@@ -76,6 +113,7 @@ class SimulationState:
         self._extended: Dict[str, ExtendedPlace] = {
             p.name: p for p in model.extended_places
         }
+        self.dirty_places: List[Any] = []
 
     def place(self, name: str) -> Place:
         """The named place object (for reading or gate-side mutation)."""
@@ -157,6 +195,10 @@ class SimulationOutput:
         Total number of activity firings (timed + instantaneous).
     firings:
         Firing count per activity name (diagnostics and tests).
+    kernel_stats:
+        :class:`~repro.san.profiling.KernelStats` of this run: heap
+        traffic, enabling checks performed vs skipped, re-samples,
+        stabilisation chain lengths, and wall-clock events/sec.
     """
 
     final_time: float
@@ -164,6 +206,7 @@ class SimulationOutput:
     rewards: Dict[str, RewardResult] = field(default_factory=dict)
     event_count: int = 0
     firings: Dict[str, int] = field(default_factory=dict)
+    kernel_stats: Optional[KernelStats] = None
 
     @property
     def observation_time(self) -> float:
@@ -210,6 +253,14 @@ class Simulator:
         module constant; tests lower it to keep livelock tests fast.
     max_events_per_instant:
         Safety valve: maximum timed firings at one simulated instant.
+    kernel:
+        ``"incremental"`` (default) reconciles only the activities the
+        dependency index marks as affected by each event's place
+        mutations; ``"full"`` re-scans every activity after every
+        firing (the semantic reference — same trajectories, more
+        work). Only one simulator at a time can drive a given model
+        instance: constructing a second re-targets the places' dirty
+        sinks.
     """
 
     def __init__(
@@ -220,12 +271,18 @@ class Simulator:
         tracer: Optional[Tracer] = None,
         max_instantaneous_chain: int = MAX_INSTANTANEOUS_CHAIN,
         max_events_per_instant: int = MAX_EVENTS_PER_INSTANT,
+        kernel: str = "incremental",
     ) -> None:
         if isinstance(streams, StreamRegistry):
             self._streams = streams
         else:
             self._streams = StreamRegistry(seed=int(streams))
+        if kernel not in KERNELS:
+            raise SimulationError(
+                f"kernel must be one of {KERNELS}, got {kernel!r}"
+            )
         self.model = model
+        self.kernel = kernel
         self.state = SimulationState(model, ctx=ctx)
         # A context exposing `integrate(state, start, end)` receives every
         # inter-event interval before the clock advances; the checkpoint
@@ -243,22 +300,239 @@ class Simulator:
             )
         self._max_instantaneous_chain = max_instantaneous_chain
         self._max_events_per_instant = max_events_per_instant
+
         self._timed: Tuple[TimedActivity, ...] = model.timed_activities
         self._instantaneous = model.instantaneous_activities
-        self._schedules: Dict[str, _Schedule] = {a.name: _Schedule() for a in self._timed}
-        self._rngs = {a.name: self._streams.get(f"activity/{a.name}") for a in self._timed}
+        self._n_timed = len(self._timed)
+        self._n_inst = len(self._instantaneous)
+        # Preallocated per-activity records, indexed by position in the
+        # definition-order tuples: no name-keyed dict lookups in the
+        # hot loop.
+        self._schedules: List[_Schedule] = [_Schedule() for _ in self._timed]
+        self._rngs = [
+            self._streams.get(f"activity/{a.name}") for a in self._timed
+        ]
         self._case_rng = self._streams.get("cases")
-        self._heap: List[Tuple[float, int, int, TimedActivity]] = []
-        self._sequence = 0
-        self._firings: Dict[str, int] = {}
-        self._watched_places: Dict[str, Tuple[Place, ...]] = {}
-        for activity in self._timed:
-            places = tuple(
+        self._watched: List[Tuple[Place, ...]] = [
+            tuple(
                 model.place(name)
                 for name in activity.resample_on
                 if model.has_place(name)
             )
-            self._watched_places[activity.name] = places
+            for activity in self._timed
+        ]
+        # Heap entries are (fire_time, seq, generation, timed_index);
+        # seq is unique so comparisons never reach the index.
+        self._heap: List[Tuple[float, int, int, int]] = []
+        self._sequence = 0
+        self._firings: Counter = Counter()
+
+        # Enabling plans: ((place, weight), ...) arc pairs plus gate
+        # predicates, pre-extracted so the hot path tests enabling
+        # without attribute chains or a method call per activity.
+        self._t_enabled = [self._enabling_plan(a) for a in self._timed]
+        self._i_enabled = [self._enabling_plan(a) for a in self._instantaneous]
+        # Firing plans ride on the activity objects; rebuilding them is
+        # deterministic, so several simulators sharing one model agree.
+        for activity in model.activities:
+            activity._plan = self._fire_plan(activity)
+        # Bound sample methods, one per timed activity: distributions
+        # are fixed at activity construction, so the binding is safe.
+        self._samplers = [a.distribution.sample for a in self._timed]
+
+        self._build_dependency_index()
+        self._install_sinks()
+        self._build_incremental_fire_plans()
+
+        # Reconciliation sets (incremental kernel): start fully dirty.
+        self._pending_timed = set(range(self._n_timed))
+        self._inst_candidates = set(range(self._n_inst))
+
+        self._reset_counters()
+
+    @staticmethod
+    def _enabling_plan(activity: Activity) -> Tuple[tuple, tuple]:
+        """((place, weight), ...) and (predicate, ...) for fast checks."""
+        return (
+            tuple((arc.place, arc.weight) for arc in activity.input_arcs),
+            tuple(gate.predicate for gate in activity.input_gates),
+        )
+
+    @staticmethod
+    def _fire_plan(activity: Activity) -> tuple:
+        """Pre-extracted firing recipe: everything :meth:`_fire` needs
+        without walking ``Arc``/``Case``/``Gate`` attribute chains."""
+        case_plans = tuple(
+            (
+                tuple((arc.place, arc.weight) for arc in case.output_arcs),
+                tuple(gate.function for gate in case.output_gates),
+            )
+            for case in activity.cases
+        )
+        return (
+            tuple((arc.place, arc.weight) for arc in activity.input_arcs),
+            tuple(gate.function for gate in activity.input_gates),
+            case_plans,
+            len(activity.cases) > 1,
+            activity.on_fire,
+            activity.name,
+        )
+
+    @property
+    def tracer(self) -> Tracer:
+        """The firing tracer (assignable; a ``NullTracer`` means the
+        hot loop skips the record call entirely)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+        self._record = None if isinstance(tracer, NullTracer) else tracer.record
+
+    # ------------------------------------------------------------------
+    # Dependency index
+    # ------------------------------------------------------------------
+    def _build_dependency_index(self) -> None:
+        """Map each place name to the indices of dependent activities.
+
+        ``_dep_timed[name]`` / ``_dep_inst[name]`` list the timed /
+        instantaneous activities whose enabling or clock can depend on
+        the place; ``_always_timed`` / ``_always_inst`` hold the
+        activities whose footprint is unknowable (a gate without
+        declared ``reads``) and are therefore reconciled after every
+        event — the conservative fallback that keeps undeclared models
+        on full-rescan semantics.
+        """
+        dep_timed: Dict[str, List[int]] = {}
+        dep_inst: Dict[str, List[int]] = {}
+        always_timed: List[int] = []
+        always_inst: List[int] = []
+        for index, activity in enumerate(self._timed):
+            deps = activity.dependency_places()
+            if deps is None:
+                always_timed.append(index)
+                continue
+            for name in deps:
+                dep_timed.setdefault(name, []).append(index)
+        for index, activity in enumerate(self._instantaneous):
+            deps = activity.dependency_places()
+            if deps is None:
+                always_inst.append(index)
+                continue
+            for name in deps:
+                dep_inst.setdefault(name, []).append(index)
+        self._dep_timed = {
+            name: tuple(indices) for name, indices in dep_timed.items()
+        }
+        self._dep_inst = {
+            name: tuple(indices) for name, indices in dep_inst.items()
+        }
+        self._always_timed = tuple(always_timed)
+        self._always_inst = tuple(always_inst)
+        # Denormalise onto the places themselves: the drain then reads
+        # `place.deps` instead of two dict lookups per dirty place.
+        for place in list(self.model.places) + list(self.model.extended_places):
+            place.deps = (
+                self._dep_timed.get(place.name, ()),
+                self._dep_inst.get(place.name, ()),
+            )
+
+    def _build_incremental_fire_plans(self) -> None:
+        """Firing recipes for the incremental kernel's inlined paths.
+
+        Arc mutations are statically known, so each plan carries, per
+        case, the pre-merged union of dependent-activity indices those
+        mutations can affect (``affected_timed`` / ``affected_inst``).
+        The inlined fire then updates the reconciliation sets directly
+        and bypasses the place sinks for arc mutations — only gate
+        *function* writes (dynamic, unknowable statically) still flow
+        through the dirty list. For a timed activity the affected set
+        also contains the activity itself: firing consumed its clock,
+        so it must re-sample if still enabled. Weight-0 arcs are
+        dropped: ``Place.add/remove`` treat them as no-ops (no version
+        bump), and the inlined arithmetic must match.
+
+        Requires ``place.deps`` (``_build_dependency_index``) to be
+        populated first.
+        """
+
+        def build(activity: Activity, self_index: Optional[int]) -> tuple:
+            in_pairs = tuple(
+                (arc.place, arc.weight)
+                for arc in activity.input_arcs
+                if arc.weight
+            )
+            case_plans = []
+            for case in activity.cases:
+                out_pairs = tuple(
+                    (arc.place, arc.weight)
+                    for arc in case.output_arcs
+                    if arc.weight
+                )
+                touched = {place for place, _ in in_pairs}
+                touched.update(place for place, _ in out_pairs)
+                affected_timed = set() if self_index is None else {self_index}
+                affected_inst = set()
+                for place in touched:
+                    timed_deps, inst_deps = place.deps
+                    affected_timed.update(timed_deps)
+                    affected_inst.update(inst_deps)
+                case_plans.append(
+                    (
+                        out_pairs,
+                        tuple(gate.function for gate in case.output_gates),
+                        tuple(affected_timed),
+                        tuple(affected_inst),
+                    )
+                )
+            return (
+                in_pairs,
+                tuple(gate.function for gate in activity.input_gates),
+                tuple(case_plans),
+                len(activity.cases) > 1,
+                activity.on_fire,
+                activity.name,
+            )
+
+        self._t_fire_inc = [
+            build(activity, index) for index, activity in enumerate(self._timed)
+        ]
+        # An instantaneous activity has no clock and stays in the
+        # candidate set until a check proves it disabled, so its own
+        # index never needs forcing into the affected sets.
+        self._i_fire_inc = [
+            build(activity, None) for activity in self._instantaneous
+        ]
+
+    def _install_sinks(self) -> None:
+        """Point every place's dirty sink at this run's dirty list.
+
+        The full kernel re-scans everything anyway, so it leaves the
+        sinks disconnected and pays nothing per mutation.
+        """
+        sink = self.state.dirty_places if self.kernel == "incremental" else None
+        for place in self.model.places:
+            place.sink = sink
+        for extended in self.model.extended_places:
+            extended.sink = sink
+
+    def _mark_all_dirty(self) -> None:
+        """Force a full reconcile (used at the start of every run)."""
+        self._pending_timed.update(range(self._n_timed))
+        self._inst_candidates.update(range(self._n_inst))
+        del self.state.dirty_places[:]
+
+    def _reset_counters(self) -> None:
+        self._n_pushes = 0
+        self._n_stale = 0
+        self._n_checks = 0
+        self._n_skipped = 0
+        self._n_resamples = 0
+        self._n_invalidations = 0
+        self._n_dirty = 0
+        self._n_stabilize = 0
+        self._n_stabilize_fired = 0
+        self._max_chain = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -281,7 +555,10 @@ class Simulator:
         ``stop_when`` enables *terminating* simulations: a callable
         ``state -> bool`` evaluated after every event; when it returns
         True the run ends at the current time (used for job-completion
-        studies). ``until`` then acts as a hard cap.
+        studies). ``until`` then acts as a hard cap. The predicate is
+        evaluated exactly once per event — the end-of-run bookkeeping
+        reuses the loop's verdict, so stateful or expensive predicates
+        are safe.
 
         ``wall_clock_budget`` bounds the *real* time (seconds) the run
         may consume; exceeding it raises
@@ -315,39 +592,189 @@ class Simulator:
         state = self.state
         run_start = state.time
         accumulators = {rv.name: 0.0 for rv in rewards}
-        rate_rewards = [rv for rv in rewards if rv.rate is not None]
+        # Rate plan: (static, static_places, cache, dynamic). Rewards
+        # declaring `reads=` go into `static`; `static_places` is the
+        # deduplicated union of every declared place. Place versions
+        # are monotone, so an unchanged combined version sum proves no
+        # declared place mutated and the cached `(name, rate)` list of
+        # nonzero rates (`cache[1]`) is still exact — one integer loop
+        # replaces every rate call on the no-change path. Undeclared
+        # rates land in `dynamic` and are re-evaluated every interval.
+        static: List[Tuple[str, RateFunction]] = []
+        dynamic: List[Tuple[str, RateFunction]] = []
+        static_places: List[Any] = []
+        seen_places: set = set()
+        for rv in rewards:
+            if rv.rate is None:
+                continue
+            if rv.reads is None:
+                dynamic.append((rv.name, rv.rate))
+                continue
+            for place_name in rv.reads:
+                # Explicit None checks: Place.__bool__ reflects the
+                # marking, so `or`-chaining would drop empty places.
+                place = state._places.get(place_name)
+                if place is None:
+                    place = state._extended.get(place_name)
+                if place is None:
+                    raise SimulationError(
+                        f"reward variable {rv.name!r} declares unknown "
+                        f"place {place_name!r} in reads"
+                    )
+                if place_name not in seen_places:
+                    seen_places.add(place_name)
+                    static_places.append(place)
+            static.append((rv.name, rv.rate))
+        rate_plan = (
+            tuple(static),
+            tuple(static_places),
+            [-1, ()],
+            tuple(dynamic),
+        )
+        integrands = bool(static or dynamic) or self._ctx_integrate is not None
         impulse_map: Dict[str, List[RewardVariable]] = {}
         for rv in rewards:
             for activity_name in rv.impulses:
                 impulse_map.setdefault(activity_name, []).append(rv)
+        # Per-activity-index impulse tuples for the inlined fire paths:
+        # one list index replaces a name-keyed dict lookup per firing.
+        t_impulses: List[tuple] = [
+            tuple(
+                (rv.name, rv.impulses[a.name])
+                for rv in impulse_map.get(a.name, ())
+            )
+            for a in self._timed
+        ]
+        i_impulses: List[tuple] = [
+            tuple(
+                (rv.name, rv.impulses[a.name])
+                for rv in impulse_map.get(a.name, ())
+            )
+            for a in self._instantaneous
+        ]
 
         event_count = 0
         events_at_instant = 0
         last_instant = -1.0
-        wall_start = _time.monotonic() if wall_clock_budget is not None else 0.0
+        stopped_early = False
+        self._reset_counters()
+        wall_begin = _time.monotonic()
+        wall_start = wall_begin if wall_clock_budget is not None else 0.0
 
+        # Every run call starts from a full reconcile: between calls the
+        # marking may have been mutated out-of-band (model.reset(), gate
+        # probes), and the cost is one rescan, not one per event.
+        self._mark_all_dirty()
         event_count += self._stabilize(impulse_map, accumulators, warmup)
         self._refresh_schedules()
         self._check_invariants(invariants)
 
-        while self._heap:
-            fire_time, _, generation, activity = heapq.heappop(self._heap)
-            schedule = self._schedules[activity.name]
+        # The event loop runs a few hundred thousand times per second;
+        # every attribute and bound-method lookup below is hoisted into
+        # a local on purpose. `dirty` aliases the live list — the drain
+        # empties it with `del dirty[:]`, never rebinding.
+        heap = self._heap
+        heappop = heapq.heappop
+        schedules = self._schedules
+        timed = self._timed
+        fire = self._fire
+        refresh = self._refresh_schedules
+        stabilize = self._stabilize
+        pending = self._pending_timed
+        inst_candidates = self._inst_candidates
+        always_inst = self._always_inst
+        dirty = state.dirty_places
+        max_per_instant = self._max_events_per_instant
+        incremental = self.kernel == "incremental"
+        t_fire_plans = self._t_fire_inc
+        case_rng = self._case_rng
+        firings = self._firings
+        record = self._record
+        # Hoists for the inlined reward integration (see _integrate,
+        # kept as the reference implementation for the closing
+        # interval and the full kernel).
+        ctx_integrate = self._ctx_integrate
+        static, static_places, rate_cache, dynamic = rate_plan
+        # Hoists for the inlined reconcile/stabilise blocks below.
+        heappush = heapq.heappush
+        always_timed = self._always_timed
+        t_enabling = self._t_enabled
+        i_enabling = self._i_enabled
+        i_fire_plans = self._i_fire_inc
+        watched_lists = self._watched
+        samplers = self._samplers
+        rngs = self._rngs
+        inst = self._instantaneous
+        n_timed = self._n_timed
+        n_inst = self._n_inst
+        max_chain_limit = self._max_instantaneous_chain
+        # Kernel counters accumulate in locals and merge into the
+        # instance totals after the loop — the methods the inlined
+        # blocks replace add to the same attributes, so the merge is a
+        # plain `+=` (and a max for the chain length).
+        n_checks = 0
+        n_skipped = 0
+        n_dirty = 0
+        n_invalidations = 0
+        n_pushes = 0
+        n_stabilize = 0
+        n_stabilize_fired = 0
+        max_chain = 0
+        # Firing tallies by activity index (a list bump beats a
+        # name-keyed Counter update); folded into self._firings after
+        # the loop, alongside what the un-inlined paths added there.
+        t_counts = [0] * n_timed
+        i_counts = [0] * n_inst
+        while heap:
+            fire_time, _, generation, index = heappop(heap)
+            schedule = schedules[index]
             if generation != schedule.generation or schedule.fire_time is None:
+                self._n_stale += 1
                 continue  # stale entry
             if fire_time > until:
                 # Push back so a subsequent run() continuation could reuse it;
                 # we simply stop here.
-                heapq.heappush(self._heap, (fire_time, self._next_seq(), generation, activity))
+                self._sequence += 1
+                heapq.heappush(
+                    heap, (fire_time, self._sequence, generation, index)
+                )
+                self._n_pushes += 1
                 break
-            # Integrate rate rewards over (state.time, fire_time).
-            self._integrate(rate_rewards, accumulators, state.time, fire_time, warmup)
+            # Integrate rate rewards over (state.time, fire_time) —
+            # inlined _integrate (same logic; the method remains the
+            # reference and handles the closing interval).
+            if integrands:
+                prev_time = state.time
+                if fire_time > prev_time:
+                    if ctx_integrate is not None:
+                        ctx_integrate(state, prev_time, fire_time)
+                    measured_start = prev_time if prev_time > warmup else warmup
+                    if fire_time > measured_start:
+                        dt = fire_time - measured_start
+                        if static:
+                            version_sum = sum(map(_VERSION, static_places))
+                            if version_sum != rate_cache[0]:
+                                rate_cache[0] = version_sum
+                                rate_cache[1] = tuple(
+                                    pair
+                                    for pair in (
+                                        (nm, rate_fn(state))
+                                        for nm, rate_fn in static
+                                    )
+                                    if pair[1]
+                                )
+                            for nm, rate in rate_cache[1]:
+                                accumulators[nm] += rate * dt
+                        for nm, rate_fn in dynamic:
+                            rate = rate_fn(state)
+                            if rate:
+                                accumulators[nm] += rate * dt
             if fire_time == last_instant:
                 events_at_instant += 1
-                if events_at_instant > self._max_events_per_instant:
+                if events_at_instant > max_per_instant:
                     raise LivelockError(
                         "zero-delay",
-                        activity.name,
+                        timed[index].name,
                         events_at_instant,
                         time=fire_time,
                         marking=state.marking_snapshot(),
@@ -358,15 +785,363 @@ class Simulator:
             state.time = fire_time
             schedule.fire_time = None
             schedule.generation += 1
-            self._fire(activity, impulse_map, accumulators, warmup)
-            # Reconcile clocks immediately: a firing may disable another
-            # activity transiently before stabilisation re-enables it, and
-            # such an activity must lose its old clock (restart semantics).
-            self._refresh_schedules()
-            event_count += 1
-            event_count += self._stabilize(impulse_map, accumulators, warmup)
-            self._refresh_schedules()
-            self._check_invariants(invariants)
+            if incremental:
+                # Inlined _fire with the same mutation order (input
+                # arcs, input gate functions, case, output arcs, output
+                # gate functions, on_fire). Arc mutations bypass the
+                # dirty list — their dependents were merged statically
+                # into the plan's affected sets, which also contain the
+                # fired activity itself (its clock was consumed).
+                (
+                    in_pairs,
+                    in_fns,
+                    case_plans,
+                    multi_case,
+                    on_fire,
+                    name,
+                ) = t_fire_plans[index]
+                for place, weight in in_pairs:
+                    place.tokens -= weight
+                    place.version += 1
+                for fn in in_fns:
+                    fn(state)
+                case_index = (
+                    timed[index].resolve_case(state, case_rng)
+                    if multi_case
+                    else 0
+                )
+                out_pairs, out_fns, affected_t, affected_i = case_plans[
+                    case_index
+                ]
+                for place, weight in out_pairs:
+                    place.tokens += weight
+                    place.version += 1
+                for fn in out_fns:
+                    fn(state)
+                if on_fire is not None:
+                    on_fire(state, case_index)
+                t_counts[index] += 1
+                imp = t_impulses[index]
+                if imp and fire_time >= warmup:
+                    for acc_name, impulse_fn in imp:
+                        accumulators[acc_name] += impulse_fn(state, case_index)
+                if record is not None:
+                    record(fire_time, name, case_index)
+                pending.update(affected_t)
+                inst_candidates.update(affected_i)
+                # ---- Inlined _refresh_schedules (same logic, same
+                # order; see the method for the commentary). Reconcile
+                # clocks immediately: a firing may disable another
+                # activity transiently before stabilisation re-enables
+                # it, and such an activity must lose its old clock
+                # (restart semantics).
+                if dirty:
+                    n_dirty += len(dirty)
+                    for place in dirty:
+                        timed_deps, inst_deps = place.deps
+                        if timed_deps:
+                            pending.update(timed_deps)
+                        if inst_deps:
+                            inst_candidates.update(inst_deps)
+                    del dirty[:]
+                if always_timed:
+                    pending.update(always_timed)
+                if pending:
+                    # One- and two-element sets dominate (a firing
+                    # typically dirties itself plus one neighbour);
+                    # sorted() on those is pure overhead.
+                    n_pending = len(pending)
+                    if n_pending == 1:
+                        candidates = (pending.pop(),)
+                    elif n_pending == 2:
+                        ca = pending.pop()
+                        cb = pending.pop()
+                        candidates = (ca, cb) if ca < cb else (cb, ca)
+                    else:
+                        candidates = sorted(pending)
+                        pending.clear()
+                    n_checks += n_pending
+                    n_skipped += n_timed - n_pending
+                    for t_index in candidates:
+                        schedule = schedules[t_index]
+                        arc_pairs, predicates = t_enabling[t_index]
+                        for place, weight in arc_pairs:
+                            if place.tokens < weight:
+                                enabled = False
+                                break
+                        else:
+                            for predicate in predicates:
+                                if not predicate(state):
+                                    enabled = False
+                                    break
+                            else:
+                                enabled = True
+                        if not enabled:
+                            if schedule.fire_time is not None:
+                                schedule.fire_time = None
+                                schedule.generation += 1
+                                n_invalidations += 1
+                            continue
+                        watched = watched_lists[t_index]
+                        if schedule.fire_time is not None:
+                            if watched:
+                                versions = tuple(
+                                    place.version for place in watched
+                                )
+                                if versions != schedule.watched_versions:
+                                    schedule.fire_time = None
+                                    schedule.generation += 1
+                                    n_invalidations += 1
+                                else:
+                                    continue
+                            else:
+                                continue
+                        delay = samplers[t_index](rngs[t_index], state)
+                        if delay < 0:
+                            raise SimulationError(
+                                f"activity {timed[t_index].name!r} "
+                                f"sampled negative delay {delay}"
+                            )
+                        schedule.fire_time = t_fire = fire_time + delay
+                        if watched:
+                            schedule.watched_versions = tuple(
+                                place.version for place in watched
+                            )
+                        self._sequence += 1
+                        n_pushes += 1
+                        heappush(
+                            heap,
+                            (
+                                t_fire,
+                                self._sequence,
+                                schedule.generation,
+                                t_index,
+                            ),
+                        )
+                else:
+                    n_skipped += n_timed
+                event_count += 1
+                # ---- Inlined _stabilize (incremental branch; same
+                # logic and order — see the method). Skipped outright
+                # when every instantaneous activity is provably
+                # disabled (no candidate survived its last check and
+                # none became dirty — the refresh above drained this
+                # event's dirty places into the candidate set already).
+                # No closing refresh is needed: stabilisation's last
+                # action is either an internal refresh (after its
+                # final firing) or a read-only scan, so pending and
+                # dirty end up empty either way.
+                if inst_candidates or always_inst or dirty:
+                    s_fired = 0
+                    if dirty:
+                        n_dirty += len(dirty)
+                        for place in dirty:
+                            timed_deps, inst_deps = place.deps
+                            if timed_deps:
+                                pending.update(timed_deps)
+                            if inst_deps:
+                                inst_candidates.update(inst_deps)
+                        del dirty[:]
+                    if always_inst:
+                        inst_candidates.update(always_inst)
+                    while inst_candidates:
+                        n_cand = len(inst_candidates)
+                        if n_cand == 1:
+                            ordered = tuple(inst_candidates)
+                        elif n_cand == 2:
+                            ca, cb = inst_candidates
+                            ordered = (ca, cb) if ca < cb else (cb, ca)
+                        else:
+                            ordered = sorted(inst_candidates)
+                        for i_index in ordered:
+                            n_checks += 1
+                            arc_pairs, predicates = i_enabling[i_index]
+                            for place, weight in arc_pairs:
+                                if place.tokens < weight:
+                                    enabled = False
+                                    break
+                            else:
+                                for predicate in predicates:
+                                    if not predicate(state):
+                                        enabled = False
+                                        break
+                                else:
+                                    enabled = True
+                            if enabled:
+                                (
+                                    in_pairs,
+                                    in_fns,
+                                    case_plans,
+                                    multi_case,
+                                    on_fire,
+                                    name,
+                                ) = i_fire_plans[i_index]
+                                for place, weight in in_pairs:
+                                    place.tokens -= weight
+                                    place.version += 1
+                                for fn in in_fns:
+                                    fn(state)
+                                case_index = (
+                                    inst[i_index].resolve_case(state, case_rng)
+                                    if multi_case
+                                    else 0
+                                )
+                                (
+                                    out_pairs,
+                                    out_fns,
+                                    affected_t,
+                                    affected_i,
+                                ) = case_plans[case_index]
+                                for place, weight in out_pairs:
+                                    place.tokens += weight
+                                    place.version += 1
+                                for fn in out_fns:
+                                    fn(state)
+                                if on_fire is not None:
+                                    on_fire(state, case_index)
+                                i_counts[i_index] += 1
+                                imp = i_impulses[i_index]
+                                if imp and fire_time >= warmup:
+                                    for acc_name, impulse_fn in imp:
+                                        accumulators[acc_name] += impulse_fn(
+                                            state, case_index
+                                        )
+                                if record is not None:
+                                    record(fire_time, name, case_index)
+                                pending.update(affected_t)
+                                inst_candidates.update(affected_i)
+                                # Reconcile clocks between firings
+                                # (restart semantics) — the same
+                                # inlined _refresh_schedules as after
+                                # the timed firing above; an
+                                # instantaneous firing happens at the
+                                # current event time, so `fire_time`
+                                # is still "now".
+                                if dirty:
+                                    n_dirty += len(dirty)
+                                    for place in dirty:
+                                        timed_deps, inst_deps = place.deps
+                                        if timed_deps:
+                                            pending.update(timed_deps)
+                                        if inst_deps:
+                                            inst_candidates.update(inst_deps)
+                                    del dirty[:]
+                                if always_timed:
+                                    pending.update(always_timed)
+                                if pending:
+                                    n_pending = len(pending)
+                                    if n_pending == 1:
+                                        candidates = (pending.pop(),)
+                                    elif n_pending == 2:
+                                        ca = pending.pop()
+                                        cb = pending.pop()
+                                        candidates = (
+                                            (ca, cb) if ca < cb else (cb, ca)
+                                        )
+                                    else:
+                                        candidates = sorted(pending)
+                                        pending.clear()
+                                    n_checks += n_pending
+                                    n_skipped += n_timed - n_pending
+                                    for t_index in candidates:
+                                        schedule = schedules[t_index]
+                                        arc_pairs, predicates = t_enabling[
+                                            t_index
+                                        ]
+                                        for place, weight in arc_pairs:
+                                            if place.tokens < weight:
+                                                enabled = False
+                                                break
+                                        else:
+                                            for predicate in predicates:
+                                                if not predicate(state):
+                                                    enabled = False
+                                                    break
+                                            else:
+                                                enabled = True
+                                        if not enabled:
+                                            if schedule.fire_time is not None:
+                                                schedule.fire_time = None
+                                                schedule.generation += 1
+                                                n_invalidations += 1
+                                            continue
+                                        watched = watched_lists[t_index]
+                                        if schedule.fire_time is not None:
+                                            if watched:
+                                                versions = tuple(
+                                                    place.version
+                                                    for place in watched
+                                                )
+                                                if (
+                                                    versions
+                                                    != schedule.watched_versions
+                                                ):
+                                                    schedule.fire_time = None
+                                                    schedule.generation += 1
+                                                    n_invalidations += 1
+                                                else:
+                                                    continue
+                                            else:
+                                                continue
+                                        delay = samplers[t_index](
+                                            rngs[t_index], state
+                                        )
+                                        if delay < 0:
+                                            raise SimulationError(
+                                                f"activity "
+                                                f"{timed[t_index].name!r} "
+                                                f"sampled negative delay "
+                                                f"{delay}"
+                                            )
+                                        schedule.fire_time = t_fire = (
+                                            fire_time + delay
+                                        )
+                                        if watched:
+                                            schedule.watched_versions = tuple(
+                                                place.version
+                                                for place in watched
+                                            )
+                                        self._sequence += 1
+                                        n_pushes += 1
+                                        heappush(
+                                            heap,
+                                            (
+                                                t_fire,
+                                                self._sequence,
+                                                schedule.generation,
+                                                t_index,
+                                            ),
+                                        )
+                                else:
+                                    n_skipped += n_timed
+                                if always_inst:
+                                    inst_candidates.update(always_inst)
+                                s_fired += 1
+                                if s_fired > max_chain_limit:
+                                    raise LivelockError(
+                                        "instantaneous",
+                                        inst[i_index].name,
+                                        s_fired,
+                                        time=state.time,
+                                        marking=state.marking_snapshot(),
+                                    )
+                                break
+                            inst_candidates.discard(i_index)
+                        else:
+                            break
+                    n_skipped += n_inst - len(inst_candidates)
+                    n_stabilize += 1
+                    n_stabilize_fired += s_fired
+                    if s_fired > max_chain:
+                        max_chain = s_fired
+                    event_count += s_fired
+            else:
+                fire(timed[index], impulse_map, accumulators, warmup)
+                refresh()
+                event_count += 1
+                event_count += stabilize(impulse_map, accumulators, warmup)
+            if invariants:
+                self._check_invariants(invariants)
             if wall_clock_budget is not None:
                 elapsed = _time.monotonic() - wall_start
                 if elapsed > wall_clock_budget:
@@ -377,13 +1152,34 @@ class Simulator:
                         marking=state.marking_snapshot(),
                     )
             if stop_when is not None and stop_when(state):
+                stopped_early = True
                 break
 
+        # Merge the loop-local counter accumulation into the instance
+        # totals (the un-inlined methods added to these directly).
+        for t_i, count in enumerate(t_counts):
+            if count:
+                firings[timed[t_i].name] += count
+        for i_i, count in enumerate(i_counts):
+            if count:
+                firings[inst[i_i].name] += count
+        self._n_checks += n_checks
+        self._n_skipped += n_skipped
+        self._n_dirty += n_dirty
+        self._n_invalidations += n_invalidations
+        self._n_pushes += n_pushes
+        self._n_resamples += n_pushes
+        self._n_stabilize += n_stabilize
+        self._n_stabilize_fired += n_stabilize_fired
+        if max_chain > self._max_chain:
+            self._max_chain = max_chain
+
         # Close the final interval up to the stop time (`until`, or the
-        # stop-condition instant for terminating runs).
-        end_time = state.time if (stop_when is not None and state.time < until
-                                  and stop_when(state)) else until
-        self._integrate(rate_rewards, accumulators, state.time, end_time, warmup)
+        # stop-condition instant for terminating runs). The loop's
+        # verdict is cached in `stopped_early` — do NOT re-evaluate the
+        # predicate here, it may be stateful or expensive.
+        end_time = state.time if (stopped_early and state.time < until) else until
+        self._integrate(rate_plan, accumulators, state.time, end_time, warmup)
         state.time = end_time
 
         final_time = state.time
@@ -396,24 +1192,37 @@ class Simulator:
             )
             for rv in rewards
         }
+        wall_seconds = _time.monotonic() - wall_begin
+        stats = KernelStats(
+            kernel=self.kernel,
+            events=event_count,
+            wall_seconds=wall_seconds,
+            heap_pushes=self._n_pushes,
+            stale_pops=self._n_stale,
+            enabled_checks=self._n_checks,
+            enabled_checks_skipped=self._n_skipped,
+            resamples=self._n_resamples,
+            clock_invalidations=self._n_invalidations,
+            dirty_notifications=self._n_dirty,
+            stabilisations=self._n_stabilize,
+            stabilisation_firings=self._n_stabilize_fired,
+            max_stabilisation_chain=self._max_chain,
+        )
         return SimulationOutput(
             final_time=final_time,
             warmup=warmup,
             rewards=results,
             event_count=event_count,
             firings=dict(self._firings),
+            kernel_stats=stats,
         )
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _next_seq(self) -> int:
-        self._sequence += 1
-        return self._sequence
-
     def _integrate(
         self,
-        rate_rewards: Sequence[RewardVariable],
+        rate_plan: tuple,
         accumulators: Dict[str, float],
         start: float,
         end: float,
@@ -423,17 +1232,36 @@ class Simulator:
             return
         if self._ctx_integrate is not None:
             self._ctx_integrate(self.state, start, end)
-        if not rate_rewards:
+        static, static_places, cache, dynamic = rate_plan
+        if not static and not dynamic:
             return
-        measured_start = max(start, warmup)
+        measured_start = start if start > warmup else warmup
         if end <= measured_start:
             return
         dt = end - measured_start
         state = self.state
-        for rv in rate_rewards:
-            rate = rv.rate(state)  # type: ignore[misc]
+        if static:
+            version_sum = sum(map(_VERSION, static_places))
+            if version_sum != cache[0]:
+                # Some declared place mutated: re-evaluate every static
+                # rate once and cache the nonzero ones. Per-reward
+                # accumulation order is unchanged (each name appears at
+                # most once per interval), so the float sums are
+                # bit-identical to recomputing every time.
+                cache[0] = version_sum
+                cache[1] = tuple(
+                    pair
+                    for pair in (
+                        (name, rate_fn(state)) for name, rate_fn in static
+                    )
+                    if pair[1]
+                )
+            for name, rate in cache[1]:
+                accumulators[name] += rate * dt
+        for name, rate_fn in dynamic:
+            rate = rate_fn(state)
             if rate:
-                accumulators[rv.name] += rate * dt
+                accumulators[name] += rate * dt
 
     def _fire(
         self,
@@ -443,23 +1271,29 @@ class Simulator:
         warmup: float,
     ) -> None:
         state = self.state
-        for arc in activity.input_arcs:
-            arc.place.remove(arc.weight)
-        for gate in activity.input_gates:
-            gate.function(state)
-        case_index = activity.resolve_case(state, self._case_rng)
-        case = activity.cases[case_index]
-        for arc in case.output_arcs:
-            arc.place.add(arc.weight)
-        for gate in case.output_gates:
-            gate.function(state)
-        if activity.on_fire is not None:
-            activity.on_fire(state, case_index)
-        self._firings[activity.name] = self._firings.get(activity.name, 0) + 1
-        if state.time >= warmup:
-            for rv in impulse_map.get(activity.name, ()):
-                accumulators[rv.name] += rv.impulses[activity.name](state, case_index)
-        self.tracer.record(state.time, activity.name, case_index)
+        in_pairs, in_fns, case_plans, multi_case, on_fire, name = activity._plan
+        for place, weight in in_pairs:
+            place.remove(weight)
+        for fn in in_fns:
+            fn(state)
+        # Single-case activities never touch the case stream (see
+        # Activity.resolve_case), so skipping the call is RNG-neutral.
+        case_index = (
+            activity.resolve_case(state, self._case_rng) if multi_case else 0
+        )
+        out_pairs, out_fns = case_plans[case_index]
+        for place, weight in out_pairs:
+            place.add(weight)
+        for fn in out_fns:
+            fn(state)
+        if on_fire is not None:
+            on_fire(state, case_index)
+        self._firings[name] += 1
+        if impulse_map and state.time >= warmup:
+            for rv in impulse_map.get(name, ()):
+                accumulators[rv.name] += rv.impulses[name](state, case_index)
+        if self._record is not None:
+            self._record(state.time, name, case_index)
 
     def _stabilize(
         self,
@@ -467,26 +1301,152 @@ class Simulator:
         accumulators: Dict[str, float],
         warmup: float,
     ) -> int:
-        """Fire instantaneous activities until none is enabled."""
+        """Fire instantaneous activities until none is enabled.
+
+        The full kernel restarts a linear scan over every
+        instantaneous activity after each firing. The incremental
+        kernel keeps a persistent priority-ordered candidate set: an
+        activity leaves it when an enabling check proves it disabled,
+        and re-enters when one of its indexed places changes (or after
+        it fires — it may still be enabled). Activities outside the
+        set are provably disabled, so pulling the lowest-index
+        candidate fires the same activity the full scan would.
+        """
         state = self.state
         fired = 0
-        while True:
-            for activity in self._instantaneous:
-                if activity.enabled(state):
-                    self._fire(activity, impulse_map, accumulators, warmup)
-                    self._refresh_schedules()
-                    fired += 1
-                    if fired > self._max_instantaneous_chain:
-                        raise LivelockError(
-                            "instantaneous",
-                            activity.name,
-                            fired,
-                            time=state.time,
-                            marking=state.marking_snapshot(),
-                        )
+        inst = self._instantaneous
+        if self.kernel == "full":
+            while True:
+                for activity in inst:
+                    self._n_checks += 1
+                    if activity.enabled(state):
+                        self._fire(activity, impulse_map, accumulators, warmup)
+                        self._refresh_schedules()
+                        fired += 1
+                        if fired > self._max_instantaneous_chain:
+                            raise LivelockError(
+                                "instantaneous",
+                                activity.name,
+                                fired,
+                                time=state.time,
+                                marking=state.marking_snapshot(),
+                            )
+                        break
+                else:
                     break
-            else:
-                return fired
+        else:
+            candidates = self._inst_candidates
+            dirty = state.dirty_places
+            if dirty:
+                # Inlined dirty drain (mirrored in _refresh_schedules).
+                self._n_dirty += len(dirty)
+                pending = self._pending_timed
+                for place in dirty:
+                    timed_deps, inst_deps = place.deps
+                    if timed_deps:
+                        pending.update(timed_deps)
+                    if inst_deps:
+                        candidates.update(inst_deps)
+                del dirty[:]
+            if self._always_inst:
+                candidates.update(self._always_inst)
+            # Only the enabling check is hoisted: ~70% of stabilise
+            # calls fire nothing, so the fire path fetches its own
+            # attributes when (and only when) something actually fires.
+            enabling = self._i_enabled
+            checks = 0
+            while candidates:
+                # sorted() on a 1-element set is pure overhead, and a
+                # single candidate is the common case after a timed
+                # firing touches one instantaneous dependency.
+                ordered = (
+                    tuple(candidates) if len(candidates) == 1
+                    else sorted(candidates)
+                )
+                for index in ordered:
+                    checks += 1
+                    arc_pairs, predicates = enabling[index]
+                    for place, weight in arc_pairs:
+                        if place.tokens < weight:
+                            enabled = False
+                            break
+                    else:
+                        for predicate in predicates:
+                            if not predicate(state):
+                                enabled = False
+                                break
+                        else:
+                            enabled = True
+                    if enabled:
+                        # Inlined _fire (same mutation order as the
+                        # reference implementation); the fired activity
+                        # stays in the candidate set — it may fire
+                        # again — so the affected sets carry only the
+                        # arc-touched places' dependents.
+                        (
+                            in_pairs,
+                            in_fns,
+                            case_plans,
+                            multi_case,
+                            on_fire,
+                            name,
+                        ) = self._i_fire_inc[index]
+                        for place, weight in in_pairs:
+                            place.tokens -= weight
+                            place.version += 1
+                        for fn in in_fns:
+                            fn(state)
+                        case_index = (
+                            inst[index].resolve_case(state, self._case_rng)
+                            if multi_case
+                            else 0
+                        )
+                        out_pairs, out_fns, affected_t, affected_i = case_plans[
+                            case_index
+                        ]
+                        for place, weight in out_pairs:
+                            place.tokens += weight
+                            place.version += 1
+                        for fn in out_fns:
+                            fn(state)
+                        if on_fire is not None:
+                            on_fire(state, case_index)
+                        self._firings[name] += 1
+                        if impulse_map and state.time >= warmup:
+                            for rv in impulse_map.get(name, ()):
+                                accumulators[rv.name] += rv.impulses[name](
+                                    state, case_index
+                                )
+                        if self._record is not None:
+                            self._record(state.time, name, case_index)
+                        self._pending_timed.update(affected_t)
+                        candidates.update(affected_i)
+                        # Reconcile clocks between instantaneous
+                        # firings (restart semantics), exactly as the
+                        # full kernel does.
+                        self._refresh_schedules()
+                        if self._always_inst:
+                            candidates.update(self._always_inst)
+                        fired += 1
+                        if fired > self._max_instantaneous_chain:
+                            raise LivelockError(
+                                "instantaneous",
+                                inst[index].name,
+                                fired,
+                                time=state.time,
+                                marking=state.marking_snapshot(),
+                            )
+                        break
+                    candidates.discard(index)
+                else:
+                    break
+            self._n_checks += checks
+            self._n_skipped += self._n_inst - len(candidates)
+        self._n_stabilize += 1
+        self._n_stabilize_fired += fired
+        if fired > self._max_chain:
+            self._max_chain = fired
+        return fired
 
     def _check_invariants(self, invariants: Sequence[Invariant]) -> None:
         if not invariants:
@@ -503,38 +1463,108 @@ class Simulator:
                 )
 
     def _refresh_schedules(self) -> None:
-        """Reconcile timed-activity clocks with the current marking."""
+        """Reconcile timed-activity clocks with the current marking.
+
+        The full kernel walks every timed activity; the incremental
+        kernel drains the dirty places through the dependency index
+        and walks only the affected activities (plus the
+        conservative-fallback set), in the same definition order —
+        any activity it skips has provably unchanged enabling and
+        watched versions, so both kernels take identical actions and
+        consume identical sequence numbers.
+        """
         state = self.state
+        if self.kernel == "full":
+            candidates: Sequence[int] = range(self._n_timed)
+        else:
+            pending = self._pending_timed
+            dirty = state.dirty_places
+            if dirty:
+                # Inlined dirty drain (mirrored in _stabilize): route
+                # each mutated place's dependents into both
+                # reconciliation sets. Duplicates are harmless no-ops.
+                self._n_dirty += len(dirty)
+                inst_candidates = self._inst_candidates
+                for place in dirty:
+                    timed_deps, inst_deps = place.deps
+                    if timed_deps:
+                        pending.update(timed_deps)
+                    if inst_deps:
+                        inst_candidates.update(inst_deps)
+                del dirty[:]
+            if self._always_timed:
+                pending.update(self._always_timed)
+            if not pending:
+                self._n_skipped += self._n_timed
+                return
+            if len(pending) == 1:
+                candidates = (pending.pop(),)
+            elif len(pending) == 2:
+                ca = pending.pop()
+                cb = pending.pop()
+                candidates = (ca, cb) if ca < cb else (cb, ca)
+            else:
+                candidates = sorted(pending)
+                pending.clear()
+            self._n_skipped += self._n_timed - len(candidates)
         now = state.time
-        for activity in self._timed:
-            schedule = self._schedules[activity.name]
-            enabled = activity.enabled(state)
+        schedules = self._schedules
+        watched_lists = self._watched
+        enabling = self._t_enabled
+        samplers = self._samplers
+        rngs = self._rngs
+        heap = self._heap
+        heappush = heapq.heappush
+        sequence = self._sequence
+        pushes = 0
+        self._n_checks += len(candidates)
+        for index in candidates:
+            schedule = schedules[index]
+            arc_pairs, predicates = enabling[index]
+            for place, weight in arc_pairs:
+                if place.tokens < weight:
+                    enabled = False
+                    break
+            else:
+                for predicate in predicates:
+                    if not predicate(state):
+                        enabled = False
+                        break
+                else:
+                    enabled = True
             if not enabled:
                 if schedule.fire_time is not None:
                     schedule.fire_time = None
                     schedule.generation += 1
+                    self._n_invalidations += 1
                 continue
+            watched = watched_lists[index]
             if schedule.fire_time is not None:
-                watched = self._watched_places[activity.name]
                 if watched:
                     versions = tuple(place.version for place in watched)
                     if versions != schedule.watched_versions:
                         schedule.fire_time = None
                         schedule.generation += 1
+                        self._n_invalidations += 1
                     else:
                         continue
                 else:
                     continue
-            delay = activity.distribution.sample(self._rngs[activity.name], state)
+            delay = samplers[index](rngs[index], state)
             if delay < 0:
                 raise SimulationError(
-                    f"activity {activity.name!r} sampled negative delay {delay}"
+                    f"activity {self._timed[index].name!r} "
+                    f"sampled negative delay {delay}"
                 )
-            schedule.fire_time = now + delay
-            schedule.watched_versions = tuple(
-                place.version for place in self._watched_places[activity.name]
-            )
-            heapq.heappush(
-                self._heap,
-                (schedule.fire_time, self._next_seq(), schedule.generation, activity),
-            )
+            schedule.fire_time = fire_time = now + delay
+            if watched:
+                schedule.watched_versions = tuple(
+                    place.version for place in watched
+                )
+            sequence += 1
+            pushes += 1
+            heappush(heap, (fire_time, sequence, schedule.generation, index))
+        self._sequence = sequence
+        if pushes:
+            self._n_resamples += pushes
+            self._n_pushes += pushes
