@@ -1,22 +1,17 @@
 #!/usr/bin/env python
-"""Quickstart: simulate one supercomputer configuration.
+"""Quickstart: evaluate one supercomputer configuration.
 
 Builds the paper's base system (64K processors, 8 per node, per-node
-MTTF of 1 year, 30-minute coordinated checkpoints), runs a
-steady-state simulation, and reports the two headline metrics —
-useful work fraction and total useful work — plus where the time went.
+MTTF of 1 year, 30-minute coordinated checkpoints) and evaluates it
+through the unified backend layer — the same ``Backend`` protocol the
+figure harness uses — reporting the two headline metrics (useful work
+fraction and total useful work) plus where the time went.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import (
-    HOUR,
-    MINUTE,
-    YEAR,
-    ModelParameters,
-    SimulationPlan,
-    simulate,
-)
+from repro.backends import EvaluationPlan, get_backend
+from repro.core import HOUR, MINUTE, YEAR, ModelParameters, SimulationPlan
 
 
 def main() -> None:
@@ -34,29 +29,40 @@ def main() -> None:
         print(f"  {key}: {value}")
     print()
 
-    plan = SimulationPlan(
-        warmup=50 * HOUR, observation=500 * HOUR, replications=3
+    backend = get_backend("san-sim")
+    plan = EvaluationPlan(
+        metrics=("useful_work_fraction", "total_useful_work"),
+        simulation=SimulationPlan(
+            warmup=50 * HOUR, observation=500 * HOUR, replications=3
+        ),
+        seed=2025,
     )
-    result = simulate(params, plan, seed=2025)
+    result = backend.evaluate(params, plan)
 
-    print("Results (95% confidence)")
-    print("------------------------")
-    print(f"  useful work fraction: {result.useful_work_fraction}")
-    print(f"  total useful work:    {result.total_useful_work} job units")
+    uwf = result.metric("useful_work_fraction")
+    tuw = result.metric("total_useful_work")
+    print(f"Results via backend {result.backend!r} (95% confidence)")
+    print("------------------------------------------")
+    print(f"  useful work fraction: {uwf.mean:.4f} ± {uwf.half_width:.4f}")
+    print(f"  total useful work:    {tuw.mean:.4f} ± {tuw.half_width:.4f} job units")
     print()
     print("Where the time went")
     print("-------------------")
-    for name, interval in sorted(result.breakdown.items()):
-        print(f"  {name}: {interval.mean:.4f}")
+    for name in sorted(result.metrics):
+        if name.startswith("frac_"):
+            print(f"  {name}: {result.metrics[name].mean:.4f}")
     print()
-    counters = result.counters
     print("Event counts (last replication)")
     print("-------------------------------")
-    print(f"  failures: {counters.failures}, recoveries: {counters.recoveries}")
     print(
-        f"  checkpoints buffered/committed: "
-        f"{counters.checkpoints_buffered}/{counters.checkpoints_committed}"
+        f"  failures: {result.details['failures']:.0f}, "
+        f"recoveries: {result.details['recoveries']:.0f}"
     )
+    print(f"  simulated events: {result.details['events']:.0f}")
+    print()
+    print("The result round-trips as versioned JSON for archival:")
+    print(f"  schema_version={result.schema_version}, "
+          f"repro_version={result.repro_version}")
 
 
 if __name__ == "__main__":

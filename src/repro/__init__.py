@@ -21,6 +21,11 @@ Subpackages
     Failure arrival processes and synthetic trace tooling.
 ``repro.workload``
     The BSP application workload model.
+``repro.backends``
+    The unified evaluation-backend layer: one ``Backend`` protocol
+    over SAN simulation, exact CTMC solves, the cluster simulator and
+    the analytical closed forms, plus a content-addressed result
+    cache.
 ``repro.experiments``
     The evaluation harness regenerating every figure of the paper.
 """

@@ -1,0 +1,117 @@
+"""Content-addressed cache of evaluation results.
+
+A sweep point's value is fully determined by ``(backend, params,
+plan)`` — the determinism contract the checkpoint journal (PR 1)
+already relies on. This cache exploits that across *runs*: the key is
+a digest of the canonical JSON of the request (including the result
+schema version and the backend's own version, so numerics changes
+invalidate stale entries), and the value is the serialised
+:class:`~repro.backends.base.EvaluationResult`.
+
+Layout: ``<root>/<backend_id>/<digest>.json``, one file per evaluated
+request, written atomically (temp file + fsync + rename, the same
+discipline as the journal and the figure archive). A corrupt,
+missing, or schema-mismatched entry is a cache miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+from ..core.parameters import ModelParameters
+from .base import (
+    Backend,
+    EvaluationPlan,
+    EvaluationResult,
+    SCHEMA_VERSION,
+    SchemaMismatchError,
+    plan_key_dict,
+)
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Filesystem cache keyed by the canonical evaluation request."""
+
+    def __init__(self, root: str) -> None:
+        """Cache rooted at ``root`` (created lazily on first write)."""
+        self.root = root
+
+    def key(self, backend: Backend, params: ModelParameters,
+            plan: EvaluationPlan) -> str:
+        """Digest of the canonical request.
+
+        Everything that can change the value is hashed: the result
+        schema version, the backend id and version, every model
+        parameter, and the whole evaluation plan (metrics, simulation
+        effort, seed, duration).
+        """
+        identity = {
+            "schema": SCHEMA_VERSION,
+            "backend": backend.id,
+            "backend_version": backend.backend_version,
+        }
+        identity.update(plan_key_dict(params, plan))
+        canonical = json.dumps(identity, sort_keys=True, default=str)
+        return hashlib.blake2b(
+            canonical.encode("utf-8"), digest_size=16
+        ).hexdigest()
+
+    def path(self, backend: Backend, params: ModelParameters,
+             plan: EvaluationPlan) -> str:
+        """Where the entry for this request lives (existing or not)."""
+        return os.path.join(
+            self.root, backend.id, f"{self.key(backend, params, plan)}.json"
+        )
+
+    def get(self, backend: Backend, params: ModelParameters,
+            plan: EvaluationPlan) -> Optional[EvaluationResult]:
+        """The cached result, or ``None`` on any kind of miss.
+
+        Corruption and schema mismatches are deliberate misses: the
+        caller re-evaluates and overwrites the bad entry.
+        """
+        path = self.path(backend, params, plan)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError:
+            return None
+        try:
+            result = EvaluationResult.from_json(text)
+        except (SchemaMismatchError, ValueError, KeyError, TypeError):
+            return None
+        if result.backend != backend.id:
+            return None
+        return result
+
+    def put(self, backend: Backend, params: ModelParameters,
+            plan: EvaluationPlan, result: EvaluationResult) -> str:
+        """Durably store a result; returns the entry path.
+
+        Atomic (temp file, fsync, rename): a crash mid-write leaves
+        either the old entry or the new one, never a torn file that
+        would later read as a miss-with-warning.
+        """
+        path = self.path(backend, params, plan)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".cache-", suffix=".json.tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(result.to_json())
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        return path

@@ -1,0 +1,70 @@
+"""The backend registry: name -> :class:`~repro.backends.base.Backend`.
+
+Backends register at import time of :mod:`repro.backends`; everything
+downstream resolves them by id::
+
+    from repro.backends import get_backend, backend_ids
+    backend = get_backend("ctmc")
+
+The registry is intentionally tiny — a dict plus clear errors — so
+alternative backends (a sharded runner, a remote service) can slot in
+by calling :func:`register` without touching the consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Backend, UnknownBackendError
+
+__all__ = [
+    "register",
+    "unregister",
+    "get_backend",
+    "backend_ids",
+    "all_backends",
+]
+
+_REGISTRY: Dict[str, Backend] = {}
+
+
+def register(backend: Backend) -> Backend:
+    """Register a backend under its ``id``; returns it for chaining.
+
+    Re-registering an id is an error (it would silently redirect
+    cached results and sweeps) — :func:`unregister` first.
+    """
+    if backend.id in _REGISTRY:
+        raise ValueError(f"backend id {backend.id!r} is already registered")
+    _REGISTRY[backend.id] = backend
+    return backend
+
+
+def unregister(name: str) -> None:
+    """Remove a registered backend (primarily for tests)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> Backend:
+    """The backend registered under ``name``.
+
+    Raises :class:`~repro.backends.base.UnknownBackendError` naming
+    the known ids, so a typo'd ``--backend`` is self-explanatory.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(sorted(_REGISTRY)) or '(none)'}"
+        ) from None
+
+
+def backend_ids() -> List[str]:
+    """Sorted ids of every registered backend."""
+    return sorted(_REGISTRY)
+
+
+def all_backends() -> List[Backend]:
+    """Every registered backend, sorted by id."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

@@ -66,6 +66,12 @@ class SimulationPlan:
         :class:`~repro.san.errors.WallClockExceededError` instead of
         hanging its sweep worker. ``None`` (default) disables the
         guard.
+    kernel:
+        Event kernel the simulator runs on: ``"incremental"``
+        (default, dependency-indexed scheduling) or ``"full"`` (the
+        full-rescan reference). The two are trajectory-preserving —
+        identical results per seed — so this knob only trades speed
+        for verifiability.
     """
 
     warmup: float = DEFAULT_WARMUP
@@ -73,6 +79,7 @@ class SimulationPlan:
     replications: int = DEFAULT_REPLICATIONS
     confidence: float = 0.95
     wall_clock_budget: Optional[float] = None
+    kernel: str = "incremental"
 
     def __post_init__(self) -> None:
         if self.warmup < 0:
@@ -86,6 +93,10 @@ class SimulationPlan:
         if self.wall_clock_budget is not None and self.wall_clock_budget <= 0:
             raise ValueError(
                 f"wall_clock_budget must be > 0, got {self.wall_clock_budget}"
+            )
+        if self.kernel not in ("incremental", "full"):
+            raise ValueError(
+                f"kernel must be 'incremental' or 'full', got {self.kernel!r}"
             )
 
     @property
@@ -153,7 +164,10 @@ def run_single(
     rewards.extend(breakdown_rewards())
     rewards.extend(extra_rewards)
     simulator = Simulator(
-        system.model, ctx=system.ledger, streams=StreamRegistry(seed)
+        system.model,
+        ctx=system.ledger,
+        streams=StreamRegistry(seed),
+        kernel=plan.kernel,
     )
     output = simulator.run(
         until=plan.horizon,

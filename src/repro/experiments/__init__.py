@@ -13,7 +13,8 @@ Command line: ``python -m repro run-figure fig4a --preset quick``.
 
 from . import figures
 from .config import FIGURE_IDS, PRESETS, base_parameters, plan_for
-from .figures import FIGURE_RUNNERS
+from .figures import FIGURE_RUNNERS, FIGURE_SPECS, run_figure
+from .specs import FigureSpec
 from .report import (
     figure_to_json,
     render_ascii_chart,
@@ -21,6 +22,7 @@ from .report import (
     render_table3,
 )
 from .archive import (
+    FIGURE_SCHEMA_VERSION,
     Discrepancy,
     compare_archives,
     compare_figures,
@@ -45,6 +47,9 @@ from .validation import ShapeCheck, validate_figure
 __all__ = [
     "figures",
     "FIGURE_RUNNERS",
+    "FIGURE_SPECS",
+    "FigureSpec",
+    "run_figure",
     "FIGURE_IDS",
     "PRESETS",
     "base_parameters",
@@ -58,6 +63,7 @@ __all__ = [
     "figure_to_json",
     "ShapeCheck",
     "validate_figure",
+    "FIGURE_SCHEMA_VERSION",
     "save_figure",
     "load_figure",
     "save_archive",

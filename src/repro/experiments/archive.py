@@ -18,10 +18,12 @@ import tempfile
 from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional
 
+from .._version import __version__
 from .resilience import FailureReport
 from .runner import FigureResult
 
 __all__ = [
+    "FIGURE_SCHEMA_VERSION",
     "save_figure",
     "load_figure",
     "save_archive",
@@ -30,6 +32,11 @@ __all__ = [
     "compare_figures",
     "compare_archives",
 ]
+
+#: Version of the figure-archive JSON schema. Version 1 is the
+#: pre-backend layout (no ``schema_version`` stamp at all); version 2
+#: adds ``schema_version``, ``repro_version`` and ``backend``.
+FIGURE_SCHEMA_VERSION = 2
 
 
 def save_figure(figure: FigureResult, directory: str) -> str:
@@ -44,10 +51,13 @@ def save_figure(figure: FigureResult, directory: str) -> str:
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"{figure.figure_id}.json")
     payload = {
+        "schema_version": FIGURE_SCHEMA_VERSION,
+        "repro_version": __version__,
         "figure_id": figure.figure_id,
         "title": figure.title,
         "x_label": figure.x_label,
         "metric": figure.metric,
+        "backend": figure.backend,
         "series": {
             label: [[x, y, h] for x, y, h in points]
             for label, points in figure.series.items()
@@ -75,9 +85,14 @@ def load_figure(path: str) -> FigureResult:
     """Read a figure written by :func:`save_figure`.
 
     Raises a :class:`ValueError` naming the offending path when the
-    file is not valid JSON or lacks the expected structure, so a
-    corrupted archive is diagnosable instead of surfacing as a bare
-    ``KeyError`` deep inside a comparison.
+    file is not valid JSON, lacks the expected structure, or was
+    written under a *newer* archive schema than this package reads,
+    so a corrupted or future archive is diagnosable instead of
+    surfacing as a bare ``KeyError`` deep inside a comparison.
+
+    Legacy archives (schema version 1, written before the stamp
+    existed) are migrated on load: the figure gains a note recording
+    the migration and a ``None`` backend.
     """
     with open(path, "r", encoding="utf-8") as handle:
         raw = handle.read()
@@ -85,12 +100,25 @@ def load_figure(path: str) -> FigureResult:
         payload = json.loads(raw)
     except ValueError as exc:
         raise ValueError(f"malformed figure archive {path!r}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError(
+            f"malformed figure archive {path!r}: expected a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    version = payload.get("schema_version", 1)
+    if not isinstance(version, int) or version > FIGURE_SCHEMA_VERSION:
+        raise ValueError(
+            f"figure archive {path!r} has schema version {version!r}; this "
+            f"package reads versions 1..{FIGURE_SCHEMA_VERSION} — it was "
+            "likely written by a newer repro release"
+        )
     try:
         figure = FigureResult(
             figure_id=payload["figure_id"],
             title=payload["title"],
             x_label=payload["x_label"],
             metric=payload["metric"],
+            backend=payload.get("backend"),
         )
         for label, points in payload["series"].items():
             figure.series[label] = [
@@ -105,6 +133,11 @@ def load_figure(path: str) -> FigureResult:
             f"malformed figure archive {path!r}: "
             f"{type(exc).__name__}: {exc}"
         ) from exc
+    if version < FIGURE_SCHEMA_VERSION:
+        figure.notes.append(
+            f"migrated from archive schema version {version} "
+            f"(current: {FIGURE_SCHEMA_VERSION}); no backend recorded"
+        )
     return figure
 
 

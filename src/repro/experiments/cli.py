@@ -3,11 +3,13 @@
 Usage::
 
     python -m repro list
+    python -m repro backends
     python -m repro table3
     python -m repro run-figure fig4a --preset quick --seed 7
+    python -m repro run-figure fig4a --preset quick --backend analytical
     python -m repro run-all --preset standard --output EXPERIMENTS.out.md
     python -m repro run-figure fig4a --checkpoint-dir ckpt --resume \
-        --retries 3 --point-timeout 1800 --processes 4
+        --retries 3 --point-timeout 1800 --processes 4 --cache-dir cache
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import sys
 import time
 from typing import List, Optional
 
+from ..backends import BackendError, all_backends, backend_ids
 from .config import FIGURE_IDS, PRESETS
 from .figures import FIGURE_RUNNERS
 from .report import (
@@ -43,6 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list every experiment id")
+    sub.add_parser(
+        "backends",
+        help="list the registered evaluation backends and their capabilities",
+    )
     sub.add_parser("table3", help="print the model-parameter table")
 
     run = sub.add_parser("run-figure", help="regenerate one figure")
@@ -120,6 +127,15 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
     parser.add_argument(
+        "--backend",
+        default=None,
+        choices=backend_ids(),
+        help=(
+            "evaluation backend for sweep figures (default: each "
+            "figure's declared backend; see the 'backends' command)"
+        ),
+    )
+    parser.add_argument(
         "--processes",
         type=int,
         default=None,
@@ -190,6 +206,16 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         help="real-time budget per replication inside the simulator",
     )
     parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "content-addressed result cache shared across runs; points "
+            "whose (backend, params, plan, seed) were already evaluated "
+            "are reused instead of re-simulated"
+        ),
+    )
+    parser.add_argument(
         "--kernel-stats",
         action="store_true",
         help=(
@@ -212,6 +238,7 @@ def _resilience_from_args(args: argparse.Namespace):
         ),
         point_timeout=getattr(args, "point_timeout", None),
         wall_clock_budget=getattr(args, "wall_clock_budget", None),
+        cache_dir=getattr(args, "cache_dir", None),
     )
 
 
@@ -233,6 +260,7 @@ def _run_one(figure_id: str, args: argparse.Namespace, stream) -> bool:
             seed=args.seed,
             processes=processes,
             resilience=_resilience_from_args(args),
+            backend=getattr(args, "backend", None),
         )
     finally:
         stats = profiling.aggregated() if kernel_stats else None
@@ -272,12 +300,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(figure_id)
         return 0
 
+    if args.command == "backends":
+        for backend in all_backends():
+            caps = backend.capabilities
+            flavor = "exact" if caps.exact else (
+                "deterministic" if caps.deterministic else "stochastic"
+            )
+            print(f"{backend.id}  (v{backend.backend_version}, {flavor})")
+            print(f"    metrics: {', '.join(sorted(caps.metrics))}")
+            if caps.max_nodes is not None:
+                print(f"    max nodes: {caps.max_nodes}")
+            print(f"    {caps.description}")
+        return 0
+
     if args.command == "table3":
         print(render_table3())
         return 0
 
     if args.command == "run-figure":
-        ok = _run_one(args.figure, args, stream=None)
+        try:
+            ok = _run_one(args.figure, args, stream=None)
+        except BackendError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         return 0 if ok else 1
 
     if args.command == "dot":
@@ -384,7 +429,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_table3())
         print()
         for figure_id in sorted(FIGURE_RUNNERS):
-            all_ok = _run_one(figure_id, args, stream) and all_ok
+            try:
+                all_ok = _run_one(figure_id, args, stream) and all_ok
+            except BackendError as exc:
+                print(f"error: {figure_id}: {exc}\n", file=sys.stderr)
+                all_ok = False
         if args.output:
             with open(args.output, "w", encoding="utf-8") as handle:
                 handle.write("# Regenerated evaluation\n\n")

@@ -181,6 +181,14 @@ class ResilienceOptions:
         Optional :class:`~repro.experiments.faultinject.FaultPlan`
         used by the tests and the CI smoke job to inject worker
         crashes, hangs and mid-sweep aborts deterministically.
+    cache_dir:
+        Root of a content-addressed
+        :class:`~repro.backends.cache.ResultCache`. Every evaluated
+        point is stored under its canonical request hash and re-used
+        by later sweeps that request the identical evaluation —
+        unlike the journal (scoped to one sweep configuration), the
+        cache is shared across figures, seeds and runs. ``None``
+        disables caching.
     """
 
     checkpoint_dir: Optional[str] = None
@@ -189,6 +197,7 @@ class ResilienceOptions:
     point_timeout: Optional[float] = None
     wall_clock_budget: Optional[float] = None
     fault_plan: Optional[Any] = None
+    cache_dir: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -244,13 +253,18 @@ class CheckpointJournal:
         seed: int,
         plan: Any,
         point_signatures: Sequence[Tuple[str, float, str]],
+        backend: str = "san-sim",
     ) -> str:
         """A stable digest of everything that determines point values.
 
         Two sweeps share a fingerprint iff resuming one from the
         other's journal is sound. Wall-clock budgets and retry
         policies are deliberately excluded: they affect *whether* a
-        point completes, never its value.
+        point completes, never its value. The event kernel is also
+        excluded — the kernels are trajectory-preserving, so a journal
+        written under one kernel resumes soundly under the other —
+        but the evaluation *backend* is included: different backends
+        legitimately produce different values for the same point.
         """
         import hashlib
 
@@ -264,6 +278,10 @@ class CheckpointJournal:
             int(getattr(plan, "replications", 1)),
             float(getattr(plan, "confidence", 0.95)),
         )
+        if backend != "san-sim":
+            # Appended conditionally so journals written before the
+            # backend layer existed keep resuming under the default.
+            core = core + (backend,)
         digest.update(repr(core).encode("utf-8"))
         for series, x, params_repr in point_signatures:
             digest.update(f"{series}\x00{x!r}\x00{params_repr}\n".encode("utf-8"))

@@ -1,16 +1,22 @@
 """Sweep execution.
 
 A *sweep* is a list of points, each a full model configuration; the
-runner simulates every point (serially, or across worker processes
-when the machine has them) and returns a :class:`FigureResult` shaped
-like the paper's plot: an x-grid and one series of y-values per curve.
+runner evaluates every point (serially, or across worker processes
+when the machine has them) through a named evaluation backend (see
+:mod:`repro.backends`; the default is the full SAN simulation) and
+returns a :class:`FigureResult` shaped like the paper's plot: an
+x-grid and one series of y-values per curve.
 
 Execution is fault tolerant (see :mod:`repro.experiments.resilience`):
 with a ``checkpoint_dir`` every completed point is journaled and an
 interrupted sweep resumes bit-identically; failed or hung points are
 retried with exponential backoff and, if they never succeed, reported
 as structured :class:`~repro.experiments.resilience.FailureReport`
-entries on the figure instead of aborting the other points.
+entries on the figure instead of aborting the other points. With a
+``cache_dir`` every evaluated point is also stored in a
+content-addressed :class:`~repro.backends.cache.ResultCache`, so a
+repeated or resumed sweep re-uses identical points *across runs* —
+a warm cache re-runs a completed figure with zero new evaluations.
 """
 
 from __future__ import annotations
@@ -19,8 +25,17 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..backends import (
+    DERIVED_METRICS,
+    EvaluationPlan,
+    ResultCache,
+    UnsupportedMetricError,
+    UnsupportedParametersError,
+    all_backends,
+    get_backend,
+)
 from ..core.parameters import ModelParameters
-from ..core.simulation import SimulationPlan, SimulationResult, simulate
+from ..core.simulation import SimulationPlan
 from .resilience import (
     CheckpointJournal,
     FailureReport,
@@ -32,7 +47,11 @@ from .resilience import (
     failure_payload,
 )
 
-__all__ = ["SweepPoint", "FigureResult", "run_sweep"]
+__all__ = ["SweepPoint", "FigureResult", "run_sweep", "DEFAULT_BACKEND"]
+
+#: Backend a sweep uses unless told otherwise (the paper's primary
+#: evaluation path).
+DEFAULT_BACKEND = "san-sim"
 
 
 @dataclass(frozen=True)
@@ -60,9 +79,11 @@ class FigureResult:
 
     ``series`` maps a curve label to ``[(x, y, half_width), ...]``
     sorted by x. ``metric`` names the y-axis ("total_useful_work" or
-    "useful_work_fraction"). ``failures`` lists points that exhausted
-    their retries (also summarised in ``notes``); their entries are
-    absent from ``series``.
+    "useful_work_fraction"). ``backend`` records which evaluation
+    backend produced the series (``None`` for pre-backend archives).
+    ``failures`` lists points that exhausted their retries (also
+    summarised in ``notes``); their entries are absent from
+    ``series``.
     """
 
     figure_id: str
@@ -72,6 +93,7 @@ class FigureResult:
     series: Dict[str, List[Tuple[float, float, float]]] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
     failures: List[FailureReport] = field(default_factory=list)
+    backend: Optional[str] = None
 
     def y_values(self, label: str) -> List[float]:
         """The y series of one curve (sorted by x)."""
@@ -87,31 +109,45 @@ class FigureResult:
         return max(points, key=lambda p: p[1])[0]
 
 
-def _simulate_point_worker(
+def _evaluate_point_worker(
     point: SweepPoint,
-    plan: SimulationPlan,
+    plan: EvaluationPlan,
+    backend_name: str,
+    cache_dir: Optional[str],
     seed: int,
     index: int,
     attempt: int,
     fault_plan,
 ) -> Tuple[str, object]:
-    """Supervised worker: simulate one point, never raise.
+    """Supervised worker: evaluate one point, never raise.
 
-    Exceptions are serialised via :func:`failure_payload` before they
-    cross the process boundary, so structured errors with rich
-    payloads can never poison the pool's result pipe.
+    Resolves the backend by name (backends register at import time in
+    every worker process), evaluates with the point's own seed, and
+    best-effort writes the result through to the cache. Exceptions
+    are serialised via :func:`failure_payload` before they cross the
+    process boundary, so structured errors with rich payloads can
+    never poison the pool's result pipe.
     """
     try:
         if fault_plan is not None:
             fault_plan.before_point(index, attempt)
-        result: SimulationResult = simulate(point.params, plan, seed=seed)
-        metric_value = result.useful_work_fraction
+        backend = get_backend(backend_name)
+        seeded_plan = plan.with_seed(seed)
+        result = backend.evaluate(point.params, seeded_plan)
+        metric_value = result.metric(seeded_plan.metrics[0])
         outcome: Outcome = (
             point.series,
             point.x,
             metric_value.mean,
             metric_value.half_width,
         )
+        if cache_dir:
+            try:
+                ResultCache(cache_dir).put(
+                    backend, point.params, seeded_plan, result
+                )
+            except OSError:
+                pass  # a full or read-only cache must not fail the point
         return ("ok", outcome)
     except Exception as exc:
         return ("error", failure_payload(exc))
@@ -137,6 +173,44 @@ def _check_unique_points(points: Sequence[SweepPoint]) -> None:
         seen[key] = index
 
 
+def _check_backend(
+    backend_name: str, metric: str, points: Sequence[SweepPoint],
+    plan: EvaluationPlan,
+):
+    """Resolve and vet the backend for a sweep, up front.
+
+    Raises :class:`~repro.backends.base.UnsupportedMetricError` (with
+    the backends that *could* produce the metric) or
+    :class:`~repro.backends.base.UnsupportedParametersError` naming
+    the first offending point — before any simulation time is spent.
+    """
+    backend = get_backend(backend_name)
+    if not backend.capabilities.supports_metric(metric):
+        able = [
+            other.id
+            for other in all_backends()
+            if other.capabilities.supports_metric(metric)
+        ]
+        hint = (
+            f"; backends that can: {', '.join(able)}"
+            if able
+            else ""
+        )
+        raise UnsupportedMetricError(
+            f"backend {backend_name!r} cannot produce metric {metric!r} "
+            f"(it supports: {', '.join(sorted(backend.capabilities.metrics))})"
+            f"{hint}"
+        )
+    for point in points:
+        reason = backend.supports(point.params, plan)
+        if reason is not None:
+            raise UnsupportedParametersError(
+                f"backend {backend_name!r} cannot evaluate point "
+                f"{point.series!r} @ x={point.x:g}: {reason}"
+            )
+    return backend
+
+
 def run_sweep(
     figure_id: str,
     title: str,
@@ -148,8 +222,9 @@ def run_sweep(
     processes: Optional[int] = None,
     progress: Optional[Callable[[int, int], None]] = None,
     resilience: Optional[ResilienceOptions] = None,
+    backend: str = DEFAULT_BACKEND,
 ) -> FigureResult:
-    """Simulate every point and assemble the figure.
+    """Evaluate every point and assemble the figure.
 
     ``metric`` selects the reported y value: ``"useful_work_fraction"``
     or ``"total_useful_work"`` (the latter scales the fraction by the
@@ -157,12 +232,21 @@ def run_sweep(
     sweep is reproducible and points are independent; a retried point
     uses a seed derived from ``(seed + i, attempt)``.
 
+    ``backend`` names the registered evaluation backend every point
+    runs through (default ``"san-sim"``, the full SAN simulation);
+    the backend's capabilities are checked against the metric and
+    every point's parameters before any work starts.
+
     ``resilience`` configures checkpointing, resume, retries, timeouts
     and fault injection; see
     :class:`~repro.experiments.resilience.ResilienceOptions`. With a
     ``checkpoint_dir`` the sweep journals every completed point to
     ``<checkpoint_dir>/<figure_id>.journal.jsonl`` and a re-run resumes
     from it, producing a figure bit-identical to an uninterrupted run.
+    With a ``cache_dir`` every evaluated point is stored in (and looked
+    up from) a content-addressed result cache keyed by the canonical
+    parameter hash, backend id/version and schema version, so repeated
+    sweeps skip already-evaluated points across runs.
     """
     if metric not in ("useful_work_fraction", "total_useful_work"):
         raise ValueError(f"unknown metric {metric!r}")
@@ -171,6 +255,10 @@ def run_sweep(
     options = resilience or ResilienceOptions()
     if options.wall_clock_budget is not None:
         plan = replace(plan, wall_clock_budget=options.wall_clock_budget)
+
+    base_metric = DERIVED_METRICS.get(metric, metric)
+    eval_plan = EvaluationPlan(metrics=(base_metric,), simulation=plan, seed=seed)
+    backend_obj = _check_backend(backend, metric, points, eval_plan)
 
     total = len(points)
     notes: List[str] = []
@@ -186,6 +274,7 @@ def run_sweep(
             seed,
             plan,
             [(p.series, float(p.x), repr(p.params)) for p in points],
+            backend=backend,
         )
         if options.resume:
             state = journal.load(fingerprint)
@@ -196,12 +285,43 @@ def run_sweep(
         journal.begin(
             fingerprint,
             {"figure_id": figure_id, "metric": metric, "seed": seed,
-             "n_points": total},
+             "n_points": total, "backend": backend},
         )
         if completed:
             notes.append(
                 f"resumed from checkpoint journal: {len(completed)} of "
                 f"{total} point(s) already simulated"
+            )
+
+    cache = ResultCache(options.cache_dir) if options.cache_dir else None
+    if cache is not None:
+        cache_hits = 0
+        for index, point in enumerate(points):
+            key = (point.series, float(point.x))
+            if key in completed:
+                continue
+            cached = cache.get(
+                backend_obj, point.params, eval_plan.with_seed(seed + index)
+            )
+            if cached is None:
+                continue
+            value = cached.metrics.get(base_metric)
+            if value is None:
+                continue
+            outcome: Outcome = (
+                point.series, float(point.x), value.mean, value.half_width
+            )
+            completed[key] = outcome
+            cache_hits += 1
+            if journal is not None:
+                journal.record_point(
+                    index, outcome[0], outcome[1], outcome[2], outcome[3],
+                    attempt=0, seed_used=seed + index,
+                )
+        if cache_hits:
+            notes.append(
+                f"result cache: {cache_hits} of {total} point(s) reused "
+                f"from {options.cache_dir}"
             )
 
     done = len(completed)
@@ -214,7 +334,7 @@ def run_sweep(
             series=point.series,
             x=float(point.x),
             base_seed=seed + index,
-            args=(point, plan),
+            args=(point, eval_plan, backend, options.cache_dir),
         )
         for index, point in enumerate(points)
         if (point.series, float(point.x)) not in completed
@@ -239,7 +359,7 @@ def run_sweep(
 
     worker_count = processes if processes is not None else 1
     supervisor = SweepSupervisor(
-        _simulate_point_worker,
+        _evaluate_point_worker,
         options,
         processes=worker_count,
         on_success=on_success,
@@ -260,7 +380,7 @@ def run_sweep(
         done += len(supervised.failures)
         progress(done, total)
 
-    figure = FigureResult(figure_id, title, x_label, metric)
+    figure = FigureResult(figure_id, title, x_label, metric, backend=backend)
     figure.failures = list(supervised.failures)
     for report in supervised.failures:
         notes.append("FAILED: " + report.summary())

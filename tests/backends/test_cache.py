@@ -1,0 +1,152 @@
+"""Tests for the content-addressed result cache, standalone and wired
+into the sweep runner (warm-cache re-runs must do zero evaluations)."""
+
+import os
+
+import pytest
+
+from repro.backends import (
+    EvaluationPlan,
+    EvaluationResult,
+    MetricValue,
+    ResultCache,
+    get_backend,
+)
+from repro.core import HOUR, ModelParameters, SimulationPlan
+from repro.experiments import ResilienceOptions, SweepPoint, run_sweep
+from repro.experiments import runner as runner_module
+
+TINY_SIM = SimulationPlan(warmup=2 * HOUR, observation=20 * HOUR, replications=1)
+TINY = EvaluationPlan(simulation=TINY_SIM)
+
+
+def make_result(backend_id="analytical"):
+    return EvaluationResult(
+        backend=backend_id,
+        metrics={"useful_work_fraction": MetricValue(0.5, 0.0)},
+    )
+
+
+class TestResultCache:
+    def test_put_get_roundtrip(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        backend = get_backend("analytical")
+        params = ModelParameters(n_processors=8192)
+        path = cache.put(backend, params, TINY, make_result())
+        assert os.path.exists(path)
+        assert cache.get(backend, params, TINY) == make_result()
+
+    def test_key_depends_on_request(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        backend = get_backend("analytical")
+        params = ModelParameters(n_processors=8192)
+        cache.put(backend, params, TINY, make_result())
+        # Different seed, different params, different backend: all misses.
+        assert cache.get(backend, params, TINY.with_seed(99)) is None
+        assert (
+            cache.get(backend, params.with_overrides(n_processors=16384), TINY)
+            is None
+        )
+        assert cache.get(get_backend("ctmc"), params, TINY) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        backend = get_backend("analytical")
+        params = ModelParameters(n_processors=8192)
+        path = cache.put(backend, params, TINY, make_result())
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{truncated")
+        assert cache.get(backend, params, TINY) is None
+
+    def test_foreign_backend_entry_is_a_miss(self, tmp_path):
+        # An entry claiming another backend produced it must not be
+        # served, even at the right path.
+        cache = ResultCache(str(tmp_path))
+        backend = get_backend("analytical")
+        params = ModelParameters(n_processors=8192)
+        path = cache.put(backend, params, TINY, make_result(backend_id="ctmc"))
+        assert os.path.exists(path)
+        assert cache.get(backend, params, TINY) is None
+
+    def test_missing_root_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "never-created"))
+        backend = get_backend("analytical")
+        assert cache.get(backend, ModelParameters(), TINY) is None
+
+
+class TestWarmCacheSweep:
+    def make_points(self):
+        base = ModelParameters(n_processors=8192)
+        return [
+            SweepPoint("s", 1.0, base),
+            SweepPoint("s", 2.0, base.with_overrides(n_processors=16384)),
+        ]
+
+    def test_second_run_does_zero_evaluations(self, tmp_path, monkeypatch):
+        cache_dir = str(tmp_path / "cache")
+        options = ResilienceOptions(cache_dir=cache_dir)
+        cold = run_sweep(
+            "t", "t", "x", "useful_work_fraction", self.make_points(),
+            TINY_SIM, seed=5, resilience=options,
+        )
+        assert not any("result cache" in note for note in cold.notes)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("warm cache must not evaluate any point")
+
+        monkeypatch.setattr(runner_module, "_evaluate_point_worker", boom)
+        warm = run_sweep(
+            "t", "t", "x", "useful_work_fraction", self.make_points(),
+            TINY_SIM, seed=5, resilience=options,
+        )
+        assert warm.series == cold.series
+        assert any(
+            "result cache: 2 of 2 point(s) reused" in note for note in warm.notes
+        )
+
+    def test_seed_change_defeats_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        options = ResilienceOptions(cache_dir=cache_dir)
+        run_sweep(
+            "t", "t", "x", "useful_work_fraction", self.make_points(),
+            TINY_SIM, seed=5, resilience=options,
+        )
+        other_seed = run_sweep(
+            "t", "t", "x", "useful_work_fraction", self.make_points(),
+            TINY_SIM, seed=6, resilience=options,
+        )
+        assert not any("result cache" in note for note in other_seed.notes)
+
+    def test_cache_composes_with_journal_resume(self, tmp_path):
+        # A cache-hydrated sweep journals its points like a normal run,
+        # so a subsequent journal resume sees them as completed.
+        cache_dir = str(tmp_path / "cache")
+        ckpt_dir = str(tmp_path / "journal")
+        no_journal = ResilienceOptions(cache_dir=cache_dir)
+        run_sweep(
+            "t", "t", "x", "useful_work_fraction", self.make_points(),
+            TINY_SIM, seed=5, resilience=no_journal,
+        )
+        with_journal = ResilienceOptions(
+            cache_dir=cache_dir, checkpoint_dir=ckpt_dir
+        )
+        first = run_sweep(
+            "t", "t", "x", "useful_work_fraction", self.make_points(),
+            TINY_SIM, seed=5, resilience=with_journal,
+        )
+        assert any("result cache: 2 of 2" in note for note in first.notes)
+        resumed = run_sweep(
+            "t", "t", "x", "useful_work_fraction", self.make_points(),
+            TINY_SIM, seed=5, resilience=with_journal,
+        )
+        assert resumed.series == first.series
+        assert any("resumed from checkpoint journal" in n for n in resumed.notes)
+
+    def test_backend_recorded_on_figure(self, tmp_path):
+        figure = run_sweep(
+            "t", "t", "x", "useful_work_fraction", self.make_points(),
+            TINY_SIM, seed=5, backend="analytical",
+        )
+        assert figure.backend == "analytical"
+        ys = figure.y_values("s")
+        assert all(0 < y <= 1 for y in ys)

@@ -135,6 +135,64 @@ class TestCompareFigures:
             compare_figures(make_figure(), make_figure(), rel_tolerance=-0.1)
 
 
+class TestSchemaVersioning:
+    def test_saved_figures_are_stamped(self, tmp_path):
+        import json
+
+        from repro import __version__
+        from repro.experiments import FIGURE_SCHEMA_VERSION
+
+        figure = make_figure()
+        figure.backend = "san-sim"
+        path = save_figure(figure, str(tmp_path))
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["schema_version"] == FIGURE_SCHEMA_VERSION
+        assert payload["repro_version"] == __version__
+        assert payload["backend"] == "san-sim"
+        assert load_figure(path).backend == "san-sim"
+
+    def test_legacy_unstamped_archive_migrates(self, tmp_path):
+        import json
+
+        # A pre-versioning archive: no schema_version, no backend.
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps({
+            "figure_id": "legacy",
+            "title": "T",
+            "x_label": "x",
+            "metric": "useful_work_fraction",
+            "series": {"curve": [[1.0, 0.5, 0.01]]},
+            "notes": [],
+            "failures": [],
+        }))
+        loaded = load_figure(str(path))
+        assert loaded.backend is None
+        assert loaded.series["curve"] == [(1.0, 0.5, 0.01)]
+        assert any("migrated from archive schema version 1" in note
+                   for note in loaded.notes)
+
+    def test_future_schema_rejected(self, tmp_path):
+        import json
+
+        from repro.experiments import FIGURE_SCHEMA_VERSION
+
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({
+            "schema_version": FIGURE_SCHEMA_VERSION + 1,
+            "figure_id": "f", "title": "", "x_label": "", "metric": "m",
+            "series": {},
+        }))
+        with pytest.raises(ValueError, match="newer repro release"):
+            load_figure(str(path))
+
+    def test_non_integer_schema_rejected(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text('{"schema_version": "two"}')
+        with pytest.raises(ValueError, match="schema version"):
+            load_figure(str(path))
+
+
 class TestCompareArchives:
     def test_matching_archives(self, tmp_path):
         a, b = tmp_path / "a", tmp_path / "b"

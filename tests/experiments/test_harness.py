@@ -216,6 +216,109 @@ class TestNewCLICommands:
         assert "stretch" in out
 
 
+class TestBackendsCommand:
+    def test_backends_listed(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for backend_id in ("san-sim", "san-sim-full", "ctmc", "cluster",
+                           "analytical"):
+            assert backend_id in out
+        assert "useful_work_fraction" in out
+        assert "max nodes" in out  # the cluster backend's ceiling
+
+    def test_backend_option_parsed(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run-figure", "fig4a", "--preset", "quick",
+             "--backend", "analytical"]
+        )
+        assert args.backend == "analytical"
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run-figure", "fig4a", "--backend", "moebius"]
+            )
+
+    def test_run_figure_with_analytical_backend(self, capsys):
+        code = main(
+            ["run-figure", "fig4a", "--preset", "quick",
+             "--backend", "analytical", "--no-validate"]
+        )
+        assert code == 0
+        assert "Useful work vs number of processors" in capsys.readouterr().out
+
+    def test_incapable_backend_fails_with_clear_error(self, capsys):
+        # fig6's timeout-abort points are outside the analytical closed
+        # form; the CLI must exit 2 with the reason, not crash.
+        code = main(
+            ["run-figure", "fig6", "--preset", "quick",
+             "--backend", "analytical", "--no-validate"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "analytical" in err
+
+
+class TestRunnerBackendSelection:
+    def make_points(self):
+        base = ModelParameters(n_processors=8192)
+        return [SweepPoint("s", 1.0, base)]
+
+    def test_unknown_backend(self):
+        from repro.backends import UnknownBackendError
+
+        with pytest.raises(UnknownBackendError):
+            run_sweep(
+                "t", "t", "x", "useful_work_fraction", self.make_points(),
+                TINY, backend="moebius",
+            )
+
+    def test_metric_capability_checked_up_front(self):
+        from repro.backends import (
+            BackendCapabilities,
+            UnsupportedMetricError,
+            register,
+            unregister,
+        )
+        from repro.backends.base import BaseBackend
+
+        class CoordOnly(BaseBackend):
+            """Test backend producing only coordination time."""
+
+            id = "coord-only-test"
+            capabilities = BackendCapabilities(
+                metrics=frozenset({"mean_coordination_time"}),
+                description="test",
+            )
+
+        register(CoordOnly())
+        try:
+            with pytest.raises(UnsupportedMetricError, match="backends that can"):
+                run_sweep(
+                    "t", "t", "x", "useful_work_fraction", self.make_points(),
+                    TINY, backend="coord-only-test",
+                )
+        finally:
+            unregister("coord-only-test")
+
+    def test_unsupported_point_named_up_front(self):
+        from repro.backends import UnsupportedParametersError
+
+        points = [
+            SweepPoint(
+                "s", 1.0,
+                ModelParameters(n_processors=8192, timeout=70.0),
+            )
+        ]
+        with pytest.raises(UnsupportedParametersError, match="x=1"):
+            run_sweep(
+                "t", "t", "x", "useful_work_fraction", points, TINY,
+                backend="ctmc",
+            )
+
+
 class TestRunnerParallel:
     def test_multiprocessing_path_matches_serial(self):
         base = ModelParameters(n_processors=8192)

@@ -1,0 +1,97 @@
+"""Cross-backend agreement: independent backends must agree through
+the *same* interface the figures use.
+
+This is the backend-layer restatement of the repository's strongest
+correctness evidence (see ``test_cross_validation.py``): the exact
+CTMC solve, the stochastic SAN simulation, and the renewal closed
+forms are three independent evaluations of matched configurations,
+now reached uniformly via ``get_backend(...).evaluate(...)``.
+"""
+
+import pytest
+
+from repro.backends import EvaluationPlan, get_backend
+from repro.core import HOUR, MINUTE, YEAR, ModelParameters, SimulationPlan
+from repro.experiments import SweepPoint, run_sweep
+
+pytestmark = pytest.mark.slow
+
+#: A configuration tame enough for the exponential abstraction:
+#: failures are rare within one checkpoint interval.
+TAME = ModelParameters(
+    n_processors=1024,
+    processors_per_node=8,
+    mttf_node=25 * YEAR,
+    mttr=10 * MINUTE,
+    checkpoint_interval=30 * MINUTE,
+)
+
+
+class TestCTMCvsSimulation:
+    def test_useful_work_fraction_agrees(self):
+        plan = EvaluationPlan(
+            simulation=SimulationPlan(
+                warmup=30 * HOUR, observation=400 * HOUR, replications=3
+            ),
+            seed=11,
+        )
+        exact = get_backend("ctmc").evaluate(TAME, plan)
+        simulated = get_backend("san-sim").evaluate(TAME, plan)
+        assert simulated.metric("useful_work_fraction").mean == pytest.approx(
+            exact.metric("useful_work_fraction").mean, abs=0.02
+        )
+
+    def test_time_breakdown_agrees(self):
+        plan = EvaluationPlan(
+            simulation=SimulationPlan(
+                warmup=30 * HOUR, observation=400 * HOUR, replications=3
+            ),
+            seed=11,
+        )
+        exact = get_backend("ctmc").evaluate(TAME, plan)
+        simulated = get_backend("san-sim").evaluate(TAME, plan)
+        for fraction in ("frac_execution", "frac_checkpointing"):
+            assert simulated.metric(fraction).mean == pytest.approx(
+                exact.metric(fraction).mean, abs=0.02
+            )
+
+
+class TestAnalyticalVsSimulation:
+    def test_paper_operating_point(self):
+        # The paper's base system; the renewal closed form and the full
+        # SAN simulation agree within the cross-validation tolerance.
+        params = ModelParameters(n_processors=32768, mttf_node=1 * YEAR)
+        plan = EvaluationPlan(
+            simulation=SimulationPlan(
+                warmup=30 * HOUR, observation=400 * HOUR, replications=3
+            ),
+            seed=7,
+        )
+        closed_form = get_backend("analytical").evaluate(params, plan)
+        simulated = get_backend("san-sim").evaluate(params, plan)
+        assert simulated.metric("useful_work_fraction").mean == pytest.approx(
+            closed_form.metric("useful_work_fraction").mean, abs=0.06
+        )
+
+
+class TestKernelEquivalenceThroughSweep:
+    def test_san_sim_and_san_sim_full_identical(self):
+        # The two registered kernels are trajectory-preserving: same
+        # seeds, bit-identical series through the sweep runner.
+        plan = SimulationPlan(warmup=2 * HOUR, observation=20 * HOUR, replications=1)
+        base = ModelParameters(n_processors=8192)
+        points = [
+            SweepPoint("s", 1.0, base),
+            SweepPoint("s", 2.0, base.with_overrides(n_processors=16384)),
+        ]
+        incremental = run_sweep(
+            "t", "t", "x", "useful_work_fraction", points, plan, seed=3,
+            backend="san-sim",
+        )
+        full = run_sweep(
+            "t", "t", "x", "useful_work_fraction", points, plan, seed=3,
+            backend="san-sim-full",
+        )
+        assert incremental.series == full.series
+        assert incremental.backend == "san-sim"
+        assert full.backend == "san-sim-full"

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.cluster",
     "repro.failures",
     "repro.workload",
+    "repro.backends",
     "repro.experiments",
 ]
 
@@ -66,6 +67,13 @@ MODULES = [
     "repro.failures.traces",
     "repro.workload.bsp",
     "repro.workload.generator",
+    "repro.backends.base",
+    "repro.backends.registry",
+    "repro.backends.san_sim",
+    "repro.backends.ctmc",
+    "repro.backends.cluster",
+    "repro.backends.analytical",
+    "repro.backends.cache",
     "repro.experiments.archive",
     "repro.experiments.cli",
     "repro.experiments.config",
@@ -73,6 +81,7 @@ MODULES = [
     "repro.experiments.paper_claims",
     "repro.experiments.report",
     "repro.experiments.runner",
+    "repro.experiments.specs",
     "repro.experiments.validation",
 ]
 
