@@ -21,6 +21,7 @@ from ..analytical import coordination as coordination_math
 from ..analytical import useful_work as renewal
 from ..core.parameters import CoordinationMode, ModelParameters
 from .base import (
+    observed,
     BackendCapabilities,
     BaseBackend,
     COORDINATION_ONLY_USEFUL_FRACTION,
@@ -115,6 +116,7 @@ class AnalyticalBackend(BaseBackend):
             )
         return None
 
+    @observed
     def evaluate(
         self, params: ModelParameters, plan: EvaluationPlan
     ) -> EvaluationResult:

@@ -23,6 +23,7 @@ misreading them.
 
 from __future__ import annotations
 
+import functools
 import json
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
@@ -39,8 +40,10 @@ except ImportError:  # pragma: no cover - Python < 3.8 fallback
 from .._version import __version__
 from ..core.parameters import ModelParameters
 from ..core.simulation import SimulationPlan
+from ..obs import metrics as _obs_metrics
 
 __all__ = [
+    "observed",
     "SCHEMA_VERSION",
     "USEFUL_WORK_FRACTION",
     "TOTAL_USEFUL_WORK",
@@ -78,6 +81,27 @@ COORDINATION_ONLY_USEFUL_FRACTION = "coordination_only_useful_fraction"
 #: produce the base metric can produce the derived one; the sweep
 #: runner performs the scaling with the point's own processor count.
 DERIVED_METRICS: Dict[str, str] = {TOTAL_USEFUL_WORK: USEFUL_WORK_FRACTION}
+
+
+def observed(evaluate):
+    """Decorator for ``Backend.evaluate`` implementations: counts the
+    call as ``backend.<id>.evaluations`` and times it into
+    ``backend.<id>.evaluate_seconds`` in the process metrics registry.
+    Failed evaluations are additionally counted as
+    ``backend.<id>.errors`` (and still timed)."""
+
+    @functools.wraps(evaluate)
+    def wrapper(self, params, plan):
+        reg = _obs_metrics.registry()
+        reg.counter(f"backend.{self.id}.evaluations").inc()
+        try:
+            with reg.timer(f"backend.{self.id}.evaluate_seconds"):
+                return evaluate(self, params, plan)
+        except Exception:
+            reg.counter(f"backend.{self.id}.errors").inc()
+            raise
+
+    return wrapper
 
 
 class BackendError(Exception):

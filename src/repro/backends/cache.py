@@ -17,12 +17,12 @@ missing, or schema-mismatched entry is a cache miss, never an error.
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 import tempfile
 from typing import Optional
 
 from ..core.parameters import ModelParameters
+from ..obs import metrics
 from .base import (
     Backend,
     EvaluationPlan,
@@ -31,8 +31,15 @@ from .base import (
     SchemaMismatchError,
     plan_key_dict,
 )
+from .canonical import canonical_json
 
-__all__ = ["ResultCache"]
+__all__ = ["CACHE_KEY_VERSION", "ResultCache"]
+
+#: Version of the key-derivation scheme itself. Bumped to 2 when the
+#: lossy ``json.dumps(..., default=str)`` encoder was replaced by the
+#: strict canonical encoder: every digest changes, so entries written
+#: under the collision-prone scheme are invalidated rather than reused.
+CACHE_KEY_VERSION = 2
 
 
 class ResultCache:
@@ -53,11 +60,12 @@ class ResultCache:
         """
         identity = {
             "schema": SCHEMA_VERSION,
+            "key_version": CACHE_KEY_VERSION,
             "backend": backend.id,
             "backend_version": backend.backend_version,
         }
         identity.update(plan_key_dict(params, plan))
-        canonical = json.dumps(identity, sort_keys=True, default=str)
+        canonical = canonical_json(identity)
         return hashlib.blake2b(
             canonical.encode("utf-8"), digest_size=16
         ).hexdigest()
@@ -77,17 +85,23 @@ class ResultCache:
         caller re-evaluates and overwrites the bad entry.
         """
         path = self.path(backend, params, plan)
+        reg = metrics.registry()
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 text = handle.read()
         except OSError:
+            reg.counter("cache.misses").inc()
             return None
         try:
             result = EvaluationResult.from_json(text)
         except (SchemaMismatchError, ValueError, KeyError, TypeError):
+            reg.counter("cache.misses").inc()
+            reg.counter("cache.corrupt_entries").inc()
             return None
         if result.backend != backend.id:
+            reg.counter("cache.misses").inc()
             return None
+        reg.counter("cache.hits").inc()
         return result
 
     def put(self, backend: Backend, params: ModelParameters,
@@ -114,4 +128,5 @@ class ResultCache:
             if os.path.exists(tmp_path):
                 os.unlink(tmp_path)
             raise
+        metrics.registry().counter("cache.puts").inc()
         return path

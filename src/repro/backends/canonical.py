@@ -1,0 +1,101 @@
+"""Strict canonical JSON encoding for cache identities.
+
+The result cache keys entries by a hash of the evaluation request.
+The old implementation used ``json.dumps(..., default=str)``, which
+silently stringifies anything JSON does not know: a numpy ``int64``
+became ``"7"`` (colliding with the *string* ``"7"`` and missing
+against the *int* ``7``), a NaN serialized as the non-standard token
+``NaN``, and any stray object fell back to its ``repr``. Two distinct
+requests could collide; two identical requests could miss.
+
+This module replaces that with a closed-world encoder:
+
+* ``None``, ``bool``, ``str``, ``int`` pass through.
+* floats must be finite — NaN and ±inf raise :class:`ValueError`
+  (an evaluation request containing them is a bug upstream, not a
+  cache key); ``-0.0`` normalizes to ``0.0`` so the two equal floats
+  hash identically.
+* numpy scalars (when numpy is present) normalize via ``.item()`` to
+  the plain Python value they equal.
+* mappings require string keys and are emitted with sorted keys;
+  tuples and lists both canonicalize to JSON arrays (they compare
+  equal as request parameters, so they must hash equally).
+* anything else raises :class:`TypeError` naming the offending type —
+  loudly, instead of a silent ``str()`` collision.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Mapping, Sequence
+
+try:  # numpy is an optional normalization source, not a dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+__all__ = ["canonicalize", "canonical_json"]
+
+
+def canonicalize(obj: Any, _path: str = "$") -> Any:
+    """Normalize ``obj`` into plain JSON types, strictly.
+
+    Raises ``ValueError`` for non-finite floats and ``TypeError`` for
+    any type outside the closed world above; error messages include a
+    JSONPath-ish location so a bad request field is easy to find.
+    """
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if _np is not None and isinstance(obj, _np.generic):
+        # np.float64 subclasses float but np.int64 does NOT subclass
+        # int; .item() maps both onto the plain value they equal.
+        return canonicalize(obj.item(), _path)
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise ValueError(
+                f"non-finite float {obj!r} at {_path} cannot be part of a "
+                "cache identity; reject it before building the request"
+            )
+        return obj + 0.0 if obj == 0.0 else obj  # -0.0 -> 0.0
+    if isinstance(obj, Mapping):
+        normalized = {}
+        for key in obj:
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"mapping key {key!r} at {_path} is "
+                    f"{type(key).__name__}, not str"
+                )
+            normalized[key] = canonicalize(obj[key], f"{_path}.{key}")
+        return {key: normalized[key] for key in sorted(normalized)}
+    if isinstance(obj, (list, tuple)):
+        return [
+            canonicalize(item, f"{_path}[{index}]")
+            for index, item in enumerate(obj)
+        ]
+    if isinstance(obj, Sequence) and not isinstance(obj, (bytes, bytearray)):
+        return [
+            canonicalize(item, f"{_path}[{index}]")
+            for index, item in enumerate(obj)
+        ]
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__} at {_path}: cache "
+        "identities accept only None/bool/int/finite float/str, "
+        "mappings with str keys, and sequences thereof"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The unique JSON text of ``obj``'s canonical form.
+
+    Sorted keys, no whitespace, ``allow_nan=False`` as a second line
+    of defence: equal requests produce byte-identical text.
+    """
+    return json.dumps(
+        canonicalize(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        allow_nan=False,
+    )

@@ -20,6 +20,7 @@ from typing import Optional
 from ..cluster import ClusterSimulator
 from ..core.parameters import ModelParameters
 from .base import (
+    observed,
     BackendCapabilities,
     BaseBackend,
     EvaluationPlan,
@@ -78,6 +79,7 @@ class ClusterBackend(BaseBackend):
             )
         return None
 
+    @observed
     def evaluate(
         self, params: ModelParameters, plan: EvaluationPlan
     ) -> EvaluationResult:

@@ -35,6 +35,7 @@ from ..san import (
 )
 from .analytical import blocking_checkpoint_overhead
 from .base import (
+    observed,
     BackendCapabilities,
     BaseBackend,
     EvaluationPlan,
@@ -146,6 +147,7 @@ class CTMCBackend(BaseBackend):
         )
         return model
 
+    @observed
     def evaluate(
         self, params: ModelParameters, plan: EvaluationPlan
     ) -> EvaluationResult:

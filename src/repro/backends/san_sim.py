@@ -22,6 +22,7 @@ from typing import Optional
 from ..core.parameters import ModelParameters
 from ..core.simulation import simulate
 from .base import (
+    observed,
     BackendCapabilities,
     BaseBackend,
     EvaluationPlan,
@@ -73,6 +74,7 @@ class SanSimulationBackend(BaseBackend):
             ),
         )
 
+    @observed
     def evaluate(
         self, params: ModelParameters, plan: EvaluationPlan
     ) -> EvaluationResult:

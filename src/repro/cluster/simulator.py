@@ -27,6 +27,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core.parameters import ModelParameters
+from ..obs import metrics as obs_metrics
+from ..obs.trace import TraceSink, default_sink
 from ..san.rng import StreamRegistry
 from .engine import Engine
 from .filesystem import ParallelFileSystem
@@ -75,10 +77,23 @@ class ClusterSimulator:
         in the SAN model; keep ``n_nodes`` in the low thousands).
     seed:
         Root seed for the failure/quiesce random streams.
+    sink:
+        Observability sink receiving ``cluster.protocol`` lifecycle
+        events (quiesce, proceed, abort, failure, recovery). Defaults
+        to the process sink (:func:`repro.obs.trace.default_sink`) —
+        a :class:`~repro.obs.trace.NullSink` unless a driver installed
+        one. Lifecycle events are per-round/per-failure, never
+        per-engine-event, so the hot path is untouched.
     """
 
-    def __init__(self, params: ModelParameters, seed: int = 0) -> None:
+    def __init__(
+        self,
+        params: ModelParameters,
+        seed: int = 0,
+        sink: Optional[TraceSink] = None,
+    ) -> None:
         self.params = params
+        self.sink = sink if sink is not None else default_sink()
         self.engine = Engine()
         self.network = Network(
             self.engine,
@@ -276,12 +291,19 @@ class ClusterSimulator:
         self._round_active = True
         self._captured_work[epoch] = self.useful_work
         self._prune_captures(keep=epoch)
+        self.sink.emit(
+            self.engine.now, "cluster.protocol", "quiesce",
+            epoch=epoch, work=self.useful_work,
+        )
 
     def complete_checkpoint_round(self, epoch: int) -> None:
         """All nodes dumped: resume execution and start the background
         write-back of every group's checkpoint."""
         self._round_active = False
         self._set_accruing(True)
+        self.sink.emit(
+            self.engine.now, "cluster.protocol", "proceed", epoch=epoch,
+        )
         nbytes = self.params.checkpoint_size_per_node
         captured = self._captured_work.setdefault(epoch, self.useful_work)
         self.filesystem.begin_generation(
@@ -296,6 +318,9 @@ class ClusterSimulator:
         self._round_active = False
         self._captured_work.pop(epoch, None)
         self._set_accruing(True)
+        self.sink.emit(
+            self.engine.now, "cluster.protocol", "abort", epoch=epoch,
+        )
 
     def on_stream_complete(self, epoch: int) -> None:
         """One I/O node finished its write-back stream."""
@@ -325,6 +350,10 @@ class ClusterSimulator:
     def _compute_failure(self) -> None:
         self._schedule_next_compute_failure()
         self.failure_count += 1
+        self.sink.emit(
+            self.engine.now, "cluster.protocol", "compute_failure",
+            during_recovery=self._recovering,
+        )
         if self._recovering:
             # Failure during recovery: the attempt restarts.
             self._start_recovery()
@@ -363,6 +392,10 @@ class ClusterSimulator:
             return
         self._recovering = False
         self.recovery_count += 1
+        self.sink.emit(
+            self.engine.now, "cluster.protocol", "recovery",
+            work=self.useful_work,
+        )
         for node in self.compute_nodes:
             node.restore()
         self._set_accruing(True)
@@ -373,6 +406,10 @@ class ClusterSimulator:
         if self._io_restarting:
             return
         self.io_failure_count += 1
+        self.sink.emit(
+            self.engine.now, "cluster.protocol", "io_failure",
+            round_active=self._round_active,
+        )
         self._io_restarting = True
         self.filesystem.abort_open_generation()
         app_writes_lost = self._app_writes_in_flight > 0
@@ -428,6 +465,14 @@ class ClusterSimulator:
             self._start_app_compute_phase()
         self.engine.run(until=duration)
         self._accrue()
+        # Per-run (not per-event) metrics, mirroring the SAN executive.
+        reg = obs_metrics.registry()
+        reg.counter("cluster.runs").inc()
+        reg.counter("cluster.events").inc(self.engine.event_count)
+        reg.counter("cluster.rounds").inc(self.master.rounds)
+        reg.counter("cluster.failures").inc(
+            self.failure_count + self.io_failure_count
+        )
         return ClusterResult(
             duration=duration,
             useful_work=self.useful_work,

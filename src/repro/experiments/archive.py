@@ -19,6 +19,7 @@ from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional
 
 from .._version import __version__
+from ..obs import write_manifest
 from .resilience import FailureReport
 from .runner import FigureResult
 
@@ -47,6 +48,12 @@ def save_figure(figure: FigureResult, directory: str) -> str:
     the same directory, fsync'd, and :func:`os.replace`'d into place,
     so a crash mid-save leaves either the previous archive or the new
     one — never a truncated file.
+
+    When the figure carries a run manifest (every figure produced by
+    :func:`~repro.experiments.runner.run_sweep` or
+    :func:`~repro.experiments.figures.run_figure` does), it is written
+    alongside as ``<figure_id>.manifest.json`` with the same atomic
+    discipline, so the archive and its provenance travel together.
     """
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"{figure.figure_id}.json")
@@ -58,6 +65,7 @@ def save_figure(figure: FigureResult, directory: str) -> str:
         "x_label": figure.x_label,
         "metric": figure.metric,
         "backend": figure.backend,
+        "unvalidated_intervals": figure.unvalidated_intervals,
         "series": {
             label: [[x, y, h] for x, y, h in points]
             for label, points in figure.series.items()
@@ -78,6 +86,8 @@ def save_figure(figure: FigureResult, directory: str) -> str:
         if os.path.exists(tmp_path):
             os.unlink(tmp_path)
         raise
+    if figure.manifest is not None:
+        write_manifest(figure.manifest, directory)
     return path
 
 
@@ -119,6 +129,9 @@ def load_figure(path: str) -> FigureResult:
             x_label=payload["x_label"],
             metric=payload["metric"],
             backend=payload.get("backend"),
+            unvalidated_intervals=bool(
+                payload.get("unvalidated_intervals", False)
+            ),
         )
         for label, points in payload["series"].items():
             figure.series[label] = [
@@ -150,6 +163,8 @@ def load_archive(directory: str) -> Dict[str, FigureResult]:
     """Read every ``*.json`` figure in a directory, keyed by id."""
     figures: Dict[str, FigureResult] = {}
     for name in sorted(os.listdir(directory)):
+        if name.endswith(".manifest.json"):
+            continue  # run manifests live beside figures, not in them
         if name.endswith(".json"):
             figure = load_figure(os.path.join(directory, name))
             figures[figure.figure_id] = figure
@@ -181,9 +196,21 @@ def compare_figures(
     ``use_half_widths``) when the two confidence intervals overlap —
     whichever is more permissive, since independent stochastic runs
     legitimately differ within their own error bars.
+
+    The overlap escape hatch only applies when the intervals are
+    *informative*: at least one half-width must be positive, and
+    neither figure may be flagged ``unvalidated_intervals`` (the n=1
+    case, where a half-width of 0 means "unknown", not "exact").
+    Previously two single-replication runs whose values happened to
+    match exactly — or an n=1 run compared against the paper — could
+    claim statistical agreement from zero-width intervals; now such
+    points must pass the plain relative tolerance.
     """
     if not 0 <= rel_tolerance:
         raise ValueError(f"rel_tolerance must be >= 0, got {rel_tolerance}")
+    intervals_informative = not (
+        reference.unvalidated_intervals or candidate.unvalidated_intervals
+    )
     discrepancies: List[Discrepancy] = []
     fid = reference.figure_id
     for label, ref_points in reference.series.items():
@@ -203,8 +230,11 @@ def compare_figures(
             cand_y, cand_h = cand_by_x[x]
             scale = max(abs(ref_y), 1e-12)
             within_tolerance = abs(cand_y - ref_y) <= rel_tolerance * scale
-            intervals_overlap = use_half_widths and (
-                abs(cand_y - ref_y) <= ref_h + cand_h
+            intervals_overlap = (
+                use_half_widths
+                and intervals_informative
+                and (ref_h > 0 or cand_h > 0)
+                and abs(cand_y - ref_y) <= ref_h + cand_h
             )
             if not (within_tolerance or intervals_overlap):
                 discrepancies.append(

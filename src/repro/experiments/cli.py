@@ -10,6 +10,10 @@ Usage::
     python -m repro run-all --preset standard --output EXPERIMENTS.out.md
     python -m repro run-figure fig4a --checkpoint-dir ckpt --resume \
         --retries 3 --point-timeout 1800 --processes 4 --cache-dir cache
+    python -m repro run-figure fig4a --preset quick --save-json out \
+        --metrics-out metrics.json --trace-out trace.jsonl --trace-sample 100
+    python -m repro obs out                 # render the run manifests
+    python -m repro obs metrics.json        # render a metrics snapshot
 """
 
 from __future__ import annotations
@@ -51,6 +55,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the registered evaluation backends and their capabilities",
     )
     sub.add_parser("table3", help="print the model-parameter table")
+
+    obs = sub.add_parser(
+        "obs",
+        help=(
+            "validate and render observability artefacts: run manifests "
+            "(<figure>.manifest.json or an archive directory) and metrics "
+            "snapshots written by --metrics-out"
+        ),
+    )
+    obs.add_argument(
+        "path",
+        help="a manifest file, a metrics-snapshot file, or an archive directory",
+    )
+    obs.add_argument(
+        "--json",
+        action="store_true",
+        help="print the validated payload as JSON instead of rendering it",
+    )
 
     run = sub.add_parser("run-figure", help="regenerate one figure")
     run.add_argument("figure", choices=sorted(FIGURE_RUNNERS))
@@ -224,6 +246,40 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
             "forces a serial sweep (worker processes do not report stats)"
         ),
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the process metrics registry (counters, gauges, "
+            "timings) as JSON to PATH after the run; render it later "
+            "with the 'obs' command"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "export SAN firings and cluster protocol events as JSON "
+            "lines to PATH; forces a serial sweep (worker processes do "
+            "not share the sink)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --trace-out: keep one event in every N per kind",
+    )
+    parser.add_argument(
+        "--trace-max-events",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --trace-out: stop writing after N kept events",
+    )
 
 
 def _resilience_from_args(args: argparse.Namespace):
@@ -243,16 +299,30 @@ def _resilience_from_args(args: argparse.Namespace):
 
 
 def _run_one(figure_id: str, args: argparse.Namespace, stream) -> bool:
+    from ..obs import trace as obs_trace
+    from ..obs import metrics as obs_metrics
     from ..san import profiling
 
     runner = FIGURE_RUNNERS[figure_id]
     processes = args.processes
     kernel_stats = getattr(args, "kernel_stats", False)
-    if kernel_stats:
+    trace_out = getattr(args, "trace_out", None)
+    if kernel_stats or trace_out:
         if processes not in (None, 1):
-            print("--kernel-stats forces a serial sweep (ignoring --processes)")
+            flag = "--kernel-stats" if kernel_stats else "--trace-out"
+            print(f"{flag} forces a serial sweep (ignoring --processes)")
         processes = None
+    if kernel_stats:
         profiling.enable_aggregation(reset=True)
+    sink = None
+    previous_sink = None
+    if trace_out:
+        sink = obs_trace.JsonlTraceSink(
+            trace_out,
+            sample_every=getattr(args, "trace_sample", 1),
+            max_events=getattr(args, "trace_max_events", None),
+        )
+        previous_sink = obs_trace.set_default_sink(sink)
     started = time.time()
     try:
         figure = runner(
@@ -266,9 +336,18 @@ def _run_one(figure_id: str, args: argparse.Namespace, stream) -> bool:
         stats = profiling.aggregated() if kernel_stats else None
         if kernel_stats:
             profiling.disable_aggregation()
+        if sink is not None:
+            obs_trace.set_default_sink(previous_sink)
+            sink.close()
     elapsed = time.time() - started
     if stats is not None:
         print(stats.summary())
+    if sink is not None:
+        offered = sum(sink.offered.values())
+        print(
+            f"trace: {sink.written} of {offered} offered event(s) "
+            f"written to {sink.path}"
+        )
     print(render_figure(figure))
     if getattr(args, "chart", False):
         print()
@@ -283,12 +362,108 @@ def _run_one(figure_id: str, args: argparse.Namespace, stream) -> bool:
             ok = ok and check.passed
     if stream is not None:
         write_markdown_section(figure, stream)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        import json as _json
+
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            _json.dump(
+                obs_metrics.registry().snapshot(), handle,
+                indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+        print(f"metrics written to {metrics_out}")
     if getattr(args, "save_json", None):
+        from ..obs import manifest_path
         from .archive import save_figure
 
         save_figure(figure, args.save_json)
+        if figure.manifest is not None:
+            print(
+                "manifest written to "
+                f"{manifest_path(args.save_json, figure.figure_id)}"
+            )
     print()
     return ok
+
+
+def _obs_command(path: str, as_json: bool = False) -> int:
+    """Validate and render manifests / metrics snapshots at ``path``.
+
+    A directory renders every ``*.manifest.json`` inside it; a
+    ``.manifest.json`` file renders that manifest; any other JSON file
+    is treated as a metrics snapshot written by ``--metrics-out``.
+    Returns 0 when everything validated, 1 otherwise.
+    """
+    import json
+    import os
+
+    from ..obs import ManifestError, load_manifest, render_manifest
+
+    def render_one_manifest(manifest_file: str) -> bool:
+        try:
+            manifest = load_manifest(manifest_file)
+        except ManifestError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return False
+        if as_json:
+            print(json.dumps(manifest.to_json_dict(), indent=2, sort_keys=True))
+        else:
+            print(render_manifest(manifest))
+        return True
+
+    if os.path.isdir(path):
+        manifest_files = sorted(
+            os.path.join(path, name)
+            for name in os.listdir(path)
+            if name.endswith(".manifest.json")
+        )
+        if not manifest_files:
+            print(f"error: no *.manifest.json files in {path!r}", file=sys.stderr)
+            return 1
+        ok = True
+        for index, manifest_file in enumerate(manifest_files):
+            if index and not as_json:
+                print()
+            ok = render_one_manifest(manifest_file) and ok
+        return 0 if ok else 1
+
+    if path.endswith(".manifest.json"):
+        return 0 if render_one_manifest(path) else 1
+
+    # A metrics snapshot (the --metrics-out format).
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path!r}: {exc}", file=sys.stderr)
+        return 1
+    if not isinstance(payload, dict) or "counters" not in payload:
+        print(
+            f"error: {path!r} is neither a run manifest nor a metrics "
+            "snapshot (no 'counters' key)",
+            file=sys.stderr,
+        )
+        return 1
+    if as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for section in ("counters", "gauges"):
+        values = payload.get(section) or {}
+        if values:
+            print(f"{section}:")
+            for name, value in sorted(values.items()):
+                print(f"  {name:<40} {value}")
+    timings = payload.get("timings") or {}
+    if timings:
+        print("timings:")
+        for name, summary in sorted(timings.items()):
+            print(
+                f"  {name:<40} n={summary.get('count', 0)} "
+                f"total={summary.get('total_seconds', 0.0):.3f}s "
+                f"mean={summary.get('mean_seconds', 0.0):.4f}s"
+            )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -316,6 +491,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "table3":
         print(render_table3())
         return 0
+
+    if args.command == "obs":
+        return _obs_command(args.path, as_json=args.json)
 
     if args.command == "run-figure":
         try:

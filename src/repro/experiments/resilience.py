@@ -36,6 +36,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import sys
 import tempfile
 import time
 import traceback
@@ -43,6 +44,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+from ..obs import metrics as obs_metrics
 from ..san.rng import stable_stream_key
 
 __all__ = [
@@ -683,7 +685,7 @@ class SweepSupervisor:
                         f"worker pool died ({type(exc).__name__}: {exc}); "
                         "degrading to serial execution"
                     )
-                    self._shutdown_pool(pool)
+                    self._shutdown_pool(pool, notes=result.notes)
                     pool = None
                     self._run_serial(queue, by_index, result)
                     return
@@ -723,7 +725,9 @@ class SweepSupervisor:
                                 result,
                                 time.monotonic(),
                             )
-                            self._shutdown_pool(pool, terminate=True)
+                            self._shutdown_pool(
+                                pool, terminate=True, notes=result.notes
+                            )
                             pool = multiprocessing.Pool(self.processes)
                             continue
                     status, payload = async_result.get()
@@ -738,7 +742,9 @@ class SweepSupervisor:
                         f"worker pool died ({type(exc).__name__}: {exc}); "
                         "degrading to serial execution"
                     )
-                    self._shutdown_pool(pool, terminate=True)
+                    self._shutdown_pool(
+                        pool, terminate=True, notes=result.notes
+                    )
                     pool = None
                     self._run_serial(queue, by_index, result)
                     return
@@ -752,15 +758,36 @@ class SweepSupervisor:
                     )
         finally:
             if pool is not None:
-                self._shutdown_pool(pool, terminate=True)
+                self._shutdown_pool(pool, terminate=True, notes=result.notes)
 
     @staticmethod
-    def _shutdown_pool(pool: Any, terminate: bool = False) -> None:
+    def _shutdown_pool(
+        pool: Any,
+        terminate: bool = False,
+        notes: Optional[List[str]] = None,
+    ) -> None:
+        """Close or terminate the worker pool and join it.
+
+        A cleanup failure used to be ``except Exception: pass``, which
+        masked pool-infrastructure faults entirely. Now it is counted
+        (``sweep.pool_shutdown_errors``), recorded in ``notes``, and —
+        when no prior exception is already propagating — re-raised, so
+        a shutdown failure only stays quiet while a more primary error
+        is in flight (where raising would replace that error).
+        """
+        prior_error_in_flight = sys.exc_info()[0] is not None
         try:
             if terminate:
                 pool.terminate()
             else:
                 pool.close()
             pool.join()
-        except Exception:
-            pass
+        except Exception as exc:
+            obs_metrics.registry().counter("sweep.pool_shutdown_errors").inc()
+            message = (
+                f"worker pool shutdown failed: {type(exc).__name__}: {exc}"
+            )
+            if notes is not None:
+                notes.append(message)
+            if not prior_error_in_flight:
+                raise

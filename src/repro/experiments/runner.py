@@ -22,7 +22,8 @@ a warm cache re-runs a completed figure with zero new evaluations.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+import time
+from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..backends import (
@@ -36,6 +37,9 @@ from ..backends import (
 )
 from ..core.parameters import ModelParameters
 from ..core.simulation import SimulationPlan
+from ..obs import RunManifest, metrics as obs_metrics
+from ..obs.trace import JsonlTraceSink, default_sink
+from ..san import profiling
 from .resilience import (
     CheckpointJournal,
     FailureReport,
@@ -84,6 +88,13 @@ class FigureResult:
     ``failures`` lists points that exhausted their retries (also
     summarised in ``notes``); their entries are absent from
     ``series``.
+
+    ``unvalidated_intervals`` is True when the half-widths carry no
+    statistical information (a stochastic backend ran with fewer than
+    two replications): archive comparison must not claim interval
+    overlap from them. ``manifest`` is the run's provenance record
+    (see :class:`repro.obs.RunManifest`), written next to the archive
+    by :func:`repro.experiments.archive.save_figure`.
     """
 
     figure_id: str
@@ -94,6 +105,8 @@ class FigureResult:
     notes: List[str] = field(default_factory=list)
     failures: List[FailureReport] = field(default_factory=list)
     backend: Optional[str] = None
+    unvalidated_intervals: bool = False
+    manifest: Optional[RunManifest] = None
 
     def y_values(self, label: str) -> List[float]:
         """The y series of one curve (sorted by x)."""
@@ -251,6 +264,9 @@ def run_sweep(
     if metric not in ("useful_work_fraction", "total_useful_work"):
         raise ValueError(f"unknown metric {metric!r}")
     _check_unique_points(points)
+    start_clock = time.monotonic()
+    reg = obs_metrics.registry()
+    reg.counter("sweep.runs").inc()
 
     options = resilience or ResilienceOptions()
     if options.wall_clock_budget is not None:
@@ -293,9 +309,10 @@ def run_sweep(
                 f"{total} point(s) already simulated"
             )
 
+    points_from_journal = len(completed)
     cache = ResultCache(options.cache_dir) if options.cache_dir else None
+    cache_hits = 0
     if cache is not None:
-        cache_hits = 0
         for index, point in enumerate(points):
             key = (point.series, float(point.x))
             if key in completed:
@@ -384,6 +401,14 @@ def run_sweep(
     figure.failures = list(supervised.failures)
     for report in supervised.failures:
         notes.append("FAILED: " + report.summary())
+    if not backend_obj.capabilities.exact and plan.replications < 2:
+        figure.unvalidated_intervals = True
+        notes.append(
+            f"UNVALIDATED intervals: stochastic backend {backend!r} ran "
+            f"with {plan.replications} replication(s); half-widths carry "
+            "no statistical information and archive comparison will not "
+            "claim interval overlap from them"
+        )
     figure.notes = notes
 
     # Assemble in declared point order (deterministic regardless of
@@ -403,4 +428,39 @@ def run_sweep(
         figure.series.setdefault(point.series, []).append(entry)
     for label in figure.series:
         figure.series[label].sort(key=lambda p: p[0])
+
+    new_evaluations = len(supervised.outcomes)
+    retries = sum(
+        max(0, attempts - 1) for attempts in supervised.attempts.values()
+    )
+    reg.counter("sweep.points_total").inc(total)
+    reg.counter("sweep.points_from_journal").inc(points_from_journal)
+    reg.counter("sweep.points_from_cache").inc(cache_hits)
+    reg.counter("sweep.evaluations").inc(new_evaluations)
+    reg.counter("sweep.retries").inc(retries)
+    reg.counter("sweep.failed_points").inc(len(supervised.failures))
+    wall_clock = time.monotonic() - start_clock
+    reg.timing("sweep.run_seconds").observe(wall_clock)
+
+    aggregate = profiling.aggregated()
+    sink = default_sink()
+    figure.manifest = RunManifest(
+        figure_id=figure_id,
+        backend=backend,
+        backend_version=backend_obj.backend_version,
+        metric=metric,
+        seed=seed,
+        plan=asdict(plan),
+        points_total=total,
+        points_from_journal=points_from_journal,
+        points_from_cache=cache_hits,
+        new_evaluations=new_evaluations,
+        retries=retries,
+        failed_points=len(supervised.failures),
+        kernel_stats=aggregate.as_dict() if aggregate is not None else None,
+        metrics=reg.snapshot(),
+        trace=sink.summary() if isinstance(sink, JsonlTraceSink) else None,
+        wall_clock_seconds=wall_clock,
+        notes=list(notes),
+    )
     return figure

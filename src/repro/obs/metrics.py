@@ -1,0 +1,248 @@
+"""Process-local metrics registry: counters, gauges, timing summaries.
+
+The registry is deliberately simple — plain Python objects behind two
+dictionary lookups per update — because it is recorded into from the
+simulation layers *once per run* (never per event; the hot loops are
+protected by the engine benchmark gate). Worker processes each have
+their own registry; the numbers a sweep's manifest reports therefore
+come from the supervisor process, which observes every outcome.
+
+Naming convention (see docs/OBSERVABILITY.md): dotted lowercase paths,
+``<subsystem>.<what>`` — e.g. ``san.runs``, ``cache.hits``,
+``backend.san-sim.evaluations``, ``sweep.retries``.
+
+Usage::
+
+    from repro.obs import metrics
+    reg = metrics.registry()
+    reg.counter("cache.hits").inc()
+    with reg.timer("backend.ctmc.evaluate_seconds"):
+        ...
+    print(json.dumps(reg.snapshot()))
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timing",
+    "MetricsRegistry",
+    "registry",
+    "set_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0: counters never go down)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value:g})"
+
+
+class Timing:
+    """A streaming summary of durations (seconds): count/total/min/max.
+
+    Kept as a summary rather than raw samples so long sweeps cannot
+    grow memory; the mean is derived on export.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Fold one duration into the summary."""
+        if seconds < 0:
+            raise ValueError(f"timing {self.name!r} got negative duration")
+        self.count += 1
+        self.total += seconds
+        if seconds < self.minimum:
+            self.minimum = seconds
+        if seconds > self.maximum:
+            self.maximum = seconds
+
+    @property
+    def mean(self) -> float:
+        """Average duration (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "mean_seconds": self.mean,
+            "min_seconds": self.minimum if self.count else 0.0,
+            "max_seconds": self.maximum,
+        }
+
+    def __repr__(self) -> str:
+        return f"Timing({self.name}: n={self.count}, total={self.total:.3f}s)"
+
+
+class _Timer:
+    """Context manager recording a wall-clock duration into a Timing."""
+
+    __slots__ = ("_timing", "_start")
+
+    def __init__(self, timing: Timing) -> None:
+        self._timing = timing
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timing.observe(time.monotonic() - self._start)
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and timings.
+
+    Instruments are created on first use and live for the registry's
+    lifetime; :meth:`snapshot` exports everything as one JSON-able
+    dictionary, :meth:`render` as an aligned human-readable report.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timings: Dict[str, Timing] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The named counter (created at zero on first use)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge (created at zero on first use)."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def timing(self, name: str) -> Timing:
+        """The named timing summary (created empty on first use)."""
+        instrument = self._timings.get(name)
+        if instrument is None:
+            instrument = self._timings[name] = Timing(name)
+        return instrument
+
+    def timer(self, name: str) -> _Timer:
+        """Context manager: times its block into ``timing(name)``."""
+        return _Timer(self.timing(name))
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Everything recorded so far, as a JSON-able dictionary."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "timings": {
+                name: t.as_dict() for name, t in sorted(self._timings.items())
+            },
+        }
+
+    def nonzero(self) -> bool:
+        """True when at least one instrument recorded something."""
+        return (
+            any(c.value for c in self._counters.values())
+            or any(g.value for g in self._gauges.values())
+            or any(t.count for t in self._timings.values())
+        )
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; fresh run boundaries)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timings.clear()
+
+    def render(self) -> str:
+        """Human-readable report of every instrument."""
+        lines = []
+        if self._counters:
+            lines.append("counters:")
+            for name, c in sorted(self._counters.items()):
+                lines.append(f"  {name:<40} {c.value}")
+        if self._gauges:
+            lines.append("gauges:")
+            for name, g in sorted(self._gauges.items()):
+                lines.append(f"  {name:<40} {g.value:g}")
+        if self._timings:
+            lines.append("timings:")
+            for name, t in sorted(self._timings.items()):
+                lines.append(
+                    f"  {name:<40} n={t.count} total={t.total:.3f}s "
+                    f"mean={t.mean:.4f}s max={t.maximum:.3f}s"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._counters
+        yield from self._gauges
+        yield from self._timings
+
+
+#: The process-default registry everything records into unless told
+#: otherwise. Swappable for tests via :func:`set_registry`.
+_default = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-default registry."""
+    return _default
+
+
+def set_registry(new: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Replace the process-default registry (``None`` installs a fresh
+    one); returns the previous registry so tests can restore it."""
+    global _default
+    previous = _default
+    _default = new if new is not None else MetricsRegistry()
+    return previous

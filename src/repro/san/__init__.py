@@ -66,7 +66,15 @@ from .statistics import (
     confidence_interval,
     replicate,
 )
-from .trace import CallbackTracer, MemoryTracer, NullTracer, TraceEvent, Tracer, WindowTracer
+from .trace import (
+    CallbackTracer,
+    MemoryTracer,
+    NullTracer,
+    SinkTracer,
+    TraceEvent,
+    Tracer,
+    WindowTracer,
+)
 
 __all__ = [
     "Activity",
@@ -127,5 +135,6 @@ __all__ = [
     "MemoryTracer",
     "WindowTracer",
     "CallbackTracer",
+    "SinkTracer",
     "TraceEvent",
 ]

@@ -58,6 +58,7 @@ from .errors import (
     SimulationError,
     WallClockExceededError,
 )
+from ..obs import metrics as _obs_metrics
 from .model import SANModel
 from .places import ExtendedPlace, Place
 from .profiling import KernelStats
@@ -1208,6 +1209,12 @@ class Simulator:
             stabilisation_firings=self._n_stabilize_fired,
             max_stabilisation_chain=self._max_chain,
         )
+        # Metrics are recorded once per run (never per event): three
+        # dictionary lookups here, nothing inside the hot loop above.
+        _reg = _obs_metrics.registry()
+        _reg.counter("san.runs").inc()
+        _reg.counter("san.events").inc(event_count)
+        _reg.timing("san.run_seconds").observe(wall_seconds)
         return SimulationOutput(
             final_time=final_time,
             warmup=warmup,

@@ -106,12 +106,19 @@ class ConfidenceInterval:
         The confidence level, e.g. ``0.95``.
     samples:
         Number of observations behind the estimate.
+    validated:
+        False when the interval carries no statistical information —
+        a single observation has no estimable variance, so its
+        zero half-width must not be read as "perfect precision".
+        Comparison and validation paths refuse to claim agreement
+        from unvalidated intervals.
     """
 
     mean: float
     half_width: float
     confidence: float
     samples: int
+    validated: bool = True
 
     @property
     def low(self) -> float:
@@ -135,9 +142,10 @@ class ConfidenceInterval:
         return self.low <= value <= self.high
 
     def __str__(self) -> str:
+        suffix = "" if self.validated else ", unvalidated"
         return (
             f"{self.mean:.6g} ± {self.half_width:.3g} "
-            f"({self.confidence:.0%}, n={self.samples})"
+            f"({self.confidence:.0%}, n={self.samples}{suffix})"
         )
 
 
@@ -146,8 +154,9 @@ def confidence_interval(
 ) -> ConfidenceInterval:
     """Student-t confidence interval over independent observations.
 
-    With fewer than two observations, the half-width is reported as 0
-    (callers should treat such intervals as unvalidated).
+    With fewer than two observations the half-width is 0 **and the
+    interval is marked unvalidated** — one sample has no estimable
+    variance, so its zero width means "unknown", not "exact".
     """
     if not 0 < confidence < 1:
         raise ValueError(f"confidence must be in (0, 1), got {confidence}")
@@ -157,7 +166,9 @@ def confidence_interval(
     statistics = RunningStatistics()
     statistics.extend(values)
     if n == 1:
-        return ConfidenceInterval(statistics.mean, 0.0, confidence, 1)
+        return ConfidenceInterval(
+            statistics.mean, 0.0, confidence, 1, validated=False
+        )
     t_critical = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
     half_width = t_critical * statistics.stddev / math.sqrt(n)
     return ConfidenceInterval(statistics.mean, half_width, confidence, n)

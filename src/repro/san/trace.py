@@ -3,7 +3,9 @@
 Tracers observe every activity firing. The default :class:`NullTracer`
 costs one no-op call per event; :class:`MemoryTracer` keeps events for
 test assertions and debugging; :class:`WindowTracer` keeps only the
-most recent events of long runs.
+most recent events of long runs; :class:`SinkTracer` bridges firings
+into the unified observability sink (:mod:`repro.obs.trace`), where
+they interleave with cluster protocol events in one exported stream.
 """
 
 from __future__ import annotations
@@ -12,7 +14,17 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Iterator, List, Optional
 
-__all__ = ["TraceEvent", "Tracer", "NullTracer", "MemoryTracer", "WindowTracer", "CallbackTracer"]
+from ..obs.trace import TraceSink
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "NullTracer",
+    "MemoryTracer",
+    "WindowTracer",
+    "CallbackTracer",
+    "SinkTracer",
+]
 
 
 @dataclass(frozen=True)
@@ -104,3 +116,15 @@ class CallbackTracer(Tracer):
     def record(self, time: float, activity: str, case: int) -> None:
         if self._filter is None or activity in self._filter:
             self._callback(TraceEvent(time, activity, case))
+
+
+class SinkTracer(Tracer):
+    """Forwards every firing into an observability sink as a
+    ``san.firing`` event, unifying the SAN trace with the rest of the
+    exported stream (sampling and windowing happen in the sink)."""
+
+    def __init__(self, sink: TraceSink) -> None:
+        self.sink = sink
+
+    def record(self, time: float, activity: str, case: int) -> None:
+        self.sink.emit(time, "san.firing", activity, case=case)

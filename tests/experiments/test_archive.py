@@ -219,3 +219,88 @@ class TestCompareArchives:
         assert "discrepanc" in out
         save_archive([make_figure("one")], str(b))
         assert main(["compare", str(a), str(b)]) == 0
+
+
+class TestUnvalidatedIntervals:
+    """Zero-width (n=1) intervals must not claim statistical agreement."""
+
+    def test_zero_width_intervals_do_not_overlap_agree(self):
+        # Both figures report half-width 0 (single replication). The
+        # values differ beyond tolerance, so they must be flagged —
+        # previously |0.5 - 0.7| <= 0 + 0 was simply false, but an
+        # unvalidated pair with *equal* values slipped through; the
+        # flag closes the whole escape hatch.
+        reference = make_figure(y=0.50, half=0.0)
+        candidate = make_figure(y=0.70, half=0.0)
+        reference.unvalidated_intervals = True
+        candidate.unvalidated_intervals = True
+        discrepancies = compare_figures(reference, candidate, rel_tolerance=0.10)
+        assert discrepancies
+        assert all(d.kind == "value" for d in discrepancies)
+
+    def test_unvalidated_flag_disables_overlap_escape(self):
+        # Wide, genuinely overlapping intervals -- but one side is
+        # n=1, so its half-width is meaningless and only the plain
+        # tolerance may decide.
+        reference = make_figure(y=0.50, half=0.15)
+        candidate = make_figure(y=0.70, half=0.15)
+        candidate.unvalidated_intervals = True
+        discrepancies = compare_figures(reference, candidate, rel_tolerance=0.01)
+        assert discrepancies
+
+    def test_validated_overlap_still_agrees(self):
+        reference = make_figure(y=0.50, half=0.15)
+        candidate = make_figure(y=0.70, half=0.15)
+        assert compare_figures(reference, candidate, rel_tolerance=0.01) == []
+
+    def test_flag_round_trips_through_archive(self, tmp_path):
+        figure = make_figure()
+        figure.unvalidated_intervals = True
+        save_figure(figure, str(tmp_path))
+        loaded = load_figure(os.path.join(str(tmp_path), "figX.json"))
+        assert loaded.unvalidated_intervals is True
+
+    def test_flag_defaults_false_for_legacy_archives(self, tmp_path):
+        save_figure(make_figure(), str(tmp_path))
+        loaded = load_figure(os.path.join(str(tmp_path), "figX.json"))
+        assert loaded.unvalidated_intervals is False
+
+
+class TestManifestIntegration:
+    """save_figure writes the RunManifest next to the archive."""
+
+    def make_manifest_figure(self):
+        from repro.obs import RunManifest
+
+        figure = make_figure()
+        figure.manifest = RunManifest(
+            figure_id=figure.figure_id,
+            backend="analytical",
+            backend_version="1.0",
+            metric=figure.metric,
+            seed=7,
+        )
+        return figure
+
+    def test_manifest_written_next_to_archive(self, tmp_path):
+        from repro.obs import load_manifest, manifest_path
+
+        figure = self.make_manifest_figure()
+        save_figure(figure, str(tmp_path))
+        path = manifest_path(str(tmp_path), figure.figure_id)
+        loaded = load_manifest(path)
+        assert loaded.figure_id == figure.figure_id
+        assert loaded.backend == "analytical"
+
+    def test_load_archive_skips_manifests(self, tmp_path):
+        figure = self.make_manifest_figure()
+        save_figure(figure, str(tmp_path))
+        archive = load_archive(str(tmp_path))
+        assert set(archive) == {figure.figure_id}
+
+    def test_no_manifest_no_file(self, tmp_path):
+        from repro.obs import manifest_path
+
+        figure = make_figure()
+        save_figure(figure, str(tmp_path))
+        assert not os.path.exists(manifest_path(str(tmp_path), figure.figure_id))

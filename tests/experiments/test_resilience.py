@@ -347,3 +347,102 @@ class TestPoolSupervision:
             resilience=ResilienceOptions(point_timeout=5.0),
         )
         assert any("point_timeout" in note for note in figure.notes)
+
+
+class TestPoolShutdownErrors:
+    """Pool-cleanup failures are no longer swallowed silently."""
+
+    class BrokenPool:
+        def close(self):
+            raise OSError("close failed")
+
+        def terminate(self):
+            raise OSError("terminate failed")
+
+        def join(self):
+            pass
+
+    class GoodPool:
+        def close(self):
+            pass
+
+        def terminate(self):
+            pass
+
+        def join(self):
+            pass
+
+    def test_reraises_when_no_prior_error(self):
+        from repro.experiments.resilience import SweepSupervisor
+
+        notes = []
+        with pytest.raises(OSError, match="close failed"):
+            SweepSupervisor._shutdown_pool(self.BrokenPool(), notes=notes)
+        assert notes and "close failed" in notes[0]
+
+    def test_suppresses_but_records_with_prior_error_in_flight(self):
+        from repro.experiments.resilience import SweepSupervisor
+
+        notes = []
+        with pytest.raises(ValueError, match="primary"):
+            try:
+                raise ValueError("primary")
+            except ValueError:
+                # Cleanup inside an except block must not replace the
+                # primary error -- but it must still leave a note.
+                SweepSupervisor._shutdown_pool(self.BrokenPool(), notes=notes)
+                raise
+        assert notes and "close failed" in notes[0]
+
+    def test_counts_failures_in_metrics(self):
+        from repro.experiments.resilience import SweepSupervisor
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        previous = set_registry(MetricsRegistry())
+        try:
+            with pytest.raises(OSError):
+                SweepSupervisor._shutdown_pool(self.BrokenPool(), terminate=True)
+            from repro.obs.metrics import registry
+
+            assert (
+                registry().snapshot()["counters"]["sweep.pool_shutdown_errors"]
+                == 1
+            )
+        finally:
+            set_registry(previous)
+
+    def test_clean_shutdown_is_silent(self):
+        from repro.experiments.resilience import SweepSupervisor
+
+        notes = []
+        SweepSupervisor._shutdown_pool(self.GoodPool(), notes=notes)
+        assert notes == []
+
+
+class TestSweepManifest:
+    """run_sweep attaches a manifest describing point provenance."""
+
+    def test_cold_then_warm_cache(self, tmp_path):
+        points = make_points(2)
+        options = ResilienceOptions(cache_dir=str(tmp_path))
+        cold = sweep(points, resilience=options)
+        assert cold.manifest is not None
+        assert cold.manifest.points_total == 2
+        assert cold.manifest.new_evaluations == 2
+        assert cold.manifest.points_from_cache == 0
+
+        warm = sweep(points, resilience=options)
+        assert warm.manifest.new_evaluations == 0
+        assert warm.manifest.points_from_cache == 2
+
+    def test_single_replication_marks_unvalidated(self):
+        figure = sweep(make_points(1))
+        assert figure.unvalidated_intervals is True
+        assert any("UNVALIDATED" in note.upper() for note in figure.notes)
+
+    def test_manifest_records_wall_clock_and_metrics(self):
+        figure = sweep(make_points(1))
+        manifest = figure.manifest
+        assert manifest.wall_clock_seconds is not None
+        assert manifest.wall_clock_seconds >= 0.0
+        assert manifest.metrics["counters"]["sweep.runs"] >= 1

@@ -1,0 +1,114 @@
+"""Tests for RunManifest serialization, atomic writes, and rendering."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    MANIFEST_SCHEMA_VERSION,
+    ManifestError,
+    RunManifest,
+    load_manifest,
+    manifest_path,
+    render_manifest,
+    write_manifest,
+)
+
+
+def make_manifest(**overrides):
+    fields = dict(
+        figure_id="fig3",
+        backend="san-sim",
+        backend_version="1.0",
+        metric="useful_work_fraction",
+        seed=42,
+        preset="quick",
+        plan={"replications": 3, "kernel": "incremental"},
+        points_total=10,
+        points_from_journal=2,
+        points_from_cache=3,
+        new_evaluations=5,
+        retries=1,
+        failed_points=0,
+        metrics={"counters": {"sweep.runs": 1}, "gauges": {}, "timings": {}},
+        wall_clock_seconds=12.5,
+        notes=["example note"],
+    )
+    fields.update(overrides)
+    return RunManifest(**fields)
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        manifest = make_manifest()
+        path = Path(write_manifest(manifest, str(tmp_path)))
+        assert str(path) == manifest_path(str(tmp_path), "fig3")
+        assert path.exists()
+        loaded = load_manifest(path)
+        assert loaded.figure_id == "fig3"
+        assert loaded.backend == "san-sim"
+        assert loaded.seed == 42
+        assert loaded.points_total == 10
+        assert loaded.points_from_cache == 3
+        assert loaded.new_evaluations == 5
+        assert loaded.retries == 1
+        assert loaded.plan == {"replications": 3, "kernel": "incremental"}
+        assert loaded.metrics["counters"]["sweep.runs"] == 1
+        assert loaded.notes == ["example note"]
+        assert loaded.schema_version == MANIFEST_SCHEMA_VERSION
+
+    def test_write_stamps_provenance(self, tmp_path):
+        path = Path(write_manifest(make_manifest(), str(tmp_path)))
+        payload = json.loads(path.read_text())
+        assert payload["created_unix"] > 0
+        assert payload["repro_version"]
+        # git_version may be "unknown" outside a repo but must be present.
+        assert "git_version" in payload
+
+    def test_warm_cache_shape(self, tmp_path):
+        """A warm-cache re-run manifest records zero new evaluations."""
+        manifest = make_manifest(
+            points_from_cache=10, new_evaluations=0, points_from_journal=0
+        )
+        loaded = load_manifest(write_manifest(manifest, str(tmp_path)))
+        assert loaded.new_evaluations == 0
+        assert loaded.points_from_cache == loaded.points_total
+
+
+class TestSchemaRejection:
+    def test_wrong_schema_version(self, tmp_path):
+        path = Path(write_manifest(make_manifest(), str(tmp_path)))
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = MANIFEST_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ManifestError):
+            load_manifest(path)
+
+    def test_missing_figure_id(self, tmp_path):
+        path = Path(write_manifest(make_manifest(), str(tmp_path)))
+        payload = json.loads(path.read_text())
+        del payload["figure_id"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ManifestError):
+            load_manifest(path)
+
+    def test_unparseable_file(self, tmp_path):
+        path = tmp_path / "bad.manifest.json"
+        path.write_text("{not json")
+        with pytest.raises(ManifestError):
+            load_manifest(str(path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ManifestError):
+            load_manifest(str(tmp_path / "absent.manifest.json"))
+
+
+class TestRender:
+    def test_render_smoke(self):
+        text = render_manifest(make_manifest())
+        assert "fig3" in text
+        assert "san-sim" in text
+        assert "useful_work_fraction" in text
+        # Point provenance must be visible to a human reader.
+        assert "cache" in text

@@ -1,0 +1,135 @@
+"""Tests for the process-local metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, registry, set_registry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b").value == 0
+        reg.counter("a.b").inc()
+        reg.counter("a.b").inc(4)
+        assert reg.counter("a.b").value == 5
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("level").set(3)
+        reg.gauge("level").set(1.5)
+        assert reg.gauge("level").value == 1.5
+
+
+class TestTiming:
+    def test_summary_statistics(self):
+        reg = MetricsRegistry()
+        timing = reg.timing("t")
+        for seconds in (0.1, 0.3, 0.2):
+            timing.observe(seconds)
+        assert timing.count == 3
+        assert timing.total == pytest.approx(0.6)
+        assert timing.mean == pytest.approx(0.2)
+        assert timing.minimum == pytest.approx(0.1)
+        assert timing.maximum == pytest.approx(0.3)
+
+    def test_timer_context_manager(self):
+        reg = MetricsRegistry()
+        with reg.timer("t"):
+            pass
+        assert reg.timing("t").count == 1
+        assert reg.timing("t").total >= 0.0
+
+    def test_rejects_negative_duration(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.timing("t").observe(-0.1)
+
+
+class TestRegistry:
+    def test_snapshot_is_jsonable_and_sorted(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a").inc(2)
+        reg.gauge("g").set(7)
+        reg.timing("t").observe(0.5)
+        snapshot = reg.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["counters"]["a"] == 2
+        assert snapshot["timings"]["t"]["count"] == 1
+
+    def test_nonzero_and_reset(self):
+        reg = MetricsRegistry()
+        assert not reg.nonzero()
+        reg.counter("c").inc()
+        assert reg.nonzero()
+        reg.reset()
+        assert not reg.nonzero()
+
+    def test_render_mentions_every_instrument(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.hits").inc(3)
+        reg.timing("run").observe(1.0)
+        rendered = reg.render()
+        assert "cache.hits" in rendered
+        assert "run" in rendered
+
+    def test_set_registry_swaps_and_restores(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert registry() is fresh
+        finally:
+            set_registry(previous)
+        assert registry() is previous
+
+
+class TestInstrumentedSubsystems:
+    """The san/cluster/backends layers record per-run metrics."""
+
+    def test_san_run_records(self):
+        from repro.core import HOUR, ModelParameters, SimulationPlan, simulate
+
+        previous = set_registry(MetricsRegistry())
+        try:
+            plan = SimulationPlan(
+                warmup=1 * HOUR, observation=5 * HOUR, replications=1
+            )
+            simulate(ModelParameters(n_processors=1024), plan, seed=0)
+            counters = registry().snapshot()["counters"]
+            assert counters["san.runs"] == 1
+            assert counters["san.events"] > 0
+            assert registry().timing("san.run_seconds").count == 1
+        finally:
+            set_registry(previous)
+
+    def test_backend_evaluate_records(self):
+        from repro.backends import EvaluationPlan, get_backend
+        from repro.core import ModelParameters
+
+        previous = set_registry(MetricsRegistry())
+        try:
+            backend = get_backend("analytical")
+            backend.evaluate(
+                ModelParameters(),
+                EvaluationPlan(metrics=("useful_work_fraction",)),
+            )
+            counters = registry().snapshot()["counters"]
+            assert counters["backend.analytical.evaluations"] == 1
+            timing = registry().timing("backend.analytical.evaluate_seconds")
+            assert timing.count == 1
+        finally:
+            set_registry(previous)

@@ -127,3 +127,26 @@ class TestReplicate:
     def test_validation(self):
         with pytest.raises(ValueError):
             replicate(lambda i: {}, replications=0)
+
+
+class TestIntervalValidation:
+    """n=1 intervals are flagged unvalidated, not silently exact."""
+
+    def test_single_sample_is_unvalidated(self):
+        ci = confidence_interval([5.0])
+        assert ci.samples == 1
+        assert ci.half_width == 0.0
+        assert ci.validated is False
+
+    def test_multi_sample_is_validated(self):
+        ci = confidence_interval([1.0, 2.0, 3.0])
+        assert ci.validated is True
+
+    def test_default_construction_is_validated(self):
+        # Positional construction (the prevailing idiom) stays valid.
+        ci = ConfidenceInterval(10.0, 2.0, 0.95, 5)
+        assert ci.validated is True
+
+    def test_str_marks_unvalidated(self):
+        assert "unvalidated" in str(confidence_interval([5.0]))
+        assert "unvalidated" not in str(confidence_interval([1.0, 2.0]))
