@@ -306,6 +306,24 @@ class BackendCapabilities:
         a derived metric of something it produces."""
         return DERIVED_METRICS.get(metric, metric) in self.metrics
 
+    @property
+    def kind(self) -> str:
+        """Statistical nature of the backend's numbers, for the
+        validation layer's oracle hierarchy:
+
+        * ``"exact"`` — exact for the sub-model it solves; usable as a
+          one-sample oracle (zero sampling error).
+        * ``"closed-form"`` — deterministic but approximate (renewal
+          closed forms); also zero sampling error, weaker authority.
+        * ``"sampled"`` — statistical output; comparisons need
+          two-sample machinery and honor interval validity.
+        """
+        if self.exact:
+            return "exact"
+        if self.deterministic:
+            return "closed-form"
+        return "sampled"
+
 
 @runtime_checkable
 class Backend(Protocol):

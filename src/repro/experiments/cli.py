@@ -14,12 +14,17 @@ Usage::
         --metrics-out metrics.json --trace-out trace.jsonl --trace-sample 100
     python -m repro obs out                 # render the run manifests
     python -m repro obs metrics.json        # render a metrics snapshot
+    python -m repro validate                # full statistical validation suite
+    python -m repro validate --record --seed 0 --seed 1
+    python -m repro validate --check        # per-point drift vs the baselines
+    python -m repro validate --perturb mttf_node=0.25   # mutation smoke
 """
 
 from __future__ import annotations
 
 import argparse
 import io
+import os
 import sys
 import time
 from typing import List, Optional
@@ -137,6 +142,70 @@ def build_parser() -> argparse.ArgumentParser:
     completion.add_argument("--mttf-years", type=float, default=1.0)
     completion.add_argument("--replications", type=int, default=5)
     completion.add_argument("--seed", type=int, default=0)
+
+    validate = sub.add_parser(
+        "validate",
+        help=(
+            "statistical validation: sampler goodness-of-fit, SAN-executive "
+            "metamorphic invariances, cross-backend differential cases, and "
+            "golden-baseline drift (see docs/VALIDATION.md)"
+        ),
+    )
+    validate.add_argument(
+        "--record", action="store_true",
+        help="evaluate the differential cases and freeze golden baselines",
+    )
+    validate.add_argument(
+        "--check", action="store_true",
+        help="re-evaluate and report per-point drift against the baselines",
+    )
+    validate.add_argument(
+        "--list", action="store_true", dest="list_cases",
+        help="list the differential cases and exit",
+    )
+    validate.add_argument(
+        "--baselines", default="baselines", metavar="DIR",
+        help="baseline directory (default: baselines/)",
+    )
+    validate.add_argument(
+        "--seed", type=int, action="append", dest="seeds", metavar="N",
+        help=(
+            "root seed; may repeat for --record/--check "
+            "(default: 0 to run, 0 and 1 to record, recorded seeds to check)"
+        ),
+    )
+    validate.add_argument(
+        "--cases", default=None, metavar="NAME[,NAME...]",
+        help="restrict to these differential cases",
+    )
+    validate.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale the simulation effort of every case (CI smoke uses <1)",
+    )
+    validate.add_argument(
+        "--perturb", default=None, metavar="FIELD=FACTOR[,...]",
+        help=(
+            "mutation smoke test: multiply these parameter fields by the "
+            "given factors for the SAMPLED backends only — a meaningful "
+            "perturbation must make some differential case disagree"
+        ),
+    )
+    validate.add_argument(
+        "--skip-gof", action="store_true",
+        help="skip the goodness-of-fit layer",
+    )
+    validate.add_argument(
+        "--skip-metamorphic", action="store_true",
+        help="skip the metamorphic-invariance layer",
+    )
+    validate.add_argument(
+        "--skip-differential", action="store_true",
+        help="skip the differential-case layer",
+    )
+    validate.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable summary instead of the report",
+    )
     return parser
 
 
@@ -366,6 +435,9 @@ def _run_one(figure_id: str, args: argparse.Namespace, stream) -> bool:
     if metrics_out:
         import json as _json
 
+        parent = os.path.dirname(metrics_out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(metrics_out, "w", encoding="utf-8") as handle:
             _json.dump(
                 obs_metrics.registry().snapshot(), handle,
@@ -466,6 +538,97 @@ def _obs_command(path: str, as_json: bool = False) -> int:
     return 0
 
 
+def _validate_command(args: argparse.Namespace) -> int:
+    """The ``validate`` subcommand: run / record / check / list.
+
+    Exit codes follow the run-figure convention: 0 all green, 1 a
+    validation failure (a DISAGREE, a failed GOF null, a baseline
+    drift), 2 an operational error (backend failure, missing or
+    foreign-schema baseline).
+    """
+    import json as _json
+
+    from ..validate import (
+        BaselineError,
+        check_baselines,
+        default_cases,
+        parse_perturbation,
+        record_baselines,
+        run_full_suite,
+    )
+
+    case_names = (
+        [name.strip() for name in args.cases.split(",") if name.strip()]
+        if args.cases
+        else None
+    )
+    cases = default_cases(args.scale)
+    if case_names:
+        known = {case.name for case in cases}
+        unknown = sorted(set(case_names) - known)
+        if unknown:
+            print(
+                f"error: unknown case(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+        cases = [case for case in cases if case.name in case_names]
+
+    if args.list_cases:
+        for case in cases:
+            print(f"{case.name}: {case.description}")
+        return 0
+
+    if args.record and args.check:
+        print("error: --record and --check are mutually exclusive",
+              file=sys.stderr)
+        return 2
+
+    try:
+        if args.record:
+            seeds = args.seeds if args.seeds else [0, 1]
+            paths = record_baselines(cases, seeds, args.baselines)
+            for path in paths:
+                print(f"recorded {path}")
+            print(f"{len(paths)} baseline(s) at seeds {seeds}")
+            return 0
+
+        if args.check:
+            checks = check_baselines(cases, args.baselines, seeds=args.seeds)
+            for point in checks:
+                print(str(point))
+            drifted = [point for point in checks if not point.ok]
+            if drifted:
+                print(f"{len(drifted)} of {len(checks)} point(s) drifted")
+                return 1
+            print(f"all {len(checks)} point(s) within tolerance")
+            return 0
+
+        perturb = parse_perturbation(args.perturb) if args.perturb else None
+        seed = args.seeds[0] if args.seeds else 0
+        report = run_full_suite(
+            seed=seed,
+            scale=args.scale,
+            perturb=perturb,
+            include_gof=not args.skip_gof,
+            include_metamorphic=not args.skip_metamorphic,
+            include_differential=not args.skip_differential,
+            case_names=case_names,
+        )
+        if args.json:
+            print(_json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        return 0 if report.passed else 1
+    except BaselineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -494,6 +657,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "obs":
         return _obs_command(args.path, as_json=args.json)
+
+    if args.command == "validate":
+        try:
+            return _validate_command(args)
+        except BackendError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "run-figure":
         try:

@@ -104,6 +104,11 @@ class RunManifest:
         Summary of the trace sink, when one was installed.
     wall_clock_seconds:
         Real time the whole run took.
+    validation:
+        Optional summary of a :mod:`repro.validate` run covering this
+        configuration (the ``to_json_dict`` of a
+        :class:`~repro.validate.report.ValidationReport`); ``None``
+        when no validation accompanied the run.
     """
 
     figure_id: str
@@ -126,6 +131,7 @@ class RunManifest:
     metrics: Dict[str, Any] = field(default_factory=dict)
     trace: Optional[Dict[str, Any]] = None
     wall_clock_seconds: float = 0.0
+    validation: Optional[Dict[str, Any]] = None
     notes: List[str] = field(default_factory=list)
     schema_version: int = MANIFEST_SCHEMA_VERSION
     repro_version: str = __version__
@@ -159,6 +165,7 @@ class RunManifest:
             "metrics": self.metrics,
             "trace": self.trace,
             "wall_clock_seconds": self.wall_clock_seconds,
+            "validation": self.validation,
             "notes": list(self.notes),
         }
 
@@ -200,6 +207,7 @@ class RunManifest:
                 metrics=dict(payload.get("metrics") or {}),
                 trace=payload.get("trace"),
                 wall_clock_seconds=float(payload.get("wall_clock_seconds", 0.0)),
+                validation=payload.get("validation"),
                 notes=[str(note) for note in payload.get("notes", [])],
                 schema_version=MANIFEST_SCHEMA_VERSION,
                 repro_version=str(payload.get("repro_version", "")),
@@ -301,6 +309,15 @@ def render_manifest(manifest: RunManifest) -> str:
         lines.append(
             f"  trace: {manifest.trace.get('written', 0)} events -> "
             f"{manifest.trace.get('path', '?')}"
+        )
+    if manifest.validation:
+        verdict = "PASS" if manifest.validation.get("passed") else "FAIL"
+        differential = manifest.validation.get("differential") or {}
+        lines.append(
+            f"  validation: {verdict} "
+            f"(seed {manifest.validation.get('seed', '?')}, "
+            f"{differential.get('cases', 0)} differential case(s), "
+            f"{differential.get('disagreements', 0)} disagreement(s))"
         )
     counters = manifest.metrics.get("counters") if manifest.metrics else None
     if counters:

@@ -64,7 +64,10 @@ from .statistics import (
     RunningStatistics,
     batch_means,
     confidence_interval,
+    pooled_interval,
     replicate,
+    standard_error_of,
+    t_critical,
 )
 from .trace import (
     CallbackTracer,
@@ -128,6 +131,9 @@ __all__ = [
     "ConfidenceInterval",
     "RunningStatistics",
     "confidence_interval",
+    "t_critical",
+    "standard_error_of",
+    "pooled_interval",
     "batch_means",
     "replicate",
     "Tracer",

@@ -79,6 +79,17 @@ class Distribution:
         """Analytic mean, if available."""
         raise NotImplementedError
 
+    def cdf(self, x: float, state: object = None) -> float:
+        """Closed-form ``P(X <= x)`` where one exists.
+
+        Every concrete distribution in this module implements it; the
+        validation layer's goodness-of-fit checks
+        (:mod:`repro.validate.gof`) test each sampler against its own
+        ``cdf``, so a sampler and its closed form can never drift
+        apart silently.
+        """
+        raise NotImplementedError
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
@@ -115,6 +126,10 @@ class Deterministic(Distribution):
 
     def mean(self, state: object = None) -> float:
         return _resolve(self._value, state)
+
+    def cdf(self, x: float, state: object = None) -> float:
+        """Degenerate step at the (resolved) value."""
+        return 1.0 if x >= _resolve(self._value, state) else 0.0
 
     def __repr__(self) -> str:
         return f"Deterministic({self._value!r})"
@@ -161,6 +176,12 @@ class Exponential(Distribution):
     def mean(self, state: object = None) -> float:
         return 1.0 / self.rate(state)
 
+    def cdf(self, x: float, state: object = None) -> float:
+        """``1 - exp(-rate * x)``."""
+        if x <= 0:
+            return 0.0
+        return -math.expm1(-self.rate(state) * x)
+
     def __repr__(self) -> str:
         return f"Exponential(rate={self._rate!r})"
 
@@ -179,6 +200,13 @@ class Uniform(Distribution):
 
     def mean(self, state: object = None) -> float:
         return 0.5 * (self._low + self._high)
+
+    def cdf(self, x: float, state: object = None) -> float:
+        if x <= self._low:
+            return 0.0
+        if x >= self._high:
+            return 1.0
+        return (x - self._low) / (self._high - self._low)
 
     def __repr__(self) -> str:
         return f"Uniform({self._low}, {self._high})"
@@ -204,6 +232,19 @@ class Erlang(Distribution):
 
     def mean(self, state: object = None) -> float:
         return self._k / self._rate
+
+    def cdf(self, x: float, state: object = None) -> float:
+        """``1 - exp(-rx) * sum_{i<k} (rx)^i / i!`` (integer-shape
+        gamma, evaluated by the finite series)."""
+        if x <= 0:
+            return 0.0
+        rx = self._rate * x
+        term = 1.0
+        total = 1.0
+        for i in range(1, self._k):
+            term *= rx / i
+            total += term
+        return max(0.0, min(1.0, 1.0 - math.exp(-rx) * total))
 
     def __repr__(self) -> str:
         return f"Erlang(k={self._k}, rate={self._rate})"
@@ -231,6 +272,12 @@ class Weibull(Distribution):
     def mean(self, state: object = None) -> float:
         return self._scale * math.gamma(1.0 + 1.0 / self._shape)
 
+    def cdf(self, x: float, state: object = None) -> float:
+        """``1 - exp(-(x / scale)^shape)``."""
+        if x <= 0:
+            return 0.0
+        return -math.expm1(-((x / self._scale) ** self._shape))
+
     def __repr__(self) -> str:
         return f"Weibull(shape={self._shape}, scale={self._scale})"
 
@@ -250,6 +297,15 @@ class LogNormal(Distribution):
 
     def mean(self, state: object = None) -> float:
         return math.exp(self._mu + 0.5 * self._sigma**2)
+
+    def cdf(self, x: float, state: object = None) -> float:
+        """``Phi((ln x - mu) / sigma)``; degenerate step for sigma 0."""
+        if x <= 0:
+            return 0.0
+        if self._sigma == 0:
+            return 1.0 if math.log(x) >= self._mu else 0.0
+        z = (math.log(x) - self._mu) / self._sigma
+        return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
 
     def __repr__(self) -> str:
         return f"LogNormal(mu={self._mu}, sigma={self._sigma})"
@@ -285,6 +341,15 @@ class Hyperexponential(Distribution):
     def mean(self, state: object = None) -> float:
         return sum(
             p / _resolve(r, state) for p, r in zip(self._probs, self._rates)
+        )
+
+    def cdf(self, x: float, state: object = None) -> float:
+        """Mixture CDF ``sum_i p_i * (1 - exp(-r_i * x))``."""
+        if x <= 0:
+            return 0.0
+        return sum(
+            p * -math.expm1(-_resolve(r, state) * x)
+            for p, r in zip(self._probs, self._rates)
         )
 
     def __repr__(self) -> str:

@@ -24,6 +24,9 @@ __all__ = [
     "RunningStatistics",
     "ConfidenceInterval",
     "confidence_interval",
+    "t_critical",
+    "standard_error_of",
+    "pooled_interval",
     "batch_means",
     "replicate",
 ]
@@ -149,6 +152,48 @@ class ConfidenceInterval:
         )
 
 
+def t_critical(confidence: float, df: int) -> float:
+    """The two-sided Student-t critical value at ``confidence`` with
+    ``df`` degrees of freedom (the multiplier turning a standard error
+    into a confidence half-width)."""
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=df))
+
+
+def standard_error_of(interval: ConfidenceInterval) -> float:
+    """Recover the standard error of the mean from an interval.
+
+    This is the single authoritative inversion of
+    :func:`confidence_interval` (``half_width = t * stderr``), used by
+    the validation layer's two-sample tests. Unvalidated intervals
+    (n = 1) carry no variance information, so asking for their
+    standard error is an error, not a silent 0.
+    """
+    if not interval.validated or interval.samples < 2:
+        raise ValueError(
+            f"interval over {interval.samples} sample(s) has no estimable "
+            "standard error (validated=False means unknown, not exact)"
+        )
+    return interval.half_width / t_critical(
+        interval.confidence, interval.samples - 1
+    )
+
+
+def pooled_interval(
+    intervals: Sequence[ConfidenceInterval], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Merge per-batch intervals over equal sample counts by pooling
+    their means (merge-of-replications consistency: splitting one
+    replication set into groups and pooling the group means must
+    reproduce the grand mean)."""
+    if not intervals:
+        raise ValueError("pooled_interval needs at least one interval")
+    return confidence_interval([ci.mean for ci in intervals], confidence)
+
+
 def confidence_interval(
     values: Sequence[float], confidence: float = 0.95
 ) -> ConfidenceInterval:
@@ -169,8 +214,7 @@ def confidence_interval(
         return ConfidenceInterval(
             statistics.mean, 0.0, confidence, 1, validated=False
         )
-    t_critical = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
-    half_width = t_critical * statistics.stddev / math.sqrt(n)
+    half_width = t_critical(confidence, n - 1) * statistics.stddev / math.sqrt(n)
     return ConfidenceInterval(statistics.mean, half_width, confidence, n)
 
 

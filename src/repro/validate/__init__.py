@@ -1,0 +1,114 @@
+"""Statistical validation and differential testing.
+
+Three layers, one verdict:
+
+* :mod:`repro.validate.gof` — goodness-of-fit of every sampler and
+  failure process against its closed form (KS + chi-square);
+* :mod:`repro.validate.metamorphic` — engine invariances of the SAN
+  executive (seed determinism, time rescaling, place relabeling,
+  merge of replications);
+* :mod:`repro.validate.differential` — cross-backend agreement under
+  a tolerance policy, with proper two-sample statistics and the n=1
+  "never certify" rule, plus :mod:`repro.validate.baselines` for
+  golden, drift-checked recordings.
+
+:mod:`repro.validate.report` aggregates everything for the
+``repro validate`` CLI subcommand and the CI tier-2 job.
+"""
+
+from .baselines import (
+    BASELINE_PREFIX,
+    BASELINE_SCHEMA_VERSION,
+    BaselineError,
+    PointCheck,
+    baseline_path,
+    check_baselines,
+    record_baselines,
+)
+from .differential import (
+    CaseResult,
+    DifferentialCase,
+    PairComparison,
+    apply_perturbation,
+    default_cases,
+    parse_perturbation,
+    run_case,
+    run_cases,
+    summarize_result,
+)
+from .gof import (
+    GofResult,
+    check_sampler,
+    chi_square_check,
+    default_distribution_suite,
+    ks_check,
+    run_distribution_checks,
+    run_failure_process_checks,
+)
+from .metamorphic import (
+    MetamorphicCheck,
+    check_merge_of_replications,
+    check_place_relabeling,
+    check_seed_determinism,
+    check_time_rescaling,
+    run_metamorphic_checks,
+)
+from .report import ValidationReport, run_full_suite
+from .stats import (
+    AGREE,
+    DISAGREE,
+    INCONCLUSIVE,
+    Comparison,
+    SampleSummary,
+    TolerancePolicy,
+    compare_summaries,
+    welch_statistic,
+)
+
+__all__ = [
+    # stats
+    "AGREE",
+    "DISAGREE",
+    "INCONCLUSIVE",
+    "SampleSummary",
+    "Comparison",
+    "TolerancePolicy",
+    "compare_summaries",
+    "welch_statistic",
+    # gof
+    "GofResult",
+    "ks_check",
+    "chi_square_check",
+    "check_sampler",
+    "default_distribution_suite",
+    "run_distribution_checks",
+    "run_failure_process_checks",
+    # metamorphic
+    "MetamorphicCheck",
+    "check_seed_determinism",
+    "check_time_rescaling",
+    "check_place_relabeling",
+    "check_merge_of_replications",
+    "run_metamorphic_checks",
+    # differential
+    "DifferentialCase",
+    "PairComparison",
+    "CaseResult",
+    "apply_perturbation",
+    "parse_perturbation",
+    "summarize_result",
+    "run_case",
+    "run_cases",
+    "default_cases",
+    # baselines
+    "BASELINE_SCHEMA_VERSION",
+    "BASELINE_PREFIX",
+    "BaselineError",
+    "PointCheck",
+    "baseline_path",
+    "record_baselines",
+    "check_baselines",
+    # report
+    "ValidationReport",
+    "run_full_suite",
+]

@@ -1,0 +1,385 @@
+"""Differential testing of evaluation backends against each other.
+
+The paper's own validation argument is differential: the same
+configuration answered by independent implementations (full SAN
+simulation, exact CTMC solve, renewal closed forms, message-level
+cluster simulation) must agree. A :class:`DifferentialCase` names one
+such configuration — model parameters, an evaluation plan, the metric
+under test, the participating backends, and a
+:class:`~repro.validate.stats.TolerancePolicy` — and
+:func:`run_case` evaluates every capable backend and compares all
+pairs with the statistics appropriate to each pairing (see
+:mod:`repro.validate.stats`).
+
+Backends whose :meth:`supports` veto the configuration are skipped and
+reported, not silently dropped. A backend that reports a single
+replication (the cluster trajectory) yields INCONCLUSIVE pairs — the
+n=1 rule from the statistics layer means it can never certify
+agreement, but it also cannot fail the suite on no variance evidence.
+
+Mutation testing hook: :func:`run_case` accepts a ``perturb`` map of
+``field -> factor`` that is applied **only to the sampled backends**.
+The exact oracles keep the reference configuration, so any real
+perturbation must surface as a DISAGREE — this is how the CI smoke
+test proves the differential harness has teeth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from itertools import combinations
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..backends import (
+    Backend,
+    EvaluationPlan,
+    EvaluationResult,
+    USEFUL_WORK_FRACTION,
+    get_backend,
+)
+from ..core.parameters import HOUR, ModelParameters
+from ..core.simulation import SimulationPlan
+from .stats import (
+    AGREE,
+    DISAGREE,
+    INCONCLUSIVE,
+    Comparison,
+    SampleSummary,
+    TolerancePolicy,
+    compare_summaries,
+)
+
+__all__ = [
+    "DifferentialCase",
+    "PairComparison",
+    "CaseResult",
+    "apply_perturbation",
+    "parse_perturbation",
+    "summarize_result",
+    "run_case",
+    "run_cases",
+    "default_cases",
+]
+
+
+@dataclass(frozen=True)
+class DifferentialCase:
+    """One cross-backend agreement obligation.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier; also keys the golden baseline file.
+    description:
+        What this configuration exercises, for reports.
+    parameters:
+        The model configuration all backends answer.
+    metric:
+        The metric compared across backends.
+    backends:
+        Backend ids that must participate (subject to their own
+        ``supports`` veto at this configuration).
+    plan:
+        Evaluation effort for the stochastic backends.
+    policy:
+        The tolerance policy for every pairwise comparison.
+    """
+
+    name: str
+    description: str
+    parameters: ModelParameters
+    backends: Tuple[str, ...]
+    plan: EvaluationPlan = field(
+        default_factory=lambda: EvaluationPlan(metrics=(USEFUL_WORK_FRACTION,))
+    )
+    metric: str = USEFUL_WORK_FRACTION
+    policy: TolerancePolicy = field(default_factory=TolerancePolicy)
+
+    def scaled(self, factor: float) -> "DifferentialCase":
+        """The same case with simulation effort scaled by ``factor``
+        (observation window and replications; minimums keep the
+        statistics well-defined)."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be > 0, got {factor}")
+        sim = self.plan.simulation
+        scaled_sim = SimulationPlan(
+            warmup=sim.warmup,
+            observation=max(sim.observation * factor, 1 * HOUR),
+            replications=max(int(round(sim.replications * factor)), 4),
+            confidence=sim.confidence,
+        )
+        return replace(self, plan=replace(self.plan, simulation=scaled_sim))
+
+
+@dataclass(frozen=True)
+class PairComparison:
+    """One backend pair's comparison inside a case."""
+
+    backend_a: str
+    backend_b: str
+    summary_a: SampleSummary
+    summary_b: SampleSummary
+    comparison: Comparison
+
+    def __str__(self) -> str:
+        return f"{self.backend_a} vs {self.backend_b}: {self.comparison}"
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Everything one differential case produced."""
+
+    case: DifferentialCase
+    seed: int
+    summaries: Dict[str, SampleSummary]
+    pairs: List[PairComparison]
+    skipped: Dict[str, str]
+    perturbed: Tuple[str, ...] = ()
+
+    @property
+    def verdict(self) -> str:
+        """DISAGREE if any pair disagrees, else AGREE if at least one
+        pair positively agrees, else INCONCLUSIVE."""
+        verdicts = {pair.comparison.verdict for pair in self.pairs}
+        if DISAGREE in verdicts:
+            return DISAGREE
+        if AGREE in verdicts:
+            return AGREE
+        return INCONCLUSIVE
+
+    @property
+    def passed(self) -> bool:
+        """A case passes unless some pair positively disagrees.
+
+        INCONCLUSIVE pairs (an unvalidated n=1 side) are reported but
+        cannot fail a case — nor can they certify it; certification
+        comes from the pairs with real variance information.
+        """
+        return self.verdict != DISAGREE
+
+
+def parse_perturbation(spec: str) -> "Dict[str, float]":
+    """Parse ``FIELD=FACTOR[,FIELD=FACTOR...]`` mutation specs."""
+    perturb: Dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(
+                f"perturbation {part!r} is not of the form FIELD=FACTOR"
+            )
+        name, _, factor = part.partition("=")
+        perturb[name.strip()] = float(factor)
+    return perturb
+
+
+def apply_perturbation(
+    params: ModelParameters, perturb: Mapping[str, float]
+) -> ModelParameters:
+    """``params`` with each named numeric field multiplied by its
+    factor; unknown fields are a loud error, not a silent no-op."""
+    changes: Dict[str, float] = {}
+    for name, factor in perturb.items():
+        if not hasattr(params, name):
+            raise ValueError(
+                f"unknown parameter field {name!r} in perturbation"
+            )
+        current = getattr(params, name)
+        if not isinstance(current, (int, float)) or isinstance(current, bool):
+            raise ValueError(
+                f"parameter field {name!r} is not numeric; cannot perturb"
+            )
+        changes[name] = type(current)(current * factor)
+    return replace(params, **changes)
+
+
+def summarize_result(
+    backend: Backend, result: EvaluationResult, metric: str
+) -> SampleSummary:
+    """A backend's answer in statistically comparable form.
+
+    Exact and closed-form backends yield zero-sampling-error values.
+    Sampled backends yield a mean/half-width/n summary; the
+    replication count comes from ``details["replications"]`` and a
+    missing count is treated as n=1 — an *unvalidated* interval that
+    the comparison layer refuses to certify with.
+    """
+    value = result.metric(metric)
+    if backend.capabilities.kind in ("exact", "closed-form"):
+        return SampleSummary.exact_value(value.mean)
+    samples = int(result.details.get("replications", 1))
+    return SampleSummary(
+        mean=value.mean,
+        half_width=value.half_width,
+        samples=samples,
+        validated=samples >= 2,
+    )
+
+
+def run_case(
+    case: DifferentialCase,
+    seed: int = 0,
+    perturb: Optional[Mapping[str, float]] = None,
+) -> CaseResult:
+    """Evaluate one case on every participating backend and compare
+    all pairs.
+
+    ``perturb`` mutates the configuration seen by the **sampled**
+    backends only; the exact oracles answer the reference
+    configuration, so a perturbation that matters must produce a
+    DISAGREE somewhere.
+    """
+    plan = case.plan.with_seed(seed)
+    summaries: Dict[str, SampleSummary] = {}
+    skipped: Dict[str, str] = {}
+    perturbed: List[str] = []
+
+    for backend_id in case.backends:
+        backend = get_backend(backend_id)
+        if not backend.capabilities.supports_metric(case.metric):
+            skipped[backend_id] = f"does not produce metric {case.metric!r}"
+            continue
+        params = case.parameters
+        if perturb and backend.capabilities.kind == "sampled":
+            params = apply_perturbation(params, perturb)
+            perturbed.append(backend_id)
+        reason = backend.supports(params, plan)
+        if reason is not None:
+            skipped[backend_id] = reason
+            continue
+        result = backend.evaluate(params, plan)
+        summaries[backend_id] = summarize_result(backend, result, case.metric)
+
+    pairs = [
+        PairComparison(
+            backend_a=a,
+            backend_b=b,
+            summary_a=summaries[a],
+            summary_b=summaries[b],
+            comparison=compare_summaries(summaries[a], summaries[b], case.policy),
+        )
+        for a, b in combinations(sorted(summaries), 2)
+    ]
+    return CaseResult(
+        case=case,
+        seed=seed,
+        summaries=summaries,
+        pairs=pairs,
+        skipped=skipped,
+        perturbed=tuple(perturbed),
+    )
+
+
+def run_cases(
+    cases: Sequence[DifferentialCase],
+    seed: int = 0,
+    perturb: Optional[Mapping[str, float]] = None,
+) -> List[CaseResult]:
+    """Every case at one root seed."""
+    return [run_case(case, seed=seed, perturb=perturb) for case in cases]
+
+
+def default_cases(scale: float = 1.0) -> List[DifferentialCase]:
+    """The standing differential obligations.
+
+    Configurations are chosen so the stochastic backends see real
+    variance (failures actually occur inside the observation window)
+    while each case stays in the sub-second-to-seconds range;
+    tolerances follow the repository-wide 2% modeling band the
+    integration suite already uses. ``scale`` shrinks or grows the
+    simulation effort uniformly (the CI smoke uses ``scale < 1``).
+    """
+    exact_policy = TolerancePolicy(alpha=0.01, rel_tolerance=0.0,
+                                   abs_tolerance=0.02)
+    cases = [
+        DifferentialCase(
+            name="san-vs-exact-small",
+            description=(
+                "1024 processors, default rates: full SAN simulation "
+                "against the exact CTMC solve and the renewal closed form"
+            ),
+            parameters=ModelParameters(
+                n_processors=1024, processors_per_node=8
+            ),
+            backends=("san-sim", "ctmc", "analytical"),
+            plan=EvaluationPlan(
+                metrics=(USEFUL_WORK_FRACTION,),
+                simulation=SimulationPlan(
+                    warmup=2 * HOUR,
+                    observation=300 * HOUR,
+                    replications=12,
+                ),
+            ),
+            policy=exact_policy,
+        ),
+        DifferentialCase(
+            name="san-vs-exact-stressed",
+            description=(
+                "4096 processors (failure-dominated regime): the "
+                "abstraction gap between the SAN and the 3-state chain "
+                "must stay inside the modeling band"
+            ),
+            parameters=ModelParameters(
+                n_processors=4096, processors_per_node=8
+            ),
+            backends=("san-sim", "ctmc", "analytical"),
+            plan=EvaluationPlan(
+                metrics=(USEFUL_WORK_FRACTION,),
+                simulation=SimulationPlan(
+                    warmup=2 * HOUR,
+                    observation=300 * HOUR,
+                    replications=12,
+                ),
+            ),
+            policy=exact_policy,
+        ),
+        DifferentialCase(
+            name="kernel-equivalence",
+            description=(
+                "incremental vs full-rebuild event kernel on the same "
+                "seeds — the two kernels must be sample-identical, so "
+                "Welch must see a zero difference"
+            ),
+            parameters=ModelParameters(
+                n_processors=2048, processors_per_node=8
+            ),
+            backends=("san-sim", "san-sim-full"),
+            plan=EvaluationPlan(
+                metrics=(USEFUL_WORK_FRACTION,),
+                simulation=SimulationPlan(
+                    warmup=1 * HOUR,
+                    observation=120 * HOUR,
+                    replications=8,
+                ),
+            ),
+            policy=TolerancePolicy(alpha=0.01, rel_tolerance=0.0,
+                                   abs_tolerance=1e-12),
+        ),
+        DifferentialCase(
+            name="cluster-consistency",
+            description=(
+                "message-level cluster trajectory against the exact "
+                "oracles; single-trajectory output is unvalidated, so "
+                "this case documents the INCONCLUSIVE path and bounds "
+                "gross drift via the SAN pairs"
+            ),
+            parameters=ModelParameters(
+                n_processors=512, processors_per_node=8
+            ),
+            backends=("san-sim", "ctmc", "cluster"),
+            plan=EvaluationPlan(
+                metrics=(USEFUL_WORK_FRACTION,),
+                simulation=SimulationPlan(
+                    warmup=2 * HOUR,
+                    observation=200 * HOUR,
+                    replications=8,
+                ),
+                duration=200 * HOUR,
+            ),
+            policy=exact_policy,
+        ),
+    ]
+    if scale != 1.0:
+        cases = [case.scaled(scale) for case in cases]
+    return cases

@@ -1,0 +1,240 @@
+"""Metamorphic properties of the SAN executive.
+
+A discrete-event simulator has invariances that hold regardless of the
+model's numbers; breaking any of them means the *engine* is wrong even
+if every individual result still looks plausible:
+
+* **seed determinism** — the same seed reproduces a run bit-for-bit;
+  different seeds produce different trajectories;
+* **time-rescaling invariance** — multiplying every rate of an
+  all-exponential model by ``c`` and simulating for ``horizon / c``
+  is the same process on a rescaled clock, so every *time-average*
+  reward is unchanged (and the event count identical, because the
+  trajectory is the same sequence of jumps);
+* **place-relabeling invariance** — renaming places (activity names,
+  and therefore RNG streams, untouched) cannot change any number;
+* **merge-of-replications consistency** — running ``2k`` replications
+  in one call equals running two ``k``-replication halves with the
+  same seed policy and pooling; the per-replication samples are
+  byte-identical and the pooled mean is the grand mean.
+
+Each check returns a :class:`MetamorphicCheck` so the validation CLI
+and the test suite share one implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.parameters import ModelParameters
+from ..core.simulation import SimulationPlan, simulate
+from ..san import (
+    Arc,
+    Case,
+    Exponential,
+    RewardVariable,
+    SANModel,
+    Simulator,
+    StreamRegistry,
+    TimedActivity,
+)
+
+__all__ = [
+    "MetamorphicCheck",
+    "check_seed_determinism",
+    "check_time_rescaling",
+    "check_place_relabeling",
+    "check_merge_of_replications",
+    "run_metamorphic_checks",
+]
+
+
+@dataclass(frozen=True)
+class MetamorphicCheck:
+    """Outcome of one engine-invariance check."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        marker = "PASS" if self.passed else "FAIL"
+        return f"[{marker}] {self.name}: {self.detail}"
+
+
+def _chain_model(scale: float = 1.0, prefix: str = "") -> SANModel:
+    """A small all-exponential checkpoint-like chain.
+
+    ``scale`` multiplies every rate (the time-rescaling transform);
+    ``prefix`` renames the places only (the relabeling transform —
+    activity names, and hence their RNG streams, stay fixed).
+    """
+    model = SANModel("metamorphic_chain")
+    executing = model.add_place(f"{prefix}executing", initial=1)
+    checkpointing = model.add_place(f"{prefix}checkpointing")
+    recovering = model.add_place(f"{prefix}recovering")
+
+    def transition(name: str, rate: float, source, target) -> None:
+        model.add_activity(
+            TimedActivity(
+                name,
+                Exponential(rate * scale),
+                input_arcs=[Arc(source)],
+                cases=[Case(output_arcs=[Arc(target)])],
+            )
+        )
+
+    transition("trigger", 1.0 / 1800.0, executing, checkpointing)
+    transition("ckpt_done", 1.0 / 60.0, checkpointing, executing)
+    transition("fail_exec", 1.0 / 20000.0, executing, recovering)
+    transition("fail_ckpt", 1.0 / 20000.0, checkpointing, recovering)
+    transition("repair", 1.0 / 600.0, recovering, executing)
+    return model
+
+
+def _run_chain(
+    seed: int,
+    horizon: float,
+    warmup: float = 0.0,
+    scale: float = 1.0,
+    prefix: str = "",
+) -> "tuple[Dict[str, float], int]":
+    """Time-average place occupancies of the chain and the event count."""
+    model = _chain_model(scale=scale, prefix=prefix)
+    rewards = [
+        RewardVariable(
+            state,
+            rate=(lambda s, p=f"{prefix}{state}": float(s.tokens(p))),
+            reads=[f"{prefix}{state}"],
+        )
+        for state in ("executing", "checkpointing", "recovering")
+    ]
+    simulator = Simulator(model, streams=StreamRegistry(seed))
+    output = simulator.run(until=horizon, warmup=warmup, rewards=rewards)
+    averages = {
+        name: result.time_average for name, result in output.rewards.items()
+    }
+    return averages, output.event_count
+
+
+def check_seed_determinism(
+    seed: int = 0, horizon: float = 200_000.0
+) -> MetamorphicCheck:
+    """Same seed -> identical run; different seed -> different run."""
+    first, events_first = _run_chain(seed, horizon)
+    again, events_again = _run_chain(seed, horizon)
+    other, _ = _run_chain(seed + 1, horizon)
+    identical = first == again and events_first == events_again
+    distinct = first != other
+    return MetamorphicCheck(
+        "seed-determinism",
+        identical and distinct,
+        (
+            f"replay {'bit-identical' if identical else 'DIVERGED'} "
+            f"({events_first} events); "
+            f"seed {seed + 1} {'differs' if distinct else 'IDENTICAL (suspicious)'}"
+        ),
+    )
+
+
+def check_time_rescaling(
+    seed: int = 0,
+    horizon: float = 200_000.0,
+    scale: float = 8.0,
+    tolerance: float = 1e-9,
+) -> MetamorphicCheck:
+    """Scaling every rate by ``c`` and the horizon by ``1/c`` leaves
+    every time-average invariant and the jump sequence identical."""
+    base, base_events = _run_chain(seed, horizon)
+    scaled, scaled_events = _run_chain(seed, horizon / scale, scale=scale)
+    worst = max(
+        abs(base[name] - scaled[name]) / max(abs(base[name]), 1e-300)
+        for name in base
+    )
+    passed = worst <= tolerance and base_events == scaled_events
+    return MetamorphicCheck(
+        "time-rescaling",
+        passed,
+        (
+            f"worst relative drift {worst:.2e} over x{scale:g} rescale "
+            f"({base_events} vs {scaled_events} events)"
+        ),
+    )
+
+
+def check_place_relabeling(
+    seed: int = 0, horizon: float = 200_000.0
+) -> MetamorphicCheck:
+    """Renaming every place must not change a single number."""
+    base, base_events = _run_chain(seed, horizon)
+    renamed, renamed_events = _run_chain(seed, horizon, prefix="relabeled_")
+    passed = base == renamed and base_events == renamed_events
+    return MetamorphicCheck(
+        "place-relabeling",
+        passed,
+        (
+            "bit-identical under renaming"
+            if passed
+            else f"diverged: {base} vs {renamed}"
+        ),
+    )
+
+
+def check_merge_of_replications(
+    seed: int = 0, replications: int = 4
+) -> MetamorphicCheck:
+    """One ``2k``-replication run equals two pooled ``k``-halves.
+
+    The repository's seed policy derives replication ``k`` of root
+    seed ``s`` from ``StreamRegistry(s).spawn(k)`` regardless of how
+    replications are grouped into calls, so the per-replication
+    samples must be byte-identical and the pooled mean the grand mean.
+    """
+    params = ModelParameters(n_processors=1024, processors_per_node=8)
+    plan = SimulationPlan(warmup=3600.0, observation=40 * 3600.0,
+                          replications=replications)
+    merged = simulate(params, plan, seed=seed)
+
+    half = replications // 2
+    first = simulate(
+        params,
+        SimulationPlan(warmup=plan.warmup, observation=plan.observation,
+                       replications=half),
+        seed=seed,
+    )
+    # The second half re-runs replication indices [half, 2*half) by
+    # hand through the same spawn policy.
+    root = StreamRegistry(seed)
+    second_samples: List[float] = []
+    from ..core.simulation import run_single
+
+    for replication in range(half, replications):
+        measures = run_single(params, plan, root.spawn(replication).seed)
+        second_samples.append(measures["useful_work"])
+
+    samples_match = merged.samples == first.samples + second_samples
+    pooled_mean = sum(first.samples + second_samples) / replications
+    mean_match = math.isclose(
+        merged.useful_work_fraction.mean, pooled_mean, rel_tol=1e-12
+    )
+    return MetamorphicCheck(
+        "merge-of-replications",
+        samples_match and mean_match,
+        (
+            f"samples {'identical' if samples_match else 'DIVERGED'}, "
+            f"pooled mean {'consistent' if mean_match else 'INCONSISTENT'} "
+            f"({merged.useful_work_fraction.mean:.6f} vs {pooled_mean:.6f})"
+        ),
+    )
+
+
+def run_metamorphic_checks(seed: int = 0) -> List[MetamorphicCheck]:
+    """Every engine-invariance check at one root seed."""
+    return [
+        check_seed_determinism(seed),
+        check_time_rescaling(seed),
+        check_place_relabeling(seed),
+        check_merge_of_replications(seed),
+    ]

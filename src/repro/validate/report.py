@@ -1,0 +1,172 @@
+"""Aggregate validation report: one object, one text rendering, one
+JSON form.
+
+The CLI, the CI job and the test-suite all consume the same
+:class:`ValidationReport`, so "what passed" has exactly one
+definition: every goodness-of-fit null survives, every metamorphic
+invariance holds, no differential case positively disagrees, and no
+baseline point drifts. INCONCLUSIVE differential pairs are listed —
+they are information, not success or failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .baselines import PointCheck
+from .differential import CaseResult
+from .gof import GofResult
+from .metamorphic import MetamorphicCheck
+from .stats import DISAGREE, INCONCLUSIVE
+
+__all__ = ["ValidationReport", "run_full_suite"]
+
+
+@dataclass
+class ValidationReport:
+    """Everything one validation run produced."""
+
+    seed: int
+    gof: List[GofResult] = field(default_factory=list)
+    metamorphic: List[MetamorphicCheck] = field(default_factory=list)
+    differential: List[CaseResult] = field(default_factory=list)
+    baseline_checks: List[PointCheck] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[str]:
+        """Human-readable description of every failing item."""
+        out: List[str] = []
+        out.extend(str(r) for r in self.gof if not r.passed)
+        out.extend(str(c) for c in self.metamorphic if not c.passed)
+        for case in self.differential:
+            if not case.passed:
+                out.append(
+                    f"differential case {case.case.name} (seed {case.seed}): "
+                    + "; ".join(
+                        str(p) for p in case.pairs
+                        if p.comparison.verdict == DISAGREE
+                    )
+                )
+        out.extend(str(p) for p in self.baseline_checks if not p.ok)
+        return out
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    @property
+    def inconclusive_pairs(self) -> int:
+        return sum(
+            1
+            for case in self.differential
+            for pair in case.pairs
+            if pair.comparison.verdict == INCONCLUSIVE
+        )
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """Summary suitable for ``--json`` output and run manifests."""
+        return {
+            "seed": self.seed,
+            "passed": self.passed,
+            "gof": {
+                "total": len(self.gof),
+                "failed": sum(1 for r in self.gof if not r.passed),
+            },
+            "metamorphic": {
+                "total": len(self.metamorphic),
+                "failed": sum(1 for c in self.metamorphic if not c.passed),
+            },
+            "differential": {
+                "cases": len(self.differential),
+                "disagreements": sum(
+                    1 for c in self.differential if not c.passed
+                ),
+                "inconclusive_pairs": self.inconclusive_pairs,
+                "verdicts": {
+                    c.case.name: c.verdict for c in self.differential
+                },
+            },
+            "baseline": {
+                "points": len(self.baseline_checks),
+                "drifted": sum(
+                    1 for p in self.baseline_checks if not p.ok
+                ),
+            },
+            "failures": self.failures,
+        }
+
+    def render(self) -> str:
+        """Multi-line human report (the CLI's default output)."""
+        lines: List[str] = [f"validation report (seed {self.seed})"]
+        if self.gof:
+            lines.append("")
+            lines.append("goodness-of-fit:")
+            lines.extend(f"  {result}" for result in self.gof)
+        if self.metamorphic:
+            lines.append("")
+            lines.append("metamorphic invariances:")
+            lines.extend(f"  {check}" for check in self.metamorphic)
+        if self.differential:
+            lines.append("")
+            lines.append("differential cases:")
+            for case in self.differential:
+                lines.append(
+                    f"  {case.case.name}: {case.verdict.upper()}"
+                    + (f" (perturbed: {', '.join(case.perturbed)})"
+                       if case.perturbed else "")
+                )
+                lines.extend(f"    {pair}" for pair in case.pairs)
+                for backend, reason in sorted(case.skipped.items()):
+                    lines.append(f"    skipped {backend}: {reason}")
+        if self.baseline_checks:
+            lines.append("")
+            lines.append("baseline drift:")
+            lines.extend(f"  {point}" for point in self.baseline_checks)
+        lines.append("")
+        if self.passed:
+            extra = (
+                f" ({self.inconclusive_pairs} inconclusive pair(s))"
+                if self.inconclusive_pairs
+                else ""
+            )
+            lines.append(f"PASS{extra}")
+        else:
+            lines.append(f"FAIL: {len(self.failures)} failure(s)")
+            lines.extend(f"  - {failure}" for failure in self.failures)
+        return "\n".join(lines)
+
+
+def run_full_suite(
+    seed: int = 0,
+    scale: float = 1.0,
+    perturb: Optional[Dict[str, float]] = None,
+    include_gof: bool = True,
+    include_metamorphic: bool = True,
+    include_differential: bool = True,
+    case_names: Optional[List[str]] = None,
+) -> ValidationReport:
+    """Run the standing validation suite at one root seed."""
+    from .differential import default_cases, run_cases
+    from .gof import run_distribution_checks, run_failure_process_checks
+    from .metamorphic import run_metamorphic_checks
+
+    report = ValidationReport(seed=seed)
+    if include_gof:
+        report.gof.extend(run_distribution_checks(seed=seed))
+        report.gof.extend(run_failure_process_checks(seed=seed))
+    if include_metamorphic:
+        report.metamorphic.extend(run_metamorphic_checks(seed=seed))
+    if include_differential:
+        cases = default_cases(scale)
+        if case_names:
+            known = {case.name for case in cases}
+            unknown = sorted(set(case_names) - known)
+            if unknown:
+                raise ValueError(
+                    f"unknown differential case(s): {', '.join(unknown)}; "
+                    f"known: {', '.join(sorted(known))}"
+                )
+            cases = [case for case in cases if case.name in case_names]
+        report.differential.extend(run_cases(cases, seed=seed, perturb=perturb))
+    return report

@@ -1,0 +1,177 @@
+"""Property-based tests for strict cache-key canonicalization.
+
+``tests/backends/test_cache_canonical.py`` pins the known collision
+corpus example-by-example; this file lets hypothesis search the input
+space for the properties those examples witness:
+
+* canonicalization is a *projection* — applying it twice equals
+  applying it once, and the JSON text of the canonical form equals
+  the JSON text of the original;
+* tuples and lists (which compare equal as request parameters)
+  always produce byte-identical key text;
+* numpy scalars canonicalize to the plain Python value they equal;
+* non-finite floats and unknown types are rejected loudly, never
+  silently stringified;
+* equal inputs produce equal key text, and the historical collision
+  pairs (the PR-4 regression corpus) stay distinct.
+
+Skips gracefully when hypothesis is not installed (the tier-1 suite
+must run from a bare interpreter with only numpy/scipy).
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    pytest.skip(
+        "hypothesis is not installed; property tests are optional",
+        allow_module_level=True,
+    )
+
+from repro.backends.canonical import canonical_json, canonicalize
+
+# ----------------------------------------------------------------------
+# Strategies: the closed world the encoder accepts.
+# ----------------------------------------------------------------------
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    finite_floats,
+    st.text(max_size=20),
+)
+
+json_like = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+def tuplify(obj):
+    """The same value with every list turned into a tuple."""
+    if isinstance(obj, list):
+        return tuple(tuplify(item) for item in obj)
+    if isinstance(obj, dict):
+        return {key: tuplify(value) for key, value in obj.items()}
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Round-trip and equivalence properties
+# ----------------------------------------------------------------------
+
+@given(json_like)
+@settings(max_examples=200)
+def test_canonicalize_is_idempotent(obj):
+    once = canonicalize(obj)
+    assert canonicalize(once) == once
+    assert canonical_json(once) == canonical_json(obj)
+
+
+@given(json_like)
+@settings(max_examples=200)
+def test_canonical_json_is_valid_json_and_stable(obj):
+    text = canonical_json(obj)
+    # The text parses back to exactly the canonical form, so the key
+    # is a faithful encoding, not a lossy digest input.
+    assert json.loads(text) == canonicalize(obj)
+    assert canonical_json(obj) == text
+
+
+@given(json_like)
+@settings(max_examples=200)
+def test_tuples_and_lists_key_identically(obj):
+    assert canonical_json(tuplify(obj)) == canonical_json(obj)
+
+
+@given(st.dictionaries(st.text(max_size=10), scalars, max_size=6))
+@settings(max_examples=100)
+def test_key_order_is_irrelevant(mapping):
+    reordered = dict(reversed(list(mapping.items())))
+    assert canonical_json(reordered) == canonical_json(mapping)
+
+
+@given(st.integers(min_value=-(2**62), max_value=2**62 - 1))
+def test_numpy_ints_equal_plain_ints(value):
+    assert canonicalize(np.int64(value)) == value
+    assert type(canonicalize(np.int64(value))) is int
+    assert canonical_json({"n": np.int64(value)}) == canonical_json({"n": value})
+
+
+@given(finite_floats)
+def test_numpy_floats_equal_plain_floats(value):
+    canonical = canonicalize(np.float64(value))
+    assert canonical == canonicalize(value)
+    assert type(canonical) is float
+
+
+@given(finite_floats)
+def test_float_normalization_respects_equality(value):
+    # Two equal floats (notably 0.0 and -0.0) must key identically.
+    assert canonical_json(value) == canonical_json(value + 0.0)
+    if value == 0.0:
+        assert canonical_json(-0.0) == canonical_json(0.0)
+
+
+# ----------------------------------------------------------------------
+# Loud rejection properties
+# ----------------------------------------------------------------------
+
+@given(st.sampled_from([math.nan, math.inf, -math.inf]))
+def test_non_finite_floats_rejected(bad):
+    with pytest.raises(ValueError, match="non-finite"):
+        canonicalize({"x": bad})
+    with pytest.raises(ValueError, match="non-finite"):
+        canonicalize({"x": np.float64(bad)})
+
+
+@given(st.sampled_from([object(), {1, 2}, b"bytes", complex(1, 2)]))
+def test_unknown_types_rejected_loudly(bad):
+    with pytest.raises(TypeError, match="cannot canonicalize"):
+        canonicalize({"x": bad})
+
+
+@given(st.one_of(st.integers(), st.floats(allow_nan=False), st.booleans()))
+def test_non_string_mapping_keys_rejected(key):
+    with pytest.raises(TypeError, match="not str"):
+        canonicalize({key: 1})
+
+
+# ----------------------------------------------------------------------
+# Collision regression corpus (the pre-fix failure modes)
+# ----------------------------------------------------------------------
+
+#: Pairs that the old ``json.dumps(..., default=str)`` encoder keyed
+#: identically (left) but are distinct requests (right says why).
+COLLISION_CORPUS = [
+    ((np.int64(7), "7"), "numpy int stringified into the string '7'"),
+    ((7, "7"), "int vs string of the same digits"),
+    ((0, False), "bool is not the int it equals in a request"),
+    ((1, True), "bool is not the int it equals in a request"),
+    (({"a": 1}, {"a": "1"}), "value type matters"),
+]
+
+
+@pytest.mark.parametrize(
+    "pair, why", COLLISION_CORPUS, ids=[why for _, why in COLLISION_CORPUS]
+)
+def test_historical_collisions_stay_distinct(pair, why):
+    left, right = pair
+    assert canonical_json(left) != canonical_json(right), why
+
+
+def test_bool_vs_int_distinct_under_numpy_too():
+    assert canonical_json(np.bool_(True)) != canonical_json(np.int64(1))

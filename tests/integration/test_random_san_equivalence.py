@@ -19,6 +19,7 @@ from repro.san import (
     SANModel,
     Simulator,
     StateSpaceGenerator,
+    StreamRegistry,
     TimedActivity,
 )
 
@@ -30,7 +31,7 @@ def random_san(seed: int):
     irreducibility) plus random chords, every transition exponential
     with a random rate.
     """
-    rng = np.random.default_rng(seed)
+    rng = StreamRegistry(seed).get("test/random-san")
     n = int(rng.integers(3, 7))
     model = SANModel(f"random_{seed}")
     places = [model.add_place(f"s{i}", initial=1 if i == 0 else 0) for i in range(n)]

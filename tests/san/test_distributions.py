@@ -15,16 +15,23 @@ from repro.san import (
     Hyperexponential,
     LogNormal,
     MaxOfExponentials,
+    StreamRegistry,
     Uniform,
     Weibull,
     harmonic_number,
 )
 
-RNG = np.random.default_rng(1234)
+
+def stream(seed):
+    """A seeded test stream derived through the repository seed policy."""
+    return StreamRegistry(seed).get("test/distributions")
+
+
+RNG = stream(1234)
 
 
 def sample_mean(distribution, n=20000, rng=None):
-    rng = rng or np.random.default_rng(99)
+    rng = rng or stream(99)
     return float(np.mean([distribution.sample(rng) for _ in range(n)]))
 
 
@@ -108,7 +115,7 @@ class TestExponential:
 
     def test_samples_non_negative(self):
         dist = Exponential(1.0)
-        rng = np.random.default_rng(0)
+        rng = stream(0)
         assert all(dist.sample(rng) >= 0 for _ in range(1000))
 
 
@@ -118,7 +125,7 @@ class TestUniform:
 
     def test_bounds(self):
         dist = Uniform(1.0, 2.0)
-        rng = np.random.default_rng(0)
+        rng = stream(0)
         samples = [dist.sample(rng) for _ in range(1000)]
         assert all(1.0 <= s <= 2.0 for s in samples)
 
@@ -137,7 +144,7 @@ class TestErlang:
         assert sample_mean(Erlang(4, 1.0)) == pytest.approx(4.0, rel=0.05)
 
     def test_lower_variance_than_exponential(self):
-        rng = np.random.default_rng(5)
+        rng = stream(5)
         erlang = [Erlang(10, 10.0).sample(rng) for _ in range(5000)]
         exponential = [Exponential(1.0).sample(rng) for _ in range(5000)]
         assert np.var(erlang) < np.var(exponential)
@@ -217,13 +224,13 @@ class TestMaxOfExponentials:
 
     def test_sample_matches_direct_maximum(self):
         # Inversion sampling must match max of n iid exponentials.
-        rng = np.random.default_rng(7)
+        rng = stream(7)
         n, rate = 32, 0.5
         direct = [
             float(np.max(rng.exponential(1.0 / rate, size=n))) for _ in range(20000)
         ]
         dist = MaxOfExponentials(rate, n)
-        rng2 = np.random.default_rng(8)
+        rng2 = stream(8)
         inverted = [dist.sample(rng2) for _ in range(20000)]
         assert np.mean(direct) == pytest.approx(np.mean(inverted), rel=0.03)
         assert np.percentile(direct, 90) == pytest.approx(
@@ -242,7 +249,7 @@ class TestMaxOfExponentials:
 
     def test_huge_n_numerically_stable(self):
         dist = MaxOfExponentials(0.1, 2**30)
-        rng = np.random.default_rng(3)
+        rng = stream(3)
         samples = [dist.sample(rng) for _ in range(200)]
         assert all(math.isfinite(s) and s > 0 for s in samples)
         # E[max] = 10 * H_{2^30} ~ 214
@@ -279,5 +286,5 @@ class TestMaxOfExponentials:
     ],
 )
 def test_all_samples_non_negative(distribution):
-    rng = np.random.default_rng(11)
+    rng = stream(11)
     assert all(distribution.sample(rng) >= 0.0 for _ in range(500))

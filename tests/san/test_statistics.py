@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 from repro.san import (
     ConfidenceInterval,
     RunningStatistics,
+    StreamRegistry,
     batch_means,
     confidence_interval,
     replicate,
@@ -89,7 +90,7 @@ class TestConfidenceInterval:
 
     def test_coverage_simulation(self):
         # ~95% of intervals over normal samples must contain the mean.
-        rng = np.random.default_rng(0)
+        rng = StreamRegistry(0).get("test/statistics")
         hits = 0
         trials = 400
         for _ in range(trials):
@@ -101,7 +102,7 @@ class TestConfidenceInterval:
 
 class TestBatchMeans:
     def test_iid_series(self):
-        rng = np.random.default_rng(1)
+        rng = StreamRegistry(1).get("test/statistics")
         series = list(rng.normal(5.0, 1.0, size=2000))
         ci = batch_means(series, batches=20)
         assert ci.contains(5.0)

@@ -1,0 +1,144 @@
+"""Tests for golden-baseline recording and drift checking."""
+
+import json
+
+import pytest
+
+from repro.backends import USEFUL_WORK_FRACTION, EvaluationPlan
+from repro.core.parameters import HOUR, ModelParameters
+from repro.core.simulation import SimulationPlan
+from repro.validate.baselines import (
+    BASELINE_SCHEMA_VERSION,
+    BaselineError,
+    baseline_path,
+    check_baselines,
+    record_baselines,
+)
+from repro.validate.differential import DifferentialCase
+from repro.validate.stats import TolerancePolicy
+
+
+@pytest.fixture
+def case():
+    return DifferentialCase(
+        name="baseline-tiny",
+        description="fast baseline case",
+        parameters=ModelParameters(n_processors=2048, processors_per_node=8),
+        backends=("san-sim", "ctmc", "analytical"),
+        plan=EvaluationPlan(
+            metrics=(USEFUL_WORK_FRACTION,),
+            simulation=SimulationPlan(
+                warmup=1 * HOUR, observation=60 * HOUR, replications=5
+            ),
+        ),
+        policy=TolerancePolicy(rel_tolerance=0.0, abs_tolerance=0.02),
+    )
+
+
+class TestRecord:
+    def test_record_writes_stamped_file(self, case, tmp_path):
+        paths = record_baselines([case], [0, 1], tmp_path)
+        assert paths == [baseline_path(tmp_path, "baseline-tiny")]
+        payload = json.loads(paths[0].read_text())
+        assert payload["schema_version"] == BASELINE_SCHEMA_VERSION
+        assert payload["case"] == "baseline-tiny"
+        assert payload["metric"] == USEFUL_WORK_FRACTION
+        assert "StreamRegistry" in payload["seed_policy"]
+        assert set(payload["entries"]) == {"0", "1"}
+        assert set(payload["entries"]["0"]) == {"san-sim", "ctmc", "analytical"}
+        point = payload["entries"]["0"]["san-sim"]
+        assert point["samples"] == 5
+        assert point["half_width"] > 0
+
+    def test_record_needs_seeds(self, case, tmp_path):
+        with pytest.raises(ValueError):
+            record_baselines([case], [], tmp_path)
+
+
+class TestCheck:
+    def test_fresh_recording_reproduces_exactly(self, case, tmp_path):
+        record_baselines([case], [0, 1], tmp_path)
+        checks = check_baselines([case], tmp_path)
+        assert len(checks) == 6  # 3 backends x 2 seeds
+        assert all(point.ok for point in checks)
+        assert all(point.difference == 0.0 for point in checks)
+
+    def test_subset_of_seeds(self, case, tmp_path):
+        record_baselines([case], [0, 1], tmp_path)
+        checks = check_baselines([case], tmp_path, seeds=[1])
+        assert {point.seed for point in checks} == {1}
+
+    def test_drift_detected(self, case, tmp_path):
+        path = record_baselines([case], [0], tmp_path)[0]
+        payload = json.loads(path.read_text())
+        payload["entries"]["0"]["ctmc"]["mean"] += 0.1
+        path.write_text(json.dumps(payload))
+        checks = check_baselines([case], tmp_path)
+        drifted = [point for point in checks if not point.ok]
+        assert [point.backend for point in drifted] == ["ctmc"]
+        assert drifted[0].difference == pytest.approx(0.1)
+
+    def test_changed_replication_count_flagged(self, case, tmp_path):
+        path = record_baselines([case], [0], tmp_path)[0]
+        payload = json.loads(path.read_text())
+        payload["entries"]["0"]["san-sim"]["samples"] = 99
+        path.write_text(json.dumps(payload))
+        checks = check_baselines([case], tmp_path)
+        bad = [p for p in checks if p.backend == "san-sim"][0]
+        assert not bad.ok
+        assert "replications changed" in bad.detail
+
+    def test_missing_seed_reported(self, case, tmp_path):
+        record_baselines([case], [0], tmp_path)
+        checks = check_baselines([case], tmp_path, seeds=[7])
+        assert len(checks) == 1
+        assert not checks[0].ok
+        assert "not recorded" in checks[0].detail
+
+    def test_missing_backend_point_reported(self, case, tmp_path):
+        path = record_baselines([case], [0], tmp_path)[0]
+        payload = json.loads(path.read_text())
+        del payload["entries"]["0"]["analytical"]
+        path.write_text(json.dumps(payload))
+        checks = check_baselines([case], tmp_path)
+        extra = [p for p in checks if p.backend == "analytical"]
+        assert extra and not extra[0].ok
+
+    def test_missing_file_raises(self, case, tmp_path):
+        with pytest.raises(BaselineError, match="no baseline"):
+            check_baselines([case], tmp_path)
+
+    def test_foreign_schema_raises(self, case, tmp_path):
+        path = baseline_path(tmp_path, case.name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"schema_version": 99}))
+        with pytest.raises(BaselineError, match="schema version"):
+            check_baselines([case], tmp_path)
+
+    def test_corrupt_json_raises(self, case, tmp_path):
+        path = baseline_path(tmp_path, case.name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{broken")
+        with pytest.raises(BaselineError, match="not valid JSON"):
+            check_baselines([case], tmp_path)
+
+
+class TestCommittedBaselines:
+    """The baselines shipped in the repository must match the default
+    cases they claim to freeze (cheap structural checks only — the
+    full re-evaluation runs in the CI validate job)."""
+
+    def test_repository_baselines_exist_and_parse(self):
+        from pathlib import Path
+
+        from repro.validate.differential import default_cases
+
+        root = Path(__file__).resolve().parent.parent.parent / "baselines"
+        for case in default_cases():
+            path = baseline_path(root, case.name)
+            assert path.is_file(), f"missing committed baseline {path}"
+            payload = json.loads(path.read_text())
+            assert payload["schema_version"] == BASELINE_SCHEMA_VERSION
+            assert payload["case"] == case.name
+            # Two independent seed sets, as the acceptance criteria require.
+            assert len(payload["entries"]) >= 2

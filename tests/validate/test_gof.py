@@ -1,0 +1,132 @@
+"""Tests for the goodness-of-fit layer (and the distribution CDFs it
+relies on)."""
+
+import math
+
+import pytest
+
+from repro.san import StreamRegistry
+from repro.san.distributions import (
+    Deterministic,
+    Distribution,
+    Erlang,
+    Exponential,
+    Hyperexponential,
+    LogNormal,
+    Uniform,
+    Weibull,
+)
+from repro.validate.gof import (
+    check_burst_process,
+    check_modulated_process,
+    check_poisson_process,
+    check_sampler,
+    chi_square_check,
+    default_distribution_suite,
+    ks_check,
+    run_distribution_checks,
+    run_failure_process_checks,
+)
+
+
+class TestDistributionCdfs:
+    """The closed forms the GOF tests compare against must themselves
+    be right; spot-check each against hand-computed values."""
+
+    def test_exponential(self):
+        assert Exponential(2.0).cdf(0.5) == pytest.approx(1 - math.exp(-1.0))
+        assert Exponential(2.0).cdf(-1.0) == 0.0
+
+    def test_deterministic_is_a_step(self):
+        dist = Deterministic(3.0)
+        assert dist.cdf(2.999) == 0.0
+        assert dist.cdf(3.0) == 1.0
+
+    def test_uniform(self):
+        dist = Uniform(1.0, 3.0)
+        assert dist.cdf(0.5) == 0.0
+        assert dist.cdf(2.0) == pytest.approx(0.5)
+        assert dist.cdf(4.0) == 1.0
+
+    def test_erlang_one_is_exponential(self):
+        assert Erlang(1, 2.0).cdf(0.7) == pytest.approx(Exponential(2.0).cdf(0.7))
+
+    def test_erlang_series(self):
+        # k=2: F(x) = 1 - e^{-rx}(1 + rx)
+        r, x = 1.5, 2.0
+        expected = 1 - math.exp(-r * x) * (1 + r * x)
+        assert Erlang(2, r).cdf(x) == pytest.approx(expected)
+
+    def test_weibull_shape_one_is_exponential(self):
+        assert Weibull(1.0, 2.0).cdf(1.3) == pytest.approx(
+            Exponential(0.5).cdf(1.3)
+        )
+
+    def test_lognormal_median(self):
+        # Median of LogNormal(mu, sigma) is e^mu.
+        dist = LogNormal(1.2, 0.7)
+        assert dist.cdf(math.exp(1.2)) == pytest.approx(0.5)
+
+    def test_hyperexponential_is_mixture(self):
+        dist = Hyperexponential([0.3, 0.7], [1.0, 5.0])
+        x = 0.4
+        expected = 0.3 * (1 - math.exp(-x)) + 0.7 * (1 - math.exp(-5 * x))
+        assert dist.cdf(x) == pytest.approx(expected)
+
+    def test_base_class_refuses(self):
+        with pytest.raises(NotImplementedError):
+            Distribution().cdf(1.0)
+
+
+class TestChecks:
+    def test_correct_sampler_passes_both_instruments(self):
+        results = check_sampler("exp", Exponential(1.0), n=2000, seed=3)
+        assert {r.test for r in results} == {"ks", "chi-square"}
+        assert all(r.passed for r in results)
+
+    def test_wrong_cdf_fails(self):
+        rng = StreamRegistry(0).get("test/gof-wrong")
+        samples = [Exponential(1.0).sample(rng) for _ in range(2000)]
+        wrong = Exponential(2.0).cdf  # twice the real rate
+        assert not ks_check("wrong", samples, wrong).passed
+        assert not chi_square_check("wrong", samples, wrong).passed
+
+    def test_chi_square_needs_enough_samples(self):
+        with pytest.raises(ValueError):
+            chi_square_check("few", [1.0] * 10, Exponential(1.0).cdf)
+
+    def test_seed_determinism(self):
+        a = check_sampler("exp", Exponential(1.0), n=500, seed=7)
+        b = check_sampler("exp", Exponential(1.0), n=500, seed=7)
+        assert [r.statistic for r in a] == [r.statistic for r in b]
+
+    def test_default_suite_covers_model_laws(self):
+        suite = default_distribution_suite()
+        assert {"exponential", "hyperexponential", "max-of-exponentials"} <= set(
+            suite
+        )
+
+    def test_poisson_process_passes(self):
+        assert all(r.passed for r in check_poisson_process(seed=1))
+
+    def test_modulated_process_passes(self):
+        assert check_modulated_process(seed=1).passed
+
+    def test_burst_process_passes(self):
+        assert all(r.passed for r in check_burst_process(seed=1))
+
+
+@pytest.mark.slow
+class TestFullSweeps:
+    """The default sweeps the CLI runs; a seed is pinned so a failure
+    is a regression, not statistical noise."""
+
+    def test_distribution_sweep(self):
+        results = run_distribution_checks(seed=0, n=2000)
+        failing = [str(r) for r in results if not r.passed]
+        assert not failing, failing
+
+    def test_failure_process_sweep(self):
+        results = run_failure_process_checks(seed=0)
+        failing = [str(r) for r in results if not r.passed]
+        assert not failing, failing

@@ -1,0 +1,67 @@
+"""Tests for the SAN-executive metamorphic invariances."""
+
+import pytest
+
+from repro.validate.metamorphic import (
+    check_merge_of_replications,
+    check_place_relabeling,
+    check_seed_determinism,
+    check_time_rescaling,
+    run_metamorphic_checks,
+)
+
+HORIZON = 100_000.0
+
+
+class TestInvariancesHold:
+    def test_seed_determinism(self):
+        check = check_seed_determinism(seed=0, horizon=HORIZON)
+        assert check.passed, check.detail
+
+    def test_time_rescaling(self):
+        check = check_time_rescaling(seed=0, horizon=HORIZON, scale=8.0)
+        assert check.passed, check.detail
+
+    def test_time_rescaling_non_integer_scale(self):
+        check = check_time_rescaling(seed=3, horizon=HORIZON, scale=2.5)
+        assert check.passed, check.detail
+
+    def test_place_relabeling(self):
+        check = check_place_relabeling(seed=0, horizon=HORIZON)
+        assert check.passed, check.detail
+
+    def test_merge_of_replications(self):
+        check = check_merge_of_replications(seed=0, replications=4)
+        assert check.passed, check.detail
+
+    def test_full_sweep_other_seed(self):
+        checks = run_metamorphic_checks(seed=11)
+        failing = [str(c) for c in checks if not c.passed]
+        assert not failing, failing
+
+
+class TestChecksHaveTeeth:
+    """Each check must be able to fail — a detector that cannot fire
+    proves nothing."""
+
+    def test_rescaling_detects_unscaled_horizon(self):
+        # Scaling rates without shrinking the horizon is NOT the
+        # identity transform; the check must not confuse the two.
+        base = check_time_rescaling(seed=0, horizon=HORIZON, scale=1.0)
+        assert base.passed
+        from repro.validate import metamorphic as m
+
+        fast, fast_events = m._run_chain(0, HORIZON, scale=2.0)
+        slow, slow_events = m._run_chain(0, HORIZON, scale=1.0)
+        assert fast_events != slow_events
+
+    def test_determinism_check_reports_seed_collision(self):
+        from repro.validate import metamorphic as m
+
+        first, _ = m._run_chain(0, HORIZON)
+        other, _ = m._run_chain(1, HORIZON)
+        assert first != other
+
+    def test_str_rendering(self):
+        check = check_seed_determinism(seed=0, horizon=HORIZON)
+        assert str(check).startswith("[PASS]")

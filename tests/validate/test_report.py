@@ -1,0 +1,124 @@
+"""Tests for report aggregation and the ``repro validate`` CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments import cli
+from repro.validate.gof import GofResult
+from repro.validate.metamorphic import MetamorphicCheck
+from repro.validate.report import ValidationReport, run_full_suite
+
+
+def gof(passed=True):
+    return GofResult(
+        "g", "ks", 0.1, 0.5 if passed else 1e-6, 100, alpha=0.01
+    )
+
+
+def meta(passed=True):
+    return MetamorphicCheck("m", passed, "detail")
+
+
+class TestValidationReport:
+    def test_empty_report_passes(self):
+        assert ValidationReport(seed=0).passed
+
+    def test_failures_collected_across_layers(self):
+        report = ValidationReport(
+            seed=0, gof=[gof(), gof(passed=False)], metamorphic=[meta(False)]
+        )
+        assert not report.passed
+        assert len(report.failures) == 2
+
+    def test_json_summary_shape(self):
+        report = ValidationReport(seed=3, gof=[gof()], metamorphic=[meta()])
+        payload = report.to_json_dict()
+        assert payload["passed"] is True
+        assert payload["seed"] == 3
+        assert payload["gof"] == {"total": 1, "failed": 0}
+        assert payload["metamorphic"] == {"total": 1, "failed": 0}
+
+    def test_render_mentions_verdict(self):
+        report = ValidationReport(seed=0, gof=[gof(passed=False)])
+        text = report.render()
+        assert "FAIL" in text
+        assert "[FAIL] g" in text
+
+    def test_unknown_case_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown differential case"):
+            run_full_suite(
+                include_gof=False,
+                include_metamorphic=False,
+                case_names=["nope"],
+            )
+
+
+class TestValidateCli:
+    def test_list_cases(self, capsys):
+        assert cli.main(["validate", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "san-vs-exact-small" in out
+        assert "kernel-equivalence" in out
+
+    def test_metamorphic_only_run_passes(self, capsys):
+        rc = cli.main(
+            ["validate", "--skip-gof", "--skip-differential"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "metamorphic invariances" in out
+        assert "PASS" in out
+
+    def test_json_output_parses(self, capsys):
+        rc = cli.main(
+            [
+                "validate",
+                "--skip-gof",
+                "--skip-differential",
+                "--skip-metamorphic",
+                "--json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["passed"] is True
+        assert payload["differential"] == {
+            "cases": 0,
+            "disagreements": 0,
+            "inconclusive_pairs": 0,
+            "verdicts": {},
+        }
+
+    def test_record_then_check_round_trip(self, tmp_path, capsys):
+        args = [
+            "validate",
+            "--baselines",
+            str(tmp_path),
+            "--cases",
+            "san-vs-exact-small",
+            "--scale",
+            "0.4",
+        ]
+        assert cli.main(args + ["--record", "--seed", "0"]) == 0
+        assert cli.main(args + ["--check"]) == 0
+        out = capsys.readouterr().out
+        assert "within tolerance" in out
+
+    def test_perturbation_fails_a_case(self, capsys):
+        rc = cli.main(
+            [
+                "validate",
+                "--skip-gof",
+                "--skip-metamorphic",
+                "--cases",
+                "san-vs-exact-stressed",
+                "--scale",
+                "0.4",
+                "--perturb",
+                "mttf_node=0.25",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "DISAGREE" in out
