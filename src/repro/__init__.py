@@ -26,8 +26,17 @@ Subpackages
     over SAN simulation, exact CTMC solves, the cluster simulator and
     the analytical closed forms, plus a content-addressed result
     cache.
+``repro.resilience``
+    Resilient backend execution: per-evaluation deadlines, retries
+    with derived seeds, per-backend circuit breakers and declarative
+    degradation chains wrapped around any registered backend.
 ``repro.experiments``
     The evaluation harness regenerating every figure of the paper.
+``repro.validate``
+    Statistical validation: goodness-of-fit, metamorphic invariances,
+    cross-backend differential cases and golden baselines.
+``repro.obs``
+    Observability: run manifests, process metrics, event tracing.
 """
 
 from ._version import __version__

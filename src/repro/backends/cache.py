@@ -12,14 +12,23 @@ Layout: ``<root>/<backend_id>/<digest>.json``, one file per evaluated
 request, written atomically (temp file + fsync + rename, the same
 discipline as the journal and the figure archive). A corrupt,
 missing, or schema-mismatched entry is a cache miss, never an error.
+
+Opening a cache also sweeps orphaned ``.cache-*.json.tmp`` files: a
+worker killed mid-``put`` (a real crash, a deadline kill, an injected
+fault) leaves its temp file behind, and without a janitor those
+orphans accumulate forever. Only stale temp files (older than
+:data:`TMP_SWEEP_AGE_SECONDS`) are removed, so a concurrent writer's
+in-flight temp file is never yanked out from under it.
 """
 
 from __future__ import annotations
 
+import glob
 import hashlib
 import os
 import tempfile
-from typing import Optional
+import time
+from typing import Optional, Set
 
 from ..core.parameters import ModelParameters
 from ..obs import metrics
@@ -33,7 +42,7 @@ from .base import (
 )
 from .canonical import canonical_json
 
-__all__ = ["CACHE_KEY_VERSION", "ResultCache"]
+__all__ = ["CACHE_KEY_VERSION", "TMP_SWEEP_AGE_SECONDS", "ResultCache"]
 
 #: Version of the key-derivation scheme itself. Bumped to 2 when the
 #: lossy ``json.dumps(..., default=str)`` encoder was replaced by the
@@ -41,13 +50,46 @@ __all__ = ["CACHE_KEY_VERSION", "ResultCache"]
 #: under the collision-prone scheme are invalidated rather than reused.
 CACHE_KEY_VERSION = 2
 
+#: Minimum age (seconds since last mtime) before an orphaned
+#: ``.cache-*.json.tmp`` file is considered abandoned and swept.
+TMP_SWEEP_AGE_SECONDS = 60.0
+
+#: Cache roots already swept by this process — the janitor is an
+#: init-time hygiene pass, not a recurring cost on every cache handle.
+_SWEPT_ROOTS: Set[str] = set()
+
 
 class ResultCache:
     """Filesystem cache keyed by the canonical evaluation request."""
 
     def __init__(self, root: str) -> None:
-        """Cache rooted at ``root`` (created lazily on first write)."""
+        """Cache rooted at ``root`` (created lazily on first write).
+
+        Sweeps stale ``.cache-*.json.tmp`` orphans under ``root`` the
+        first time this process opens a cache there; the count of
+        removed files is published as the ``cache.tmp_swept`` counter.
+        """
         self.root = root
+        absolute = os.path.abspath(root)
+        if absolute not in _SWEPT_ROOTS:
+            _SWEPT_ROOTS.add(absolute)
+            self._sweep_orphaned_tmp()
+
+    def _sweep_orphaned_tmp(self) -> None:
+        """Remove abandoned temp files left by killed writers."""
+        swept = 0
+        now = time.time()
+        pattern = os.path.join(glob.escape(self.root), "*", ".cache-*.json.tmp")
+        for tmp_path in glob.glob(pattern):
+            try:
+                age = now - os.path.getmtime(tmp_path)
+                if age >= TMP_SWEEP_AGE_SECONDS:
+                    os.unlink(tmp_path)
+                    swept += 1
+            except OSError:
+                continue  # raced with a writer or another janitor: fine
+        if swept:
+            metrics.registry().counter("cache.tmp_swept").inc(swept)
 
     def key(self, backend: Backend, params: ModelParameters,
             plan: EvaluationPlan) -> str:

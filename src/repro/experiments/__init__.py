@@ -31,7 +31,14 @@ from .archive import (
     save_archive,
     save_figure,
 )
-from .faultinject import FaultPlan, InjectedCrash, SweepAborted
+from .chaos import ChaosOutcome, run_chaos
+from .faultinject import (
+    BackendFaultPlan,
+    FaultPlan,
+    InjectedBackendFault,
+    InjectedCrash,
+    SweepAborted,
+)
 from .paper_claims import CLAIMS, Claim, ClaimOutcome, evaluate_claims, render_claims
 from .resilience import (
     CheckpointError,
@@ -83,6 +90,10 @@ __all__ = [
     "CheckpointError",
     "SweepSupervisor",
     "FaultPlan",
+    "BackendFaultPlan",
     "InjectedCrash",
+    "InjectedBackendFault",
     "SweepAborted",
+    "ChaosOutcome",
+    "run_chaos",
 ]

@@ -18,6 +18,11 @@ Usage::
     python -m repro validate --record --seed 0 --seed 1
     python -m repro validate --check        # per-point drift vs the baselines
     python -m repro validate --perturb mttf_node=0.25   # mutation smoke
+    python -m repro run-figure fig4a --backend-deadline 60 --backend-retries 2 \
+        --degrade-to san-sim-full --breaker-state-dir health
+    python -m repro backends --state-dir health   # breaker state per backend
+    python -m repro chaos fig4a --preset quick --scale 0.1 --max-points 4 \
+        --crash 0.5 --hang 0.25 --hang-seconds 120 --deadline 30
 """
 
 from __future__ import annotations
@@ -55,11 +60,102 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list every experiment id")
-    sub.add_parser(
+    backends = sub.add_parser(
         "backends",
         help="list the registered evaluation backends and their capabilities",
     )
+    backends.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help=(
+            "also render each backend's circuit-breaker health from the "
+            "state files a resilient run wrote there "
+            "(--breaker-state-dir / chaos --state-dir)"
+        ),
+    )
     sub.add_parser("table3", help="print the model-parameter table")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "regenerate a figure clean and under injected backend faults "
+            "(crash/hang/slow/corrupt) behind the resilient execution "
+            "layer, and assert the archives still agree"
+        ),
+    )
+    chaos.add_argument(
+        "figure", nargs="?", default="fig4a",
+        help="sweep figure to afflict (default: fig4a)",
+    )
+    chaos.add_argument(
+        "--preset", default="quick", choices=sorted(PRESETS),
+        help="simulation length/replication preset (default: quick)",
+    )
+    chaos.add_argument("--seed", type=int, default=0, help="root random seed")
+    chaos.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale the simulation effort (CI smoke uses <1)",
+    )
+    chaos.add_argument(
+        "--max-points", type=int, default=None, metavar="N",
+        help="slice the sweep to its first N points",
+    )
+    chaos.add_argument(
+        "--crash", type=float, default=0.5, metavar="FRACTION",
+        help="fraction of evaluations that crash on every attempt "
+             "(forces degradation; default 0.5)",
+    )
+    chaos.add_argument(
+        "--hang", type=float, default=0.0, metavar="FRACTION",
+        help="fraction of evaluations that hang past the deadline",
+    )
+    chaos.add_argument(
+        "--hang-seconds", type=float, default=3600.0, metavar="SECONDS",
+        help="how long an injected hang sleeps (default: 3600)",
+    )
+    chaos.add_argument(
+        "--slow", type=float, default=0.0, metavar="FRACTION",
+        help="fraction of evaluations delayed by --slow-seconds",
+    )
+    chaos.add_argument(
+        "--slow-seconds", type=float, default=0.0, metavar="SECONDS",
+        help="latency added to slow-afflicted evaluations",
+    )
+    chaos.add_argument(
+        "--corrupt", type=float, default=0.0, metavar="FRACTION",
+        help="fraction of evaluations whose result means are corrupted "
+             "(only the tolerance comparison can catch these)",
+    )
+    chaos.add_argument(
+        "--fault-salt", default="", metavar="TOKEN",
+        help="vary the deterministic fault pattern at the same fractions",
+    )
+    chaos.add_argument(
+        "--deadline", type=float, default=30.0, metavar="SECONDS",
+        help="wall-clock deadline per evaluation attempt (default: 30)",
+    )
+    chaos.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="retries per evaluation before degrading (default: 1)",
+    )
+    chaos.add_argument(
+        "--degrade-to", action="append", default=None, metavar="BACKEND",
+        help=(
+            "fallback backend chain, in order (repeatable; default: "
+            "san-sim-full when the figure runs on san-sim)"
+        ),
+    )
+    chaos.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="write circuit-breaker state files here for 'backends --state-dir'",
+    )
+    chaos.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="relative tolerance of the archive comparison",
+    )
+    chaos.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="save both archives under DIR/clean and DIR/faulted",
+    )
 
     obs = sub.add_parser(
         "obs",
@@ -307,6 +403,55 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--backend-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock deadline per backend evaluation attempt; enables "
+            "the resilient backend wrapper (see docs/RESILIENCE.md)"
+        ),
+    )
+    parser.add_argument(
+        "--backend-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "retries per backend evaluation with derived seeds and "
+            "backoff (enables the resilient backend wrapper)"
+        ),
+    )
+    parser.add_argument(
+        "--degrade-to",
+        action="append",
+        default=None,
+        metavar="BACKEND",
+        help=(
+            "fallback backend chain when the primary is exhausted "
+            "(repeatable, in order; enables the resilient backend wrapper)"
+        ),
+    )
+    parser.add_argument(
+        "--backend-isolation",
+        choices=["none", "process"],
+        default=None,
+        help=(
+            "run each evaluation in a disposable subprocess so a hard "
+            "hang is killable at the deadline (default: in-process, "
+            "cooperative deadline only)"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-state-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write per-backend circuit-breaker state files to DIR; "
+            "render them with 'backends --state-dir DIR'"
+        ),
+    )
+    parser.add_argument(
         "--kernel-stats",
         action="store_true",
         help=(
@@ -351,6 +496,39 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _backend_resilience_from_args(args: argparse.Namespace):
+    """A :class:`~repro.resilience.BackendResilienceOptions` from the
+    ``--backend-*`` / ``--degrade-to`` flags, or ``None`` when none of
+    them was given (the wrapper stays out of the way by default)."""
+    deadline = getattr(args, "backend_deadline", None)
+    retries = getattr(args, "backend_retries", None)
+    degrade_to = getattr(args, "degrade_to", None)
+    isolation = getattr(args, "backend_isolation", None)
+    state_dir = getattr(args, "breaker_state_dir", None)
+    values = (deadline, retries, degrade_to, isolation, state_dir)
+    if all(value is None for value in values):
+        return None
+
+    from ..resilience import (
+        BackendResilienceOptions,
+        DegradationPolicy,
+        RetryPolicy as BackendRetryPolicy,
+    )
+
+    kwargs = {}
+    if deadline is not None:
+        kwargs["deadline"] = deadline
+    if retries is not None:
+        kwargs["retry"] = BackendRetryPolicy(max_retries=retries)
+    if degrade_to:
+        kwargs["degradation"] = DegradationPolicy(chain=tuple(degrade_to))
+    if isolation is not None:
+        kwargs["isolation"] = isolation
+    if state_dir is not None:
+        kwargs["state_dir"] = state_dir
+    return BackendResilienceOptions(**kwargs)
+
+
 def _resilience_from_args(args: argparse.Namespace):
     from .resilience import ResilienceOptions, RetryPolicy
 
@@ -364,6 +542,7 @@ def _resilience_from_args(args: argparse.Namespace):
         point_timeout=getattr(args, "point_timeout", None),
         wall_clock_budget=getattr(args, "wall_clock_budget", None),
         cache_dir=getattr(args, "cache_dir", None),
+        backend_resilience=_backend_resilience_from_args(args),
     )
 
 
@@ -629,6 +808,72 @@ def _validate_command(args: argparse.Namespace) -> int:
         return 2
 
 
+def _chaos_command(args: argparse.Namespace) -> int:
+    """The ``chaos`` subcommand: run a figure clean and faulted.
+
+    Exit codes: 0 when the faulted run recovered (archives agree), 1
+    when they disagree, 2 on an operational error (unknown or custom
+    figure, backend failure).
+    """
+    from .chaos import default_chaos_resilience, run_chaos
+    from .faultinject import BackendFaultPlan
+    from .figures import FIGURE_SPECS
+
+    spec = FIGURE_SPECS.get(args.figure)
+    if spec is None or spec.custom is not None:
+        eligible = sorted(
+            fid for fid, s in FIGURE_SPECS.items() if s.custom is None
+        )
+        print(
+            f"error: chaos needs a sweep figure, not {args.figure!r}; "
+            f"choose from: {', '.join(eligible)}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        fault_plan = BackendFaultPlan(
+            backend_id=spec.backend,
+            crash_fraction=args.crash,
+            crash_attempts=None,
+            hang_fraction=args.hang,
+            hang_attempts=None,
+            hang_seconds=args.hang_seconds,
+            slow_fraction=args.slow,
+            slow_seconds=args.slow_seconds,
+            corrupt_fraction=args.corrupt,
+            salt=args.fault_salt,
+        )
+        degrade_to = (
+            tuple(args.degrade_to)
+            if args.degrade_to
+            else (("san-sim-full",) if spec.backend == "san-sim" else ())
+        )
+        options = default_chaos_resilience(
+            spec.backend,
+            fault_plan,
+            deadline=args.deadline,
+            retries=args.retries,
+            degrade_to=degrade_to,
+            state_dir=args.state_dir,
+        )
+        outcome = run_chaos(
+            args.figure,
+            preset=args.preset,
+            seed=args.seed,
+            scale=args.scale,
+            max_points=args.max_points,
+            fault_plan=fault_plan,
+            options=options,
+            tolerance=args.tolerance,
+            out_dir=args.out,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print("\n".join(outcome.summary_lines()))
+    return 0 if outcome.recovered else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -639,6 +884,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "backends":
+        state_dir = getattr(args, "state_dir", None)
         for backend in all_backends():
             caps = backend.capabilities
             flavor = "exact" if caps.exact else (
@@ -649,6 +895,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             if caps.max_nodes is not None:
                 print(f"    max nodes: {caps.max_nodes}")
             print(f"    {caps.description}")
+            if state_dir is not None:
+                from ..resilience import breaker_state_path, load_breaker_state
+
+                state = load_breaker_state(
+                    breaker_state_path(state_dir, backend.id)
+                )
+                if state is None:
+                    print("    breaker: no state recorded")
+                else:
+                    line = (
+                        f"    breaker: {state.get('state')} "
+                        f"(consecutive failures: "
+                        f"{state.get('consecutive_failures', 0)}, "
+                        f"calls seen: {state.get('calls_seen', 0)})"
+                    )
+                    print(line)
+                    if state.get("last_error"):
+                        print(f"    last error: {state['last_error']}")
         return 0
 
     if args.command == "table3":
@@ -661,6 +925,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "validate":
         try:
             return _validate_command(args)
+        except BackendError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "chaos":
+        try:
+            return _chaos_command(args)
         except BackendError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

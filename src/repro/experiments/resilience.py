@@ -45,7 +45,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import metrics as obs_metrics
-from ..san.rng import stable_stream_key
+from ..resilience.retry import RetryPolicy, derive_attempt_seed
 
 __all__ = [
     "CheckpointError",
@@ -70,21 +70,6 @@ PointKey = Tuple[str, float]
 class CheckpointError(RuntimeError):
     """The checkpoint journal cannot be used (fingerprint mismatch,
     unusable header, ...). Carries the journal path in the message."""
-
-
-def derive_attempt_seed(base_seed: int, attempt: int) -> int:
-    """The seed of retry ``attempt`` for a point whose first attempt
-    used ``base_seed``.
-
-    Attempt 0 keeps the base seed (so runs without failures match the
-    historical seeding exactly); attempt ``k > 0`` folds ``(seed, k)``
-    through the same stable hash the stream registry uses, giving the
-    retry an independent sample path instead of deterministically
-    replaying whatever poisoned the first attempt.
-    """
-    if attempt == 0:
-        return base_seed
-    return stable_stream_key(f"retry/{base_seed}/{attempt}")
 
 
 def failure_payload(exc: BaseException) -> Dict[str, str]:
@@ -116,42 +101,6 @@ class FailureReport:
         return (
             f"point {self.series!r} @ x={self.x:g} failed after "
             f"{self.attempts} attempt(s): {self.error_type}: {self.error_message}"
-        )
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """How failed or hung points are retried.
-
-    ``delay_for(attempt)`` is the backoff slept before attempt
-    ``attempt`` (1-based for retries): ``backoff_base * backoff_factor
-    ** (attempt - 1)``, capped at ``backoff_max``.
-    """
-
-    max_retries: int = 2
-    backoff_base: float = 0.5
-    backoff_factor: float = 2.0
-    backoff_max: float = 30.0
-
-    def __post_init__(self) -> None:
-        if self.max_retries < 0:
-            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
-        if self.backoff_base < 0:
-            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
-        if self.backoff_factor < 1.0:
-            raise ValueError(
-                f"backoff_factor must be >= 1, got {self.backoff_factor}"
-            )
-        if self.backoff_max < 0:
-            raise ValueError(f"backoff_max must be >= 0, got {self.backoff_max}")
-
-    def delay_for(self, attempt: int) -> float:
-        """Backoff (seconds) before the given retry attempt (>= 1)."""
-        if attempt < 1:
-            return 0.0
-        return min(
-            self.backoff_max,
-            self.backoff_base * self.backoff_factor ** (attempt - 1),
         )
 
 
@@ -191,6 +140,15 @@ class ResilienceOptions:
         unlike the journal (scoped to one sweep configuration), the
         cache is shared across figures, seeds and runs. ``None``
         disables caching.
+    backend_resilience:
+        Optional
+        :class:`~repro.resilience.backend.BackendResilienceOptions`;
+        when set, every worker wraps its evaluation backend in a
+        :class:`~repro.resilience.backend.ResilientBackend` (per-
+        attempt deadlines, seed-deriving retries, circuit breaker,
+        degradation chain, backend-level fault injection). Retried or
+        degraded results are never written to the result cache — only
+        what a clean run would produce may be reused.
     """
 
     checkpoint_dir: Optional[str] = None
@@ -200,6 +158,7 @@ class ResilienceOptions:
     wall_clock_budget: Optional[float] = None
     fault_plan: Optional[Any] = None
     cache_dir: Optional[str] = None
+    backend_resilience: Optional[Any] = None
 
 
 @dataclass(frozen=True)
@@ -533,6 +492,12 @@ class SweepSupervisor:
         journal append, progress reporting and fault-plan abort hooks
         live there. Exceptions it raises propagate: an abort injected
         mid-sweep behaves exactly like the process being killed.
+    clock / sleep / pool_factory:
+        Injectable time source, sleep function and worker-pool
+        constructor (defaults: ``time.monotonic``, ``time.sleep``,
+        ``multiprocessing.Pool``). Tests drive backoff and hang
+        detection with a fake clock and stub pools so CI never
+        depends on real ``time.sleep`` margins.
     """
 
     def __init__(
@@ -541,11 +506,19 @@ class SweepSupervisor:
         options: ResilienceOptions,
         processes: int = 1,
         on_success: Optional[Callable[[PointTask, Outcome, int, int], None]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        pool_factory: Optional[Callable[[], Any]] = None,
     ) -> None:
         self.worker = worker
         self.options = options
         self.processes = max(1, processes)
         self.on_success = on_success
+        self._clock = clock
+        self._sleep = sleep
+        self._pool_factory = pool_factory or (
+            lambda: multiprocessing.Pool(self.processes)
+        )
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[PointTask]) -> SupervisorResult:
@@ -624,12 +597,12 @@ class SweepSupervisor:
         result: SupervisorResult,
     ) -> None:
         while queue:
-            now = time.monotonic()
+            now = self._clock()
             queue.promote(now)
             if not queue.ready:
                 deadline = queue.next_deadline()
                 if deadline is not None:
-                    time.sleep(max(0.0, deadline - now))
+                    self._sleep(max(0.0, deadline - now))
                 continue
             index, attempt = queue.ready.popleft()
             task = by_index[index]
@@ -638,7 +611,7 @@ class SweepSupervisor:
                 self._record_success(task, payload, attempt, result)
             else:
                 self._record_attempt_failure(
-                    task, attempt, payload, queue, result, time.monotonic()
+                    task, attempt, payload, queue, result, self._clock()
                 )
 
     # ------------------------------------------------------------------
@@ -651,7 +624,7 @@ class SweepSupervisor:
         result: SupervisorResult,
     ) -> None:
         try:
-            pool = multiprocessing.Pool(self.processes)
+            pool = self._pool_factory()
         except Exception as exc:
             result.notes.append(
                 f"could not start worker pool ({type(exc).__name__}: {exc}); "
@@ -665,7 +638,7 @@ class SweepSupervisor:
         timeout = self.options.point_timeout
         try:
             while queue or inflight:
-                now = time.monotonic()
+                now = self._clock()
                 queue.promote(now)
                 try:
                     while queue.ready and len(inflight) < self.processes:
@@ -693,14 +666,14 @@ class SweepSupervisor:
                 if not inflight:
                     deadline = queue.next_deadline()
                     if deadline is not None:
-                        time.sleep(max(0.0, deadline - time.monotonic()))
+                        self._sleep(max(0.0, deadline - self._clock()))
                     continue
 
                 index, attempt, async_result, submitted = inflight[0]
                 task = by_index[index]
                 try:
                     if timeout is not None:
-                        remaining = submitted + timeout - time.monotonic()
+                        remaining = submitted + timeout - self._clock()
                         async_result.wait(max(0.0, remaining))
                         if not async_result.ready():
                             # Hung worker: the pool slot is lost. Kill the
@@ -723,12 +696,12 @@ class SweepSupervisor:
                                 },
                                 queue,
                                 result,
-                                time.monotonic(),
+                                self._clock(),
                             )
                             self._shutdown_pool(
                                 pool, terminate=True, notes=result.notes
                             )
-                            pool = multiprocessing.Pool(self.processes)
+                            pool = self._pool_factory()
                             continue
                     status, payload = async_result.get()
                 except Exception as exc:
@@ -754,7 +727,7 @@ class SweepSupervisor:
                     self._record_success(task, payload, attempt, result)
                 else:
                     self._record_attempt_failure(
-                        task, attempt, payload, queue, result, time.monotonic()
+                        task, attempt, payload, queue, result, self._clock()
                     )
         finally:
             if pool is not None:

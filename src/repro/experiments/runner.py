@@ -127,6 +127,7 @@ def _evaluate_point_worker(
     plan: EvaluationPlan,
     backend_name: str,
     cache_dir: Optional[str],
+    backend_resilience,
     seed: int,
     index: int,
     attempt: int,
@@ -140,13 +141,27 @@ def _evaluate_point_worker(
     are serialised via :func:`failure_payload` before they cross the
     process boundary, so structured errors with rich payloads can
     never poison the pool's result pipe.
+
+    With ``backend_resilience`` set, the backend is wrapped in a
+    :class:`~repro.resilience.backend.ResilientBackend` (deadlines,
+    seed-deriving retries, circuit breaker, degradation chain,
+    backend-level fault injection). Only a *clean* execution — the
+    primary backend, first attempt, base seed, exactly what an
+    unfaulted run would produce — is written to the result cache;
+    retried or degraded results stay out so the cache can never
+    launder a degraded value into a clean run.
     """
     try:
         if fault_plan is not None:
             fault_plan.before_point(index, attempt)
         backend = get_backend(backend_name)
+        executor = backend
+        if backend_resilience is not None:
+            from ..resilience import ResilientBackend
+
+            executor = ResilientBackend(backend, backend_resilience)
         seeded_plan = plan.with_seed(seed)
-        result = backend.evaluate(point.params, seeded_plan)
+        result = executor.evaluate(point.params, seeded_plan)
         metric_value = result.metric(seeded_plan.metrics[0])
         outcome: Outcome = (
             point.series,
@@ -154,7 +169,9 @@ def _evaluate_point_worker(
             metric_value.mean,
             metric_value.half_width,
         )
-        if cache_dir:
+        report = getattr(executor, "last_report", None)
+        cacheable = report is None or report.clean
+        if cache_dir and cacheable:
             try:
                 ResultCache(cache_dir).put(
                     backend, point.params, seeded_plan, result
@@ -271,6 +288,12 @@ def run_sweep(
     options = resilience or ResilienceOptions()
     if options.wall_clock_budget is not None:
         plan = replace(plan, wall_clock_budget=options.wall_clock_budget)
+    if options.backend_resilience is not None:
+        # Discard events a previously interrupted run may have left so
+        # this run's manifest records only its own story.
+        from ..resilience import events as resilience_events
+
+        resilience_events.drain()
 
     base_metric = DERIVED_METRICS.get(metric, metric)
     eval_plan = EvaluationPlan(metrics=(base_metric,), simulation=plan, seed=seed)
@@ -351,7 +374,8 @@ def run_sweep(
             series=point.series,
             x=float(point.x),
             base_seed=seed + index,
-            args=(point, eval_plan, backend, options.cache_dir),
+            args=(point, eval_plan, backend, options.cache_dir,
+                  options.backend_resilience),
         )
         for index, point in enumerate(points)
         if (point.series, float(point.x)) not in completed
@@ -429,6 +453,37 @@ def run_sweep(
     for label in figure.series:
         figure.series[label].sort(key=lambda p: p[0])
 
+    # Backend-level resilience bookkeeping: drain the structured event
+    # log (serial sweeps see every event; pooled workers keep theirs,
+    # which is noted rather than papered over) into the figure notes
+    # and the manifest's resilience section.
+    resilience_section: Optional[Dict[str, object]] = None
+    if options.backend_resilience is not None:
+        from ..resilience import events as resilience_events
+
+        res_events = resilience_events.drain()
+        summary = resilience_events.summarize(res_events)
+        resilience_section = {
+            "events": res_events,
+            "summary": summary,
+        }
+        if processes not in (None, 1):
+            resilience_section["note"] = (
+                "pooled workers log resilience events in their own "
+                "processes; this section covers supervisor-side events only"
+            )
+        # ``figure.notes`` is the same list object as ``notes``.
+        for stamp in sorted(set(summary.get("degraded", []))):
+            notes.append(f"DEGRADED: {stamp}")
+        by_kind = summary.get("by_kind", {})
+        if by_kind:
+            notes.append(
+                "backend resilience: "
+                + ", ".join(
+                    f"{kind}={count}" for kind, count in sorted(by_kind.items())
+                )
+            )
+
     new_evaluations = len(supervised.outcomes)
     retries = sum(
         max(0, attempts - 1) for attempts in supervised.attempts.values()
@@ -461,6 +516,7 @@ def run_sweep(
         metrics=reg.snapshot(),
         trace=sink.summary() if isinstance(sink, JsonlTraceSink) else None,
         wall_clock_seconds=wall_clock,
+        resilience=resilience_section,
         notes=list(notes),
     )
     return figure

@@ -109,6 +109,15 @@ class RunManifest:
         configuration (the ``to_json_dict`` of a
         :class:`~repro.validate.report.ValidationReport`); ``None``
         when no validation accompanied the run.
+    resilience:
+        Optional record of backend-level resilience activity (see
+        :mod:`repro.resilience.events`): the structured event list —
+        every deadline kill, retry, breaker transition and
+        ``degraded_from`` stamp — plus a by-kind summary. ``None``
+        when the run did not use a resilient backend wrapper. The
+        field is additive and optional, so the schema version is
+        unchanged: old manifests load as ``None``, and readers that
+        predate it simply ignore the key.
     """
 
     figure_id: str
@@ -132,6 +141,7 @@ class RunManifest:
     trace: Optional[Dict[str, Any]] = None
     wall_clock_seconds: float = 0.0
     validation: Optional[Dict[str, Any]] = None
+    resilience: Optional[Dict[str, Any]] = None
     notes: List[str] = field(default_factory=list)
     schema_version: int = MANIFEST_SCHEMA_VERSION
     repro_version: str = __version__
@@ -166,6 +176,7 @@ class RunManifest:
             "trace": self.trace,
             "wall_clock_seconds": self.wall_clock_seconds,
             "validation": self.validation,
+            "resilience": self.resilience,
             "notes": list(self.notes),
         }
 
@@ -208,6 +219,7 @@ class RunManifest:
                 trace=payload.get("trace"),
                 wall_clock_seconds=float(payload.get("wall_clock_seconds", 0.0)),
                 validation=payload.get("validation"),
+                resilience=payload.get("resilience"),
                 notes=[str(note) for note in payload.get("notes", [])],
                 schema_version=MANIFEST_SCHEMA_VERSION,
                 repro_version=str(payload.get("repro_version", "")),
@@ -319,6 +331,18 @@ def render_manifest(manifest: RunManifest) -> str:
             f"{differential.get('cases', 0)} differential case(s), "
             f"{differential.get('disagreements', 0)} disagreement(s))"
         )
+    if manifest.resilience:
+        summary = manifest.resilience.get("summary") or {}
+        by_kind = summary.get("by_kind") or {}
+        shown = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(by_kind.items())
+        )
+        lines.append(
+            f"  resilience: {len(manifest.resilience.get('events') or [])} "
+            f"event(s)" + (f" ({shown})" if shown else "")
+        )
+        for stamp in summary.get("degraded") or []:
+            lines.append(f"  degraded: {stamp}")
     counters = manifest.metrics.get("counters") if manifest.metrics else None
     if counters:
         shown = ", ".join(

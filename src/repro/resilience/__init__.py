@@ -1,0 +1,67 @@
+"""Backend-level resilience: deadlines, retries, breakers, degradation.
+
+The paper models systems that keep making forward progress while
+components fail mid-operation; this package holds the harness itself
+to that standard at the *backend* layer (PR 1 did it for the sweep
+layer). It wraps any :class:`~repro.backends.base.Backend` behind the
+existing protocol, so everything downstream — the sweep runner, the
+figure specs, the CLI — is untouched:
+
+:class:`~repro.resilience.backend.ResilientBackend`
+    Per-evaluation wall-clock **deadlines** (a cooperative budget
+    threaded into the simulator plus optional subprocess isolation
+    that hard-kills a hung kernel), **retries** with exponential
+    backoff and deterministic jitter (each retry on a freshly derived
+    ``retry/`` seed stream), and a declarative
+    :class:`~repro.resilience.backend.DegradationPolicy` fallback
+    chain (``san-sim -> san-sim-full -> analytical``) gated by
+    ``Backend.supports()``.
+:class:`~repro.resilience.breaker.CircuitBreaker`
+    A per-backend-id closed/open/half-open breaker with failure-rate
+    and consecutive-failure trip conditions and a half-open probe
+    budget; transitions land in the metrics registry and, via the
+    event log, in the :class:`~repro.obs.RunManifest`.
+:mod:`repro.resilience.events`
+    The process-local structured event log the sweep runner drains
+    into the manifest.
+
+See ``docs/RESILIENCE.md`` for the decision tree
+(deadline -> retry -> breaker -> degrade) and configuration examples.
+"""
+
+from __future__ import annotations
+
+from .backend import (
+    BackendResilienceOptions,
+    CircuitOpenError,
+    DeadlineExceededError,
+    DegradationPolicy,
+    ExecutionReport,
+    ResilientBackend,
+)
+from .breaker import (
+    BreakerPolicy,
+    CircuitBreaker,
+    breaker_for,
+    breaker_state_path,
+    load_breaker_state,
+    reset_breakers,
+)
+from .retry import RetryPolicy, derive_attempt_seed
+
+__all__ = [
+    "BackendResilienceOptions",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "DegradationPolicy",
+    "ExecutionReport",
+    "ResilientBackend",
+    "RetryPolicy",
+    "breaker_for",
+    "breaker_state_path",
+    "load_breaker_state",
+    "derive_attempt_seed",
+    "reset_breakers",
+]

@@ -1,0 +1,577 @@
+"""A resilient wrapper around any evaluation backend.
+
+:class:`ResilientBackend` implements the same protocol as the backend
+it wraps (``id`` / ``backend_version`` / ``capabilities`` /
+``supports`` / ``evaluate``), so the sweep runner, the figure specs
+and the CLI need no changes. What it adds, in decision order:
+
+1. **Deadline** — every attempt gets a wall-clock budget. The budget
+   is threaded *cooperatively* into the simulation plan (the kernel
+   raises ``WallClockExceededError`` when it notices), and with
+   ``isolation="process"`` the attempt additionally runs in a child
+   process that is hard-killed at the deadline — the only way to stop
+   a kernel that is hung rather than slow.
+2. **Retry** — a failed or killed attempt is retried per
+   :class:`~repro.resilience.retry.RetryPolicy`, each retry on a
+   freshly derived ``retry/{seed}/{attempt}`` stream so a poisoned
+   sample path is not deterministically replayed.
+3. **Breaker** — every attempt first consults the backend's
+   :class:`~repro.resilience.breaker.CircuitBreaker`; an open breaker
+   skips the backend immediately instead of burning deadline x
+   retries per evaluation.
+4. **Degrade** — when a backend is exhausted (retries spent, breaker
+   open, or the request unsupported), the
+   :class:`DegradationPolicy` chain supplies the next capable
+   backend. A degraded result is stamped ``degraded_from: <primary>``
+   in its notes, and the event log records the hand-off for the run
+   manifest.
+
+Everything observable lands in the metrics registry
+(``resilience.retries`` / ``deadline_kills`` / ``degraded``) and the
+structured event log (:mod:`repro.resilience.events`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import time
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..backends.base import (
+    Backend,
+    BackendCapabilities,
+    BackendError,
+    EvaluationPlan,
+    EvaluationResult,
+    UnsupportedMetricError,
+    UnsupportedParametersError,
+)
+from ..backends.canonical import canonical_json
+from ..backends.registry import UnknownBackendError, get_backend
+from ..core.parameters import ModelParameters
+from ..obs import metrics as obs_metrics
+from . import events
+from .breaker import BreakerPolicy, CircuitBreaker, breaker_for
+from .retry import RetryPolicy, derive_attempt_seed
+
+__all__ = [
+    "BackendResilienceOptions",
+    "CircuitOpenError",
+    "DeadlineExceededError",
+    "DegradationPolicy",
+    "ExecutionReport",
+    "RemoteEvaluationError",
+    "ResilientBackend",
+    "evaluation_key",
+]
+
+
+class DeadlineExceededError(BackendError):
+    """An evaluation attempt exceeded its wall-clock deadline and was
+    killed (or would not finish cooperatively)."""
+
+
+class CircuitOpenError(BackendError):
+    """The backend's circuit breaker rejected the call."""
+
+
+class RemoteEvaluationError(BackendError):
+    """An isolated (subprocess) attempt failed; carries the original
+    error's type name in ``error_type``."""
+
+    def __init__(self, message: str, error_type: str = "") -> None:
+        super().__init__(message)
+        self.error_type = error_type
+
+
+def evaluation_key(
+    backend_id: str, params: ModelParameters, plan: EvaluationPlan
+) -> str:
+    """A stable digest identifying one evaluation request, seed excluded.
+
+    Fault plans key on it so every retry of the same request faces the
+    same fault decision (the fault models the backend's behaviour for
+    that request, not one sample path), and jittered backoff uses it
+    as its token.
+    """
+    identity = {
+        "backend": backend_id,
+        "params": asdict(params),
+        "plan": asdict(plan.with_seed(0)),
+    }
+    return hashlib.blake2b(
+        canonical_json(identity).encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """An ordered fallback chain of backend ids.
+
+    ``fallbacks_after(backend_id)`` returns the ids to try once
+    ``backend_id`` is exhausted: the chain elements after it when it
+    appears in the chain, or the whole chain when it does not (a chain
+    that never names the primary reads as "then try these").
+    """
+
+    chain: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "chain", tuple(self.chain))
+        seen = set()
+        for backend_id in self.chain:
+            if backend_id in seen:
+                raise ValueError(
+                    f"degradation chain repeats backend {backend_id!r}"
+                )
+            seen.add(backend_id)
+
+    def fallbacks_after(self, backend_id: str) -> Tuple[str, ...]:
+        """The backends to try after ``backend_id`` is exhausted."""
+        if backend_id in self.chain:
+            position = self.chain.index(backend_id)
+            return self.chain[position + 1:]
+        return self.chain
+
+
+@dataclass(frozen=True)
+class BackendResilienceOptions:
+    """Picklable configuration of one :class:`ResilientBackend`.
+
+    Rides inside :class:`~repro.experiments.resilience.ResilienceOptions`
+    (and through worker-task arguments) so every sweep worker wraps
+    its backend identically.
+
+    Attributes
+    ----------
+    deadline:
+        Wall-clock seconds one evaluation attempt may take. Threaded
+        cooperatively into the simulation plan; with
+        ``isolation="process"`` also enforced by hard-killing the
+        attempt's child process.
+    retry:
+        Backoff policy for failed/killed attempts (attempt ``k``
+        evaluates on seed ``retry/{seed}/{k}``).
+    breaker:
+        Trip/recovery policy of the per-backend circuit breaker;
+        ``None`` disables breakers.
+    degradation:
+        Fallback chain consulted when a backend is exhausted;
+        ``None`` means fail instead of degrading.
+    isolation:
+        ``"none"`` (in-process, cooperative deadline only) or
+        ``"process"`` (each attempt in a hard-killable child process;
+        requires the backend to be registered, since the child
+        re-resolves it by id).
+    state_dir:
+        Directory for breaker state files (the operator window
+        ``repro backends --state-dir`` renders); ``None`` keeps
+        breaker state in memory only.
+    fault_plan:
+        Optional :class:`~repro.experiments.faultinject.BackendFaultPlan`
+        applied around every attempt (chaos testing).
+    """
+
+    deadline: Optional[float] = None
+    retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_retries=1, backoff_base=0.1, backoff_max=5.0, jitter=0.25
+        )
+    )
+    breaker: Optional[BreakerPolicy] = field(default_factory=BreakerPolicy)
+    degradation: Optional[DegradationPolicy] = None
+    isolation: str = "none"
+    state_dir: Optional[str] = None
+    fault_plan: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
+        if self.isolation not in ("none", "process"):
+            raise ValueError(
+                f"isolation must be 'none' or 'process', got {self.isolation!r}"
+            )
+
+
+@dataclass
+class ExecutionReport:
+    """What one resilient evaluation actually did (for the caller).
+
+    The sweep worker reads it to decide cache purity: only a *clean*
+    execution (primary backend, first attempt, base seed) may be
+    cached, because only that result is what an unfaulted run would
+    produce.
+    """
+
+    requested_backend: str
+    produced_backend: Optional[str] = None
+    attempts: int = 0
+    retries: int = 0
+    deadline_kills: int = 0
+    breaker_rejections: int = 0
+    degraded_from: Optional[str] = None
+    degraded_reason: Optional[str] = None
+    seed_diverged: bool = False
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when the result is exactly what a clean run produces."""
+        return (
+            self.produced_backend == self.requested_backend
+            and self.attempts == 1
+            and self.retries == 0
+            and not self.seed_diverged
+        )
+
+
+def _subprocess_child(
+    conn: Any,
+    backend_id: str,
+    params: ModelParameters,
+    plan: EvaluationPlan,
+    fault_plan: Optional[Any],
+    key: str,
+    attempt: int,
+) -> None:
+    """Child-process body of one isolated attempt.
+
+    Resolves the backend by id (registration happens at import time in
+    every process; under fork the parent's registry is inherited),
+    applies the fault hooks *inside* the child so injected hangs are
+    killable, and ships either the result JSON or a structured error
+    back over the pipe.
+    """
+    try:
+        backend = get_backend(backend_id)
+        if fault_plan is not None:
+            fault_plan.before_evaluate(backend_id, key, attempt)
+        result = backend.evaluate(params, plan)
+        if fault_plan is not None:
+            result = fault_plan.after_evaluate(backend_id, key, attempt, result)
+        conn.send(("ok", result.to_json()))
+    except BaseException as exc:  # noqa: BLE001 - must not die silently
+        try:
+            conn.send(
+                ("error", {"error_type": type(exc).__name__,
+                           "error_message": str(exc)})
+            )
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class ResilientBackend:
+    """Protocol-compatible resilient wrapper; see the module docstring.
+
+    ``clock`` and ``sleep`` are injectable for deterministic tests.
+    After every :meth:`evaluate` the wrapper exposes what happened on
+    ``last_report`` (an :class:`ExecutionReport`).
+    """
+
+    def __init__(
+        self,
+        backend: Backend,
+        options: Optional[BackendResilienceOptions] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.inner = backend
+        self.options = options or BackendResilienceOptions()
+        self.clock = clock
+        self.sleep = sleep
+        self.last_report: Optional[ExecutionReport] = None
+
+    # -- protocol delegation -------------------------------------------
+    @property
+    def id(self) -> str:
+        """The wrapped backend's id (the wrapper is transparent)."""
+        return self.inner.id
+
+    @property
+    def backend_version(self) -> int:
+        """The wrapped backend's version."""
+        return self.inner.backend_version
+
+    @property
+    def capabilities(self) -> BackendCapabilities:
+        """The wrapped backend's capabilities."""
+        return self.inner.capabilities
+
+    def supports(
+        self, params: ModelParameters, plan: EvaluationPlan
+    ) -> Optional[str]:
+        """Delegates to the wrapped backend (``None`` = supported)."""
+        return self.inner.supports(params, plan)
+
+    # -- the resilient execution path ----------------------------------
+    def evaluate(
+        self, params: ModelParameters, plan: EvaluationPlan
+    ) -> EvaluationResult:
+        """Evaluate with deadlines, retries, breaker and degradation.
+
+        Tries the wrapped backend first, then each capable backend of
+        the degradation chain. Raises the last error when every
+        candidate is exhausted.
+        """
+        report = ExecutionReport(requested_backend=self.inner.id)
+        self.last_report = report
+        last_error: Optional[BaseException] = None
+        for candidate in self._candidates(params, plan, report):
+            result, error = self._try_candidate(candidate, params, plan, report)
+            if result is not None:
+                report.produced_backend = candidate.id
+                if candidate.id != self.inner.id:
+                    cause = report.degraded_reason or "primary exhausted"
+                    report.degraded_from = self.inner.id
+                    result.notes.append(
+                        f"degraded_from: {self.inner.id} ({cause})"
+                    )
+                    obs_metrics.registry().counter("resilience.degraded").inc()
+                    events.record(
+                        "degraded", candidate.id,
+                        **{"from": self.inner.id, "to": candidate.id,
+                           "cause": cause},
+                    )
+                return result
+            if error is not None:
+                last_error = error
+                report.degraded_reason = (
+                    f"{type(error).__name__}: {error}"
+                )
+        if last_error is None:
+            last_error = UnsupportedParametersError(
+                f"no capable backend for this request (primary "
+                f"{self.inner.id!r}, chain "
+                f"{self.options.degradation.chain if self.options.degradation else ()})"
+            )
+        raise last_error
+
+    # ------------------------------------------------------------------
+    def _candidates(
+        self,
+        params: ModelParameters,
+        plan: EvaluationPlan,
+        report: ExecutionReport,
+    ) -> List[Backend]:
+        """The primary plus every *capable* fallback, in chain order."""
+        candidates: List[Backend] = [self.inner]
+        if self.options.degradation is None:
+            return candidates
+        for backend_id in self.options.degradation.fallbacks_after(self.inner.id):
+            try:
+                backend = get_backend(backend_id)
+            except UnknownBackendError:
+                events.record(
+                    "unsupported", backend_id,
+                    reason="not registered; skipped in degradation chain",
+                )
+                continue
+            missing = [
+                metric for metric in plan.metrics
+                if not backend.capabilities.supports_metric(metric)
+            ]
+            if missing:
+                events.record(
+                    "unsupported", backend_id,
+                    reason=f"cannot produce metric(s) {', '.join(missing)}",
+                )
+                continue
+            reason = backend.supports(params, plan)
+            if reason is not None:
+                events.record("unsupported", backend_id, reason=reason)
+                continue
+            candidates.append(backend)
+        return candidates
+
+    def _try_candidate(
+        self,
+        backend: Backend,
+        params: ModelParameters,
+        plan: EvaluationPlan,
+        report: ExecutionReport,
+    ) -> Tuple[Optional[EvaluationResult], Optional[BaseException]]:
+        """Run the attempt loop on one backend.
+
+        Returns ``(result, None)`` on success, ``(None, last_error)``
+        when the backend is exhausted or rejected.
+        """
+        options = self.options
+        key = evaluation_key(backend.id, params, plan)
+        breaker = self._breaker(backend.id)
+        reg = obs_metrics.registry()
+        last_error: Optional[BaseException] = None
+        for attempt in range(options.retry.max_retries + 1):
+            if breaker is not None:
+                reason = breaker.allow()
+                if reason is not None:
+                    report.breaker_rejections += 1
+                    events.record("breaker_rejected", backend.id, reason=reason)
+                    return None, CircuitOpenError(reason)
+            if attempt > 0:
+                delay = options.retry.delay_for(attempt, token=key)
+                reg.counter("resilience.retries").inc()
+                report.retries += 1
+                events.record(
+                    "retry", backend.id, attempt=attempt, delay=delay,
+                    seed=derive_attempt_seed(plan.seed, attempt),
+                    after=(f"{type(last_error).__name__}: {last_error}"
+                           if last_error else None),
+                )
+                if delay > 0:
+                    self.sleep(delay)
+            seeded = self._attempt_plan(plan, attempt)
+            report.attempts += 1
+            try:
+                result = self._execute(backend, params, seeded, key, attempt)
+            except (UnsupportedMetricError, UnsupportedParametersError) as exc:
+                # Permanent for this request: not a health signal, and
+                # retrying cannot help — move on to the next candidate.
+                report.errors.append(f"{type(exc).__name__}: {exc}")
+                events.record("unsupported", backend.id, reason=str(exc))
+                return None, exc
+            except Exception as exc:
+                last_error = exc
+                report.errors.append(f"{type(exc).__name__}: {exc}")
+                if self._is_deadline_error(exc):
+                    report.deadline_kills += 1
+                    reg.counter("resilience.deadline_kills").inc()
+                    events.record(
+                        "deadline_kill", backend.id, attempt=attempt,
+                        deadline=options.deadline,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                else:
+                    events.record(
+                        "failure", backend.id, attempt=attempt,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                if breaker is not None:
+                    breaker.record_failure(exc)
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                if attempt > 0 and not backend.capabilities.deterministic:
+                    report.seed_diverged = True
+                return result, None
+        events.record(
+            "exhausted", backend.id,
+            attempts=options.retry.max_retries + 1,
+            error=(f"{type(last_error).__name__}: {last_error}"
+                   if last_error else None),
+        )
+        return None, last_error
+
+    def _breaker(self, backend_id: str) -> Optional[CircuitBreaker]:
+        if self.options.breaker is None:
+            return None
+        return breaker_for(
+            backend_id,
+            policy=self.options.breaker,
+            state_dir=self.options.state_dir,
+            clock=self.clock,
+        )
+
+    @staticmethod
+    def _is_deadline_error(exc: BaseException) -> bool:
+        """Deadline kills and cooperative budget trips count alike."""
+        if isinstance(exc, DeadlineExceededError):
+            return True
+        name = getattr(exc, "error_type", "") or type(exc).__name__
+        return name == "WallClockExceededError"
+
+    def _attempt_plan(self, plan: EvaluationPlan, attempt: int) -> EvaluationPlan:
+        """The plan of one attempt: derived seed + cooperative budget."""
+        seeded = plan.with_seed(derive_attempt_seed(plan.seed, attempt))
+        deadline = self.options.deadline
+        if deadline is not None:
+            budget = seeded.simulation.wall_clock_budget
+            budget = deadline if budget is None else min(budget, deadline)
+            seeded = replace(
+                seeded, simulation=replace(seeded.simulation,
+                                           wall_clock_budget=budget)
+            )
+        return seeded
+
+    # -- attempt execution ---------------------------------------------
+    def _execute(
+        self,
+        backend: Backend,
+        params: ModelParameters,
+        plan: EvaluationPlan,
+        key: str,
+        attempt: int,
+    ) -> EvaluationResult:
+        """One attempt, isolated or in-process, fault hooks applied."""
+        if self.options.isolation == "process" and self._resolvable(backend):
+            return self._execute_isolated(backend, params, plan, key, attempt)
+        fault_plan = self.options.fault_plan
+        if fault_plan is not None:
+            fault_plan.before_evaluate(backend.id, key, attempt)
+        result = backend.evaluate(params, plan)
+        if fault_plan is not None:
+            result = fault_plan.after_evaluate(backend.id, key, attempt, result)
+        return result
+
+    @staticmethod
+    def _resolvable(backend: Backend) -> bool:
+        """Subprocess isolation needs the backend resolvable by id in
+        the child; unregistered (test-stub) backends run in-process."""
+        try:
+            get_backend(backend.id)
+        except UnknownBackendError:
+            return False
+        return True
+
+    def _execute_isolated(
+        self,
+        backend: Backend,
+        params: ModelParameters,
+        plan: EvaluationPlan,
+        key: str,
+        attempt: int,
+    ) -> EvaluationResult:
+        """Run one attempt in a child process, hard-killed at deadline."""
+        ctx = multiprocessing.get_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_subprocess_child,
+            args=(child_conn, backend.id, params, plan,
+                  self.options.fault_plan, key, attempt),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        try:
+            if not parent_conn.poll(self.options.deadline):
+                raise DeadlineExceededError(
+                    f"evaluation on {backend.id!r} exceeded its "
+                    f"{self.options.deadline:g} s deadline "
+                    f"(attempt {attempt + 1}); worker killed"
+                )
+            try:
+                status, payload = parent_conn.recv()
+            except EOFError:
+                raise RemoteEvaluationError(
+                    f"isolated evaluation on {backend.id!r} died without a "
+                    f"result (exit code {process.exitcode})"
+                ) from None
+        finally:
+            parent_conn.close()
+            if process.is_alive():
+                process.terminate()
+                process.join(1.0)
+                if process.is_alive():  # pragma: no cover - stuck in kernel
+                    process.kill()
+            process.join(5.0)
+        if status == "ok":
+            return EvaluationResult.from_json(payload)
+        raise RemoteEvaluationError(
+            f"{payload.get('error_type', 'Exception')}: "
+            f"{payload.get('error_message', '')} "
+            f"(isolated attempt {attempt + 1} on {backend.id!r})",
+            error_type=payload.get("error_type", ""),
+        )

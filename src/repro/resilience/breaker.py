@@ -1,0 +1,326 @@
+"""Per-backend circuit breakers (closed / open / half-open).
+
+A breaker protects the rest of a run from a backend that has started
+failing systematically: after enough failures the breaker *opens* and
+further calls are rejected immediately (letting the
+:class:`~repro.resilience.backend.DegradationPolicy` fall back to a
+healthy backend instead of burning a full deadline-plus-retries cycle
+per point). After ``reset_timeout`` seconds the breaker goes
+*half-open* and admits a bounded budget of probe calls; one probe
+success re-closes it, one probe failure re-opens it.
+
+Trip conditions (either is sufficient):
+
+* ``consecutive_failures`` failures in a row, or
+* a failure rate of at least ``failure_rate`` over the last
+  ``window`` calls, once at least ``min_calls`` calls were observed.
+
+State is process-local (each worker process earns its own view of a
+backend's health). When a ``state_path`` is configured the breaker
+additionally mirrors every change into a small JSON file — an
+operator window that ``repro backends --state-dir`` renders — but it
+never *reads* that file back: cross-process coordination through a
+shared file would race, and a fresh process legitimately starts
+closed.
+
+Transitions are counted in the metrics registry
+(``breaker.<id>.opened`` / ``half_opened`` / ``closed`` /
+``rejected``) and logged to :mod:`repro.resilience.events`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from ..obs import metrics as obs_metrics
+from . import events
+
+__all__ = [
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "breaker_for",
+    "breaker_state_path",
+    "load_breaker_state",
+    "reset_breakers",
+]
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Schema version of the on-disk breaker state file.
+STATE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When a backend's breaker trips, and how it recovers.
+
+    Attributes
+    ----------
+    consecutive_failures:
+        Trip after this many failures in a row.
+    failure_rate / window / min_calls:
+        Trip when at least ``failure_rate`` of the last ``window``
+        calls failed, once ``min_calls`` calls have been observed
+        (so a single early failure cannot trip a rate of 1.0).
+    reset_timeout:
+        Seconds an open breaker waits before going half-open.
+    half_open_probes:
+        How many probe calls a half-open breaker admits before it
+        rejects again while awaiting their verdict.
+    """
+
+    consecutive_failures: int = 5
+    failure_rate: float = 0.5
+    window: int = 20
+    min_calls: int = 10
+    reset_timeout: float = 30.0
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.consecutive_failures < 1:
+            raise ValueError(
+                f"consecutive_failures must be >= 1, got {self.consecutive_failures}"
+            )
+        if not 0.0 < self.failure_rate <= 1.0:
+            raise ValueError(
+                f"failure_rate must be in (0, 1], got {self.failure_rate}"
+            )
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.min_calls < 1:
+            raise ValueError(f"min_calls must be >= 1, got {self.min_calls}")
+        if self.reset_timeout < 0:
+            raise ValueError(
+                f"reset_timeout must be >= 0, got {self.reset_timeout}"
+            )
+        if self.half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+
+
+class CircuitBreaker:
+    """One backend's health gate; see the module docstring.
+
+    ``clock`` is injectable (default ``time.monotonic``) so tests
+    exercise the open -> half-open timeout without real sleeps.
+    """
+
+    def __init__(
+        self,
+        backend_id: str,
+        policy: Optional[BreakerPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
+        state_path: Optional[str] = None,
+    ) -> None:
+        self.backend_id = backend_id
+        self.policy = policy or BreakerPolicy()
+        self.clock = clock
+        self.state_path = state_path
+        self.state = CLOSED
+        self.consecutive = 0
+        self.outcomes: Deque[bool] = deque(maxlen=self.policy.window)
+        self.calls_seen = 0
+        self.opened_at: Optional[float] = None
+        self.probes_in_flight = 0
+        self.last_error: Optional[str] = None
+        self.transitions = 0
+
+    # ------------------------------------------------------------------
+    def allow(self) -> Optional[str]:
+        """``None`` when a call may proceed, else a rejection reason.
+
+        An open breaker past its reset timeout flips to half-open and
+        admits up to ``half_open_probes`` probe calls; the caller must
+        report each probe's verdict via :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        if self.state == OPEN:
+            elapsed = self.clock() - (self.opened_at or 0.0)
+            if elapsed < self.policy.reset_timeout:
+                self._count("rejected")
+                return (
+                    f"breaker for {self.backend_id!r} is open "
+                    f"({self.policy.reset_timeout - elapsed:.1f} s until half-open)"
+                )
+            self._transition(HALF_OPEN)
+            self.probes_in_flight = 0
+        if self.state == HALF_OPEN:
+            if self.probes_in_flight >= self.policy.half_open_probes:
+                self._count("rejected")
+                return (
+                    f"breaker for {self.backend_id!r} is half-open with its "
+                    f"probe budget ({self.policy.half_open_probes}) in flight"
+                )
+            self.probes_in_flight += 1
+        return None
+
+    def record_success(self) -> None:
+        """A call succeeded: close a half-open breaker, clear streaks."""
+        self.calls_seen += 1
+        if self.state == HALF_OPEN:
+            self.probes_in_flight = max(0, self.probes_in_flight - 1)
+            self._transition(CLOSED)
+            self.outcomes.clear()
+        else:
+            self.outcomes.append(True)
+        self.consecutive = 0
+        self._persist()
+
+    def record_failure(self, error: BaseException) -> None:
+        """A call failed: trip when a trip condition is now met."""
+        self.calls_seen += 1
+        self.last_error = f"{type(error).__name__}: {error}"
+        if self.state == HALF_OPEN:
+            self.probes_in_flight = max(0, self.probes_in_flight - 1)
+            self._transition(OPEN)
+            self._persist()
+            return
+        self.outcomes.append(False)
+        self.consecutive += 1
+        if self.state == CLOSED and self._should_trip():
+            self._transition(OPEN)
+        self._persist()
+
+    # ------------------------------------------------------------------
+    def _should_trip(self) -> bool:
+        if self.consecutive >= self.policy.consecutive_failures:
+            return True
+        if self.calls_seen >= self.policy.min_calls and self.outcomes:
+            failures = sum(1 for ok in self.outcomes if not ok)
+            if failures / len(self.outcomes) >= self.policy.failure_rate:
+                return True
+        return False
+
+    def _transition(self, state: str) -> None:
+        previous = self.state
+        self.state = state
+        self.transitions += 1
+        if state == OPEN:
+            self.opened_at = self.clock()
+            self._count("opened")
+        elif state == HALF_OPEN:
+            self._count("half_opened")
+        else:
+            self.opened_at = None
+            self._count("closed")
+        events.record(
+            "breaker", self.backend_id, transition=f"{previous} -> {state}",
+            last_error=self.last_error,
+        )
+
+    def _count(self, what: str) -> None:
+        obs_metrics.registry().counter(
+            f"breaker.{self.backend_id}.{what}"
+        ).inc()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The breaker's current state as a plain JSON-able dict."""
+        return {
+            "schema_version": STATE_SCHEMA_VERSION,
+            "backend_id": self.backend_id,
+            "state": self.state,
+            "consecutive_failures": self.consecutive,
+            "calls_seen": self.calls_seen,
+            "window": [1 if ok else 0 for ok in self.outcomes],
+            "transitions": self.transitions,
+            "last_error": self.last_error,
+            "updated_unix": time.time(),
+        }
+
+    def _persist(self) -> None:
+        """Best-effort atomic mirror of :meth:`snapshot` to disk."""
+        if not self.state_path:
+            return
+        directory = os.path.dirname(self.state_path) or "."
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=directory, prefix=".breaker-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+                os.replace(tmp_path, self.state_path)
+            except BaseException:
+                if os.path.exists(tmp_path):
+                    os.unlink(tmp_path)
+                raise
+        except OSError:
+            pass  # a read-only disk must not turn health reporting into failures
+
+
+# ----------------------------------------------------------------------
+# Registry: one breaker per (backend id, state dir) per process
+# ----------------------------------------------------------------------
+_BREAKERS: Dict[Tuple[str, Optional[str]], CircuitBreaker] = {}
+
+
+def breaker_state_path(state_dir: str, backend_id: str) -> str:
+    """Where a backend's breaker state file lives inside ``state_dir``."""
+    return os.path.join(state_dir, f"{backend_id}.breaker.json")
+
+
+def breaker_for(
+    backend_id: str,
+    policy: Optional[BreakerPolicy] = None,
+    state_dir: Optional[str] = None,
+    clock: Callable[[], float] = time.monotonic,
+) -> CircuitBreaker:
+    """The process-wide breaker of one backend (created on first use).
+
+    Repeated calls with the same ``(backend_id, state_dir)`` return
+    the same instance — a sweep's worker evaluations all feed one
+    health record — so the *first* caller's policy and clock win.
+    """
+    key = (backend_id, state_dir)
+    breaker = _BREAKERS.get(key)
+    if breaker is None:
+        state_path = (
+            breaker_state_path(state_dir, backend_id) if state_dir else None
+        )
+        breaker = CircuitBreaker(
+            backend_id, policy=policy, clock=clock, state_path=state_path
+        )
+        _BREAKERS[key] = breaker
+    return breaker
+
+
+def reset_breakers() -> None:
+    """Drop every process-wide breaker (tests, chaos-run isolation)."""
+    _BREAKERS.clear()
+
+
+def load_breaker_state(path: str) -> Optional[Dict[str, Any]]:
+    """Read a breaker state file written by :meth:`CircuitBreaker._persist`.
+
+    Returns ``None`` when the file is missing, unreadable, malformed,
+    or of a foreign schema — health display is best-effort and must
+    never fail the command rendering it.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("schema_version") != STATE_SCHEMA_VERSION:
+        return None
+    if not isinstance(payload.get("backend_id"), str):
+        return None
+    return payload

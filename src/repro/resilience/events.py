@@ -1,0 +1,69 @@
+"""Process-local structured log of resilience events.
+
+Counters (the metrics registry) say *how often* a deadline kill or a
+breaker transition happened; this log says *what exactly* happened,
+in order, with enough structure for the
+:class:`~repro.obs.RunManifest` to record every deadline kill, retry,
+breaker transition and ``degraded_from`` stamp of a run. The sweep
+runner drains it after each sweep and folds the events into the
+manifest's ``resilience`` section.
+
+Like the metrics registry, the log is process-local: a serial sweep
+(the mode the chaos harness uses) sees every event; pooled worker
+processes accumulate their own logs, which die with them — the
+manifest notes that limitation rather than pretending otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..obs import metrics as obs_metrics
+
+__all__ = ["record", "drain", "peek", "summarize"]
+
+_EVENTS: List[Dict[str, Any]] = []
+
+#: Hard bound so a pathological retry storm cannot grow the log (and
+#: the manifest embedding it) without limit; overflow is counted in
+#: the ``resilience.events_dropped`` metric instead.
+MAX_EVENTS = 10_000
+
+
+def record(kind: str, backend_id: str, **detail: Any) -> None:
+    """Append one event (``kind``, ``backend`` plus free-form detail)."""
+    if len(_EVENTS) >= MAX_EVENTS:
+        obs_metrics.registry().counter("resilience.events_dropped").inc()
+        return
+    event = {"kind": str(kind), "backend": str(backend_id)}
+    event.update(detail)
+    _EVENTS.append(event)
+
+
+def peek() -> List[Dict[str, Any]]:
+    """The events recorded so far, without clearing them."""
+    return list(_EVENTS)
+
+
+def drain() -> List[Dict[str, Any]]:
+    """Return all recorded events and clear the log."""
+    events = list(_EVENTS)
+    _EVENTS.clear()
+    return events
+
+
+def summarize(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Counts by event kind, plus degradation stamps, for a manifest."""
+    by_kind: Dict[str, int] = {}
+    degraded: List[str] = []
+    for event in events:
+        kind = event.get("kind", "?")
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+        if kind == "degraded":
+            degraded.append(
+                f"{event.get('from', '?')} -> {event.get('to', '?')}"
+            )
+    summary: Dict[str, Any] = {"by_kind": by_kind}
+    if degraded:
+        summary["degraded"] = degraded
+    return summary

@@ -1,0 +1,105 @@
+"""Retry policy and seed-stream derivation.
+
+Home of :class:`RetryPolicy` (exponential backoff, cap, deterministic
+jitter) and :func:`derive_attempt_seed` (the PR-1 ``retry/`` stream
+key convention). Both were born in
+:mod:`repro.experiments.resilience`, which now re-exports them; the
+backend layer (:mod:`repro.resilience.backend`) shares the exact same
+policy so a retried evaluation never deterministically replays the
+sample path that just failed.
+
+Determinism contract: nothing here consults a random source. The
+jitter of attempt ``k`` is a stable hash of ``(token, k)``, so two
+runs of the same configuration back off identically — flaky-test
+margins cannot creep in through the retry schedule.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..san.rng import stable_stream_key
+
+__all__ = ["RetryPolicy", "derive_attempt_seed", "jitter_fraction"]
+
+
+def derive_attempt_seed(base_seed: int, attempt: int) -> int:
+    """The seed of retry ``attempt`` for a point whose first attempt
+    used ``base_seed``.
+
+    Attempt 0 keeps the base seed (so runs without failures match the
+    historical seeding exactly); attempt ``k > 0`` folds ``(seed, k)``
+    through the same stable hash the stream registry uses, giving the
+    retry an independent sample path instead of deterministically
+    replaying whatever poisoned the first attempt.
+    """
+    if attempt == 0:
+        return base_seed
+    return stable_stream_key(f"retry/{base_seed}/{attempt}")
+
+
+def jitter_fraction(token: object, attempt: int) -> float:
+    """A deterministic unit-interval value in ``[0, 1)`` for jitter.
+
+    Hashes ``(token, attempt)`` so distinct attempts (and distinct
+    work items) spread out, while the same attempt of the same item
+    jitters identically across runs.
+    """
+    digest = hashlib.blake2b(
+        f"jitter/{token}/{attempt}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed or hung work is retried.
+
+    ``delay_for(attempt)`` is the backoff slept before attempt
+    ``attempt`` (1-based for retries): ``backoff_base * backoff_factor
+    ** (attempt - 1)``, capped at ``backoff_max``. With ``jitter > 0``
+    a deterministic fraction of the capped delay is added on top —
+    ``delay * (1 + jitter * u)`` with ``u`` in ``[0, 1)`` hashed from
+    ``(token, attempt)`` — so concurrent retries of different items
+    de-synchronise without ever consulting a random source.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ValueError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.backoff_max < 0:
+            raise ValueError(f"backoff_max must be >= 0, got {self.backoff_max}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay_for(self, attempt: int, token: object = None) -> float:
+        """Backoff (seconds) before the given retry attempt (>= 1).
+
+        ``token`` feeds the deterministic jitter hash; pass something
+        identifying the work item (a point index, a cache key) so
+        different items jitter differently. With ``jitter == 0`` (the
+        default) the token is irrelevant and the schedule is the exact
+        historical one.
+        """
+        if attempt < 1:
+            return 0.0
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+        if self.jitter and delay > 0.0:
+            delay *= 1.0 + self.jitter * jitter_fraction(token, attempt)
+        return delay

@@ -150,3 +150,52 @@ class TestWarmCacheSweep:
         assert figure.backend == "analytical"
         ys = figure.y_values("s")
         assert all(0 < y <= 1 for y in ys)
+
+
+class TestTmpJanitor:
+    """The init-time sweep of orphaned atomic-write temp files."""
+
+    @staticmethod
+    def plant_tmp(root, name=".cache-deadbeef.json.tmp", age=None):
+        shard = root / "ab"
+        shard.mkdir(parents=True, exist_ok=True)
+        tmp_file = shard / name
+        tmp_file.write_text("{}", encoding="utf-8")
+        if age is not None:
+            old = os.path.getmtime(tmp_file) - age
+            os.utime(tmp_file, (old, old))
+        return tmp_file
+
+    def test_stale_tmp_is_swept_and_counted(self, tmp_path):
+        from repro.backends.cache import TMP_SWEEP_AGE_SECONDS
+        from repro.obs import metrics
+
+        stale = self.plant_tmp(tmp_path, age=TMP_SWEEP_AGE_SECONDS + 10)
+        counter = metrics.registry().counter("cache.tmp_swept")
+        before = counter.value
+        ResultCache(str(tmp_path))
+        assert not stale.exists()
+        assert counter.value == before + 1
+
+    def test_fresh_tmp_is_left_for_its_writer(self, tmp_path):
+        fresh = self.plant_tmp(tmp_path)  # mtime = now
+        ResultCache(str(tmp_path))
+        assert fresh.exists()
+
+    def test_sweep_runs_once_per_root_per_process(self, tmp_path):
+        from repro.backends.cache import TMP_SWEEP_AGE_SECONDS
+
+        ResultCache(str(tmp_path))  # registers the root as swept
+        stale = self.plant_tmp(tmp_path, age=TMP_SWEEP_AGE_SECONDS + 10)
+        ResultCache(str(tmp_path))  # second open: no second sweep
+        assert stale.exists()
+
+    def test_completed_entries_are_never_swept(self, tmp_path):
+        from repro.backends.cache import TMP_SWEEP_AGE_SECONDS
+
+        real = self.plant_tmp(
+            tmp_path, name="cache-deadbeef.json",
+            age=TMP_SWEEP_AGE_SECONDS + 10,
+        )
+        ResultCache(str(tmp_path))
+        assert real.exists()

@@ -1,0 +1,107 @@
+"""The ``repro chaos`` subcommand: end-to-end recovery and its error
+contracts.
+
+The smoke run uses a heavily scaled-down fig4a slice (4 points, 5% of
+the quick preset) so the clean+faulted pair completes in a couple of
+seconds; the crash fraction is high enough that at least one injected
+fault is statistically certain to fire across the four evaluation
+keys.
+"""
+
+import pytest
+
+from repro.experiments import cli, run_chaos
+from repro.experiments.faultinject import BackendFaultPlan
+from repro.resilience import events, reset_breakers
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_state():
+    reset_breakers()
+    events.drain()
+    yield
+    reset_breakers()
+    events.drain()
+
+
+SMOKE_ARGS = [
+    "chaos",
+    "fig4a",
+    "--preset",
+    "quick",
+    "--scale",
+    "0.05",
+    "--max-points",
+    "4",
+    "--crash",
+    "0.9",
+    "--retries",
+    "1",
+    "--deadline",
+    "60",
+]
+
+
+class TestChaosSmoke:
+    def test_crash_plan_recovers_bit_identically(self, tmp_path, capsys):
+        state_dir = str(tmp_path / "health")
+        out_dir = str(tmp_path / "chaos-out")
+        rc = cli.main(
+            SMOKE_ARGS + ["--state-dir", state_dir, "--out", out_dir]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "verdict: RECOVERED" in captured.out
+        assert "archives: bit-identical" in captured.out
+        # Both archives landed for post-mortem comparison.
+        assert (tmp_path / "chaos-out" / "clean").is_dir()
+        assert (tmp_path / "chaos-out" / "faulted").is_dir()
+
+    def test_backends_renders_breaker_state_after_chaos(
+        self, tmp_path, capsys
+    ):
+        state_dir = str(tmp_path / "health")
+        rc = cli.main(SMOKE_ARGS + ["--state-dir", state_dir])
+        assert rc == 0
+        capsys.readouterr()
+        rc = cli.main(["backends", "--state-dir", state_dir])
+        captured = capsys.readouterr()
+        assert rc == 0
+        # A 0.9 crash fraction over 4 points trips the 3-consecutive
+        # chaos breaker on san-sim; the state file records it.
+        assert "breaker: open" in captured.out
+        assert "last error" in captured.out
+
+
+class TestChaosApi:
+    def test_fault_free_plan_is_trivially_recovered(self):
+        outcome = run_chaos(
+            "fig4a",
+            preset="quick",
+            scale=0.05,
+            max_points=2,
+            fault_plan=BackendFaultPlan(backend_id="san-sim", salt="quiet"),
+        )
+        assert outcome.recovered
+        assert outcome.bit_identical
+        assert outcome.faults_fired == 0
+
+
+class TestChaosErrors:
+    def test_unknown_figure_exits_2(self, capsys):
+        rc = cli.main(["chaos", "no-such-figure"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "choose from" in (captured.err + captured.out)
+
+    def test_custom_figure_exits_2(self, capsys):
+        rc = cli.main(["chaos", "fig3"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "sweep figure" in (captured.err + captured.out)
+
+    def test_bad_scale_exits_2(self, capsys):
+        rc = cli.main(["chaos", "fig4a", "--scale", "0"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "scale" in (captured.err + captured.out).lower()

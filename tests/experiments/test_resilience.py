@@ -325,28 +325,181 @@ class TestPoolSupervision:
         assert figure.series["s"][0] == reference.series["s"][0]
         assert figure.series["s"][2] == reference.series["s"][2]
 
-    def test_hung_worker_is_killed_and_retried(self):
-        points = make_points(2)
-        reference = sweep(points)
-        plan = FaultPlan().hang(0, attempts=(0,), seconds=60)
-        figure = sweep(
-            points,
-            processes=2,
-            resilience=ResilienceOptions(
-                retry=FAST_RETRY, point_timeout=3.0, fault_plan=plan
-            ),
-        )
-        assert not figure.failures
-        assert [x for x, _, _ in figure.series["s"]] == [1.0, 2.0]
-        # The point that was never hung matches the serial run exactly.
-        assert figure.series["s"][1] == reference.series["s"][1]
-
     def test_serial_timeout_records_note(self):
         figure = sweep(
             make_points(1),
             resilience=ResilienceOptions(point_timeout=5.0),
         )
         assert any("point_timeout" in note for note in figure.notes)
+
+
+class FakeClock:
+    """A monotonic clock whose ``sleep`` advances it instantly."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += max(0.0, seconds)
+
+
+class ScriptedAsyncResult:
+    """An AsyncResult double: ready immediately, or hung forever."""
+
+    def __init__(self, value=None, hang=False, clock=None):
+        self.value = value
+        self.hang = hang
+        self.clock = clock
+
+    def wait(self, timeout=None):
+        if self.hang and timeout:
+            self.clock.sleep(timeout)
+
+    def ready(self):
+        return not self.hang
+
+    def get(self):
+        return self.value
+
+
+class StubPool:
+    """A pool double running workers synchronously in-process, except
+    for ``(index, attempt)`` pairs scripted to hang forever."""
+
+    def __init__(self, clock, hangs=()):
+        self.clock = clock
+        self.hangs = set(hangs)
+        self.terminated = False
+        self.closed = False
+
+    def apply_async(self, func, args):
+        index, attempt = args[-3], args[-2]
+        if (index, attempt) in self.hangs:
+            return ScriptedAsyncResult(hang=True, clock=self.clock)
+        return ScriptedAsyncResult(value=func(*args))
+
+    def close(self):
+        self.closed = True
+
+    def terminate(self):
+        self.terminated = True
+
+    def join(self):
+        pass
+
+
+class TestDeterministicSupervision:
+    """Hang detection and retry backoff on a fake clock: no real
+    sleeps, no real pools, no timing margins to go flaky under load.
+
+    The real-pool integration path stays covered by
+    ``test_pool_crash_retry_matches_serial`` above.
+    """
+
+    @staticmethod
+    def ok_worker(seed, index, attempt, fault_plan):
+        return ("ok", ("s", float(index + 1), 0.5, 0.0))
+
+    @staticmethod
+    def make_tasks(count):
+        from repro.experiments.resilience import PointTask
+
+        return [
+            PointTask(index=i, series="s", x=float(i + 1), base_seed=7, args=())
+            for i in range(count)
+        ]
+
+    def test_hung_worker_is_killed_and_retried(self):
+        from repro.experiments.resilience import SweepSupervisor
+
+        clock = FakeClock()
+        pools = []
+
+        def pool_factory():
+            # The first pool hangs point 0's first attempt; replacement
+            # pools are healthy.
+            pool = StubPool(clock, hangs={(0, 0)} if not pools else set())
+            pools.append(pool)
+            return pool
+
+        supervisor = SweepSupervisor(
+            self.ok_worker,
+            ResilienceOptions(retry=FAST_RETRY, point_timeout=5.0),
+            processes=2,
+            clock=clock,
+            sleep=clock.sleep,
+            pool_factory=pool_factory,
+        )
+        result = supervisor.run(self.make_tasks(2))
+        assert not result.failures
+        assert set(result.outcomes) == {0, 1}
+        assert result.attempts[0] == 2  # killed once, then succeeded
+        assert result.attempts[1] == 1
+        assert len(pools) == 2  # the hung pool was replaced
+        assert pools[0].terminated
+        # The supervisor waited out one point timeout plus the backoff,
+        # nothing near the "hang" itself (which never returns).
+        assert clock.now <= 5.0 + FAST_RETRY.delay_for(1) + 1.0
+
+    def test_hung_point_exhausts_retries_into_failure_report(self):
+        from repro.experiments.resilience import SweepSupervisor
+
+        clock = FakeClock()
+
+        def pool_factory():
+            # Every pool hangs every attempt of point 0.
+            return StubPool(clock, hangs={(0, a) for a in range(10)})
+
+        supervisor = SweepSupervisor(
+            self.ok_worker,
+            ResilienceOptions(
+                retry=RetryPolicy(max_retries=1, backoff_base=0.01),
+                point_timeout=5.0,
+            ),
+            processes=2,
+            clock=clock,
+            sleep=clock.sleep,
+            pool_factory=pool_factory,
+        )
+        result = supervisor.run(self.make_tasks(1))
+        assert len(result.failures) == 1
+        assert result.failures[0].error_type == "PointTimeout"
+        assert result.failures[0].attempts == 2
+
+    def test_serial_backoff_follows_the_policy_exactly(self):
+        from repro.experiments.resilience import SweepSupervisor
+
+        clock = FakeClock()
+        attempts_seen = []
+
+        def flaky_worker(seed, index, attempt, fault_plan):
+            attempts_seen.append(attempt)
+            if attempt < 2:
+                return ("error", {"error_type": "Boom", "error_message": "x"})
+            return ("ok", ("s", 1.0, 0.5, 0.0))
+
+        policy = RetryPolicy(
+            max_retries=3, backoff_base=10.0, backoff_factor=2.0,
+            backoff_max=60.0,
+        )
+        supervisor = SweepSupervisor(
+            flaky_worker,
+            ResilienceOptions(retry=policy),
+            processes=1,
+            clock=clock,
+            sleep=clock.sleep,
+        )
+        result = supervisor.run(self.make_tasks(1))
+        assert not result.failures
+        assert attempts_seen == [0, 1, 2]
+        # Two backoffs were slept, both at their exact policy values.
+        assert clock.sleeps == [policy.delay_for(1), policy.delay_for(2)]
+        assert clock.now == pytest.approx(10.0 + 20.0)
 
 
 class TestPoolShutdownErrors:

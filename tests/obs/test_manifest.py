@@ -76,6 +76,42 @@ class TestRoundTrip:
         assert loaded.points_from_cache == loaded.points_total
 
 
+class TestResilienceSection:
+    SECTION = {
+        "events": [
+            {"kind": "retry", "backend": "san-sim", "attempt": 1},
+            {"kind": "degraded", "backend": "san-sim"},
+        ],
+        "summary": {
+            "by_kind": {"retry": 1, "degraded": 1},
+            "degraded": ["san-sim -> san-sim-full"],
+        },
+    }
+
+    def test_round_trips(self, tmp_path):
+        manifest = make_manifest(resilience=self.SECTION)
+        loaded = load_manifest(write_manifest(manifest, str(tmp_path)))
+        assert loaded.resilience == self.SECTION
+
+    def test_absent_in_old_payloads_loads_as_none(self, tmp_path):
+        path = Path(write_manifest(make_manifest(), str(tmp_path)))
+        payload = json.loads(path.read_text())
+        assert payload["resilience"] is None
+        del payload["resilience"]  # a pre-PR-6 manifest
+        path.write_text(json.dumps(payload))
+        assert load_manifest(path).resilience is None
+
+    def test_render_shows_events_and_degradations(self):
+        text = render_manifest(make_manifest(resilience=self.SECTION))
+        assert "resilience: 2 event(s)" in text
+        assert "degraded=1" in text
+        assert "retry=1" in text
+        assert "degraded: san-sim -> san-sim-full" in text
+
+    def test_render_without_section_is_silent(self):
+        assert "resilience" not in render_manifest(make_manifest())
+
+
 class TestSchemaRejection:
     def test_wrong_schema_version(self, tmp_path):
         path = Path(write_manifest(make_manifest(), str(tmp_path)))

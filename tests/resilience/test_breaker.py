@@ -1,0 +1,192 @@
+"""Circuit-breaker state machine, trip conditions, and state files.
+
+Every timing-sensitive transition (open -> half-open after the reset
+timeout) runs on a fake clock; no test here sleeps.
+"""
+
+import json
+
+import pytest
+
+from repro.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    breaker_for,
+    breaker_state_path,
+    load_breaker_state,
+    reset_breakers,
+)
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    """A monotonic clock advanced explicitly by tests."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(policy=None, state_path=None):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        "stub", policy=policy or BreakerPolicy(), clock=clock,
+        state_path=state_path,
+    )
+    return breaker, clock
+
+
+class TestTripConditions:
+    def test_trips_after_consecutive_failures(self):
+        policy = BreakerPolicy(consecutive_failures=3, min_calls=100)
+        breaker, _ = make_breaker(policy)
+        for _ in range(2):
+            breaker.record_failure(RuntimeError("boom"))
+            assert breaker.state == CLOSED
+        breaker.record_failure(RuntimeError("boom"))
+        assert breaker.state == OPEN
+
+    def test_success_resets_the_streak(self):
+        policy = BreakerPolicy(consecutive_failures=3, min_calls=100)
+        breaker, _ = make_breaker(policy)
+        breaker.record_failure(RuntimeError("boom"))
+        breaker.record_failure(RuntimeError("boom"))
+        breaker.record_success()
+        breaker.record_failure(RuntimeError("boom"))
+        breaker.record_failure(RuntimeError("boom"))
+        assert breaker.state == CLOSED
+
+    def test_trips_on_failure_rate_after_min_calls(self):
+        policy = BreakerPolicy(
+            consecutive_failures=100, failure_rate=0.5, window=10, min_calls=6
+        )
+        breaker, _ = make_breaker(policy)
+        # Alternate success/failure: never 2 consecutive, but the rate
+        # reaches 0.5 once enough calls are in the window.
+        for _ in range(3):
+            breaker.record_success()
+            breaker.record_failure(RuntimeError("boom"))
+        assert breaker.state == OPEN
+
+    def test_rate_needs_min_calls(self):
+        policy = BreakerPolicy(
+            consecutive_failures=100, failure_rate=0.5, window=10, min_calls=10
+        )
+        breaker, _ = make_breaker(policy)
+        breaker.record_failure(RuntimeError("boom"))  # rate 1.0, 1 call
+        assert breaker.state == CLOSED
+
+
+class TestRecovery:
+    def test_open_rejects_until_reset_timeout(self):
+        policy = BreakerPolicy(consecutive_failures=1, reset_timeout=30.0)
+        breaker, clock = make_breaker(policy)
+        breaker.record_failure(RuntimeError("boom"))
+        assert breaker.state == OPEN
+        assert breaker.allow() is not None
+        clock.advance(29.0)
+        assert breaker.allow() is not None
+        clock.advance(2.0)
+        assert breaker.allow() is None  # the probe is admitted
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_probe_budget(self):
+        policy = BreakerPolicy(
+            consecutive_failures=1, reset_timeout=10.0, half_open_probes=1
+        )
+        breaker, clock = make_breaker(policy)
+        breaker.record_failure(RuntimeError("boom"))
+        clock.advance(11.0)
+        assert breaker.allow() is None
+        # The probe budget is in flight: further calls are rejected.
+        assert breaker.allow() is not None
+
+    def test_probe_success_closes(self):
+        policy = BreakerPolicy(consecutive_failures=1, reset_timeout=10.0)
+        breaker, clock = make_breaker(policy)
+        breaker.record_failure(RuntimeError("boom"))
+        clock.advance(11.0)
+        assert breaker.allow() is None
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow() is None
+
+    def test_probe_failure_reopens(self):
+        policy = BreakerPolicy(consecutive_failures=1, reset_timeout=10.0)
+        breaker, clock = make_breaker(policy)
+        breaker.record_failure(RuntimeError("first"))
+        clock.advance(11.0)
+        assert breaker.allow() is None
+        breaker.record_failure(RuntimeError("probe failed"))
+        assert breaker.state == OPEN
+        assert breaker.allow() is not None
+        # And it can recover again after another timeout.
+        clock.advance(11.0)
+        assert breaker.allow() is None
+
+
+class TestStateFile:
+    def test_persists_and_loads(self, tmp_path):
+        path = str(tmp_path / "stub.breaker.json")
+        policy = BreakerPolicy(consecutive_failures=2)
+        breaker, _ = make_breaker(policy, state_path=path)
+        breaker.record_failure(RuntimeError("boom"))
+        breaker.record_failure(RuntimeError("boom again"))
+        state = load_breaker_state(path)
+        assert state is not None
+        assert state["state"] == OPEN
+        assert state["backend_id"] == "stub"
+        assert state["consecutive_failures"] == 2
+        assert "boom again" in state["last_error"]
+
+    def test_load_missing_or_malformed_is_none(self, tmp_path):
+        assert load_breaker_state(str(tmp_path / "nope.json")) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{truncated", encoding="utf-8")
+        assert load_breaker_state(str(bad)) is None
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text(
+            json.dumps({"schema_version": 999, "backend_id": "x"}),
+            encoding="utf-8",
+        )
+        assert load_breaker_state(str(foreign)) is None
+
+    def test_unwritable_state_dir_does_not_fail_calls(self, tmp_path):
+        # Point the state file into a path that cannot be created (a
+        # file where a directory is needed): recording must not raise.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("", encoding="utf-8")
+        path = str(blocker / "sub" / "stub.breaker.json")
+        breaker, _ = make_breaker(BreakerPolicy(consecutive_failures=1),
+                                  state_path=path)
+        breaker.record_failure(RuntimeError("boom"))
+        assert breaker.state == OPEN
+
+
+class TestRegistry:
+    def setup_method(self):
+        reset_breakers()
+
+    def teardown_method(self):
+        reset_breakers()
+
+    def test_same_key_returns_same_instance(self):
+        first = breaker_for("san-sim")
+        second = breaker_for("san-sim")
+        assert first is second
+        assert breaker_for("san-sim", state_dir="/tmp/x") is not first
+
+    def test_reset_drops_instances(self):
+        first = breaker_for("san-sim")
+        reset_breakers()
+        assert breaker_for("san-sim") is not first
+
+    def test_state_path_layout(self):
+        assert breaker_state_path("health", "san-sim").endswith(
+            "health/san-sim.breaker.json"
+        )

@@ -1,0 +1,329 @@
+"""The resilient execution path: deadlines, retries, degradation,
+breaker integration, and the cache-purity report.
+
+Stub backends run in-process (subprocess isolation silently steps
+aside for unregistered backends), so everything except the real
+deadline-kill test is fast and deterministic.
+"""
+
+import pytest
+
+from repro.backends import (
+    EvaluationPlan,
+    EvaluationResult,
+    MetricValue,
+    UnsupportedParametersError,
+)
+from repro.backends.base import BackendCapabilities
+from repro.core import HOUR, ModelParameters, SimulationPlan
+from repro.experiments.faultinject import BackendFaultPlan, InjectedBackendFault
+from repro.resilience import (
+    BackendResilienceOptions,
+    BreakerPolicy,
+    DegradationPolicy,
+    ResilientBackend,
+    RetryPolicy,
+    derive_attempt_seed,
+    reset_breakers,
+)
+from repro.resilience.backend import DeadlineExceededError, evaluation_key
+from repro.resilience import events
+from repro.san.errors import WallClockExceededError
+
+TINY_SIM = SimulationPlan(warmup=2 * HOUR, observation=20 * HOUR, replications=1)
+PARAMS = ModelParameters(n_processors=8192)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_global_state():
+    reset_breakers()
+    events.drain()
+    yield
+    reset_breakers()
+    events.drain()
+
+
+class StubBackend:
+    """A scriptable in-process backend: fail N times, then succeed."""
+
+    def __init__(self, id="stub", failures=0, exc_factory=None,
+                 deterministic=False):
+        self.id = id
+        self.backend_version = 1
+        self.failures = failures
+        self.exc_factory = exc_factory or (lambda: RuntimeError("transient"))
+        self.seeds_seen = []
+        self.capabilities = BackendCapabilities(
+            metrics=frozenset({"useful_work_fraction"}),
+            deterministic=deterministic,
+            description="test stub",
+        )
+
+    def supports(self, params, plan):
+        return None
+
+    def evaluate(self, params, plan):
+        self.seeds_seen.append(plan.seed)
+        if self.failures > 0:
+            self.failures -= 1
+            raise self.exc_factory()
+        return EvaluationResult(
+            backend=self.id,
+            metrics={"useful_work_fraction": MetricValue(0.5, 0.01)},
+        )
+
+
+def make_resilient(backend, **options):
+    options.setdefault("retry", RetryPolicy(max_retries=2, backoff_base=0.0))
+    return ResilientBackend(backend, BackendResilienceOptions(**options))
+
+
+def make_plan(seed=7):
+    return EvaluationPlan(
+        metrics=("useful_work_fraction",), simulation=TINY_SIM, seed=seed
+    )
+
+
+class TestEvaluationKey:
+    def test_seed_is_excluded(self):
+        plan = make_plan(seed=7)
+        assert evaluation_key("b", PARAMS, plan) == evaluation_key(
+            "b", PARAMS, plan.with_seed(99)
+        )
+
+    def test_params_and_backend_matter(self):
+        plan = make_plan()
+        assert evaluation_key("a", PARAMS, plan) != evaluation_key(
+            "b", PARAMS, plan
+        )
+        other = PARAMS.with_overrides(n_processors=16384)
+        assert evaluation_key("a", PARAMS, plan) != evaluation_key(
+            "a", other, plan
+        )
+
+
+class TestDegradationPolicy:
+    def test_fallbacks_after_primary_in_chain(self):
+        policy = DegradationPolicy(chain=("a", "b", "c"))
+        assert policy.fallbacks_after("a") == ("b", "c")
+        assert policy.fallbacks_after("b") == ("c",)
+        assert policy.fallbacks_after("c") == ()
+
+    def test_chain_without_primary_is_used_whole(self):
+        policy = DegradationPolicy(chain=("b", "c"))
+        assert policy.fallbacks_after("a") == ("b", "c")
+
+    def test_duplicate_chain_rejected(self):
+        with pytest.raises(ValueError):
+            DegradationPolicy(chain=("a", "a"))
+
+
+class TestRetryPath:
+    def test_transient_failure_is_retried_on_derived_seed(self):
+        stub = StubBackend(failures=1)
+        resilient = make_resilient(stub)
+        result = resilient.evaluate(PARAMS, make_plan(seed=7))
+        assert result.metric("useful_work_fraction").mean == 0.5
+        assert stub.seeds_seen == [7, derive_attempt_seed(7, 1)]
+        report = resilient.last_report
+        assert report.attempts == 2
+        assert report.retries == 1
+        assert report.seed_diverged  # stochastic stub, non-base seed
+        assert not report.clean
+
+    def test_deterministic_backend_never_diverges(self):
+        stub = StubBackend(failures=1, deterministic=True)
+        resilient = make_resilient(stub)
+        resilient.evaluate(PARAMS, make_plan())
+        assert not resilient.last_report.seed_diverged
+
+    def test_clean_run_report(self):
+        stub = StubBackend()
+        resilient = make_resilient(stub)
+        resilient.evaluate(PARAMS, make_plan())
+        report = resilient.last_report
+        assert report.clean
+        assert report.attempts == 1
+        assert report.produced_backend == "stub"
+
+    def test_exhausted_retries_raise_last_error(self):
+        stub = StubBackend(failures=10)
+        resilient = make_resilient(stub, breaker=None)
+        with pytest.raises(RuntimeError, match="transient"):
+            resilient.evaluate(PARAMS, make_plan())
+        assert resilient.last_report.attempts == 3  # 1 + 2 retries
+
+    def test_cooperative_budget_trip_counts_as_deadline_kill(self):
+        stub = StubBackend(
+            failures=1,
+            exc_factory=lambda: WallClockExceededError(1.0, 2.0),
+        )
+        resilient = make_resilient(stub, deadline=30.0)
+        resilient.evaluate(PARAMS, make_plan())
+        assert resilient.last_report.deadline_kills == 1
+
+    def test_deadline_threads_wall_clock_budget(self):
+        captured = {}
+
+        class PlanSpy(StubBackend):
+            def evaluate(self, params, plan):
+                captured["budget"] = plan.simulation.wall_clock_budget
+                return super().evaluate(params, plan)
+
+        resilient = make_resilient(PlanSpy(), deadline=12.5)
+        resilient.evaluate(PARAMS, make_plan())
+        assert captured["budget"] == 12.5
+
+
+class TestDegradationPath:
+    def test_degrades_to_capable_fallback(self):
+        stub = StubBackend(id="stub-primary", failures=10)
+        resilient = make_resilient(
+            stub,
+            breaker=None,
+            degradation=DegradationPolicy(chain=("analytical",)),
+        )
+        result = resilient.evaluate(PARAMS, make_plan())
+        assert result.backend == "analytical"
+        assert any(
+            note.startswith("degraded_from: stub-primary")
+            for note in result.notes
+        )
+        report = resilient.last_report
+        assert report.degraded_from == "stub-primary"
+        assert report.produced_backend == "analytical"
+        assert not report.clean
+        kinds = [event["kind"] for event in events.peek()]
+        assert "degraded" in kinds
+
+    def test_unknown_fallbacks_are_skipped(self):
+        stub = StubBackend(failures=10)
+        resilient = make_resilient(
+            stub,
+            breaker=None,
+            degradation=DegradationPolicy(chain=("no-such", "analytical")),
+        )
+        result = resilient.evaluate(PARAMS, make_plan())
+        assert result.backend == "analytical"
+        reasons = [
+            event for event in events.peek() if event["kind"] == "unsupported"
+        ]
+        assert any("not registered" in event["reason"] for event in reasons)
+
+    def test_no_capable_candidate_raises(self):
+        stub = StubBackend(failures=10)
+        resilient = make_resilient(stub, breaker=None)
+        with pytest.raises(RuntimeError):
+            resilient.evaluate(PARAMS, make_plan())
+
+    def test_unsupported_error_moves_on_without_breaker_penalty(self):
+        def unsupported():
+            return UnsupportedParametersError("out of range")
+
+        stub = StubBackend(failures=10, exc_factory=unsupported)
+        resilient = make_resilient(
+            stub,
+            breaker=BreakerPolicy(consecutive_failures=1),
+            degradation=DegradationPolicy(chain=("analytical",)),
+        )
+        result = resilient.evaluate(PARAMS, make_plan())
+        assert result.backend == "analytical"
+        # One primary attempt, no retries (the error is permanent for
+        # this request), plus the fallback's own successful attempt.
+        assert resilient.last_report.attempts == 2
+        assert resilient.last_report.retries == 0
+        # And not a health signal: the trip-on-first-failure breaker
+        # never tripped.
+        from repro.resilience import breaker_for
+
+        assert breaker_for("stub").state == "closed"
+        assert breaker_for("stub").consecutive == 0
+
+
+class TestBreakerIntegration:
+    def test_open_breaker_short_circuits_to_fallback(self):
+        stub = StubBackend(failures=100)
+        options = dict(
+            breaker=BreakerPolicy(consecutive_failures=1, reset_timeout=3600.0),
+            degradation=DegradationPolicy(chain=("analytical",)),
+            retry=RetryPolicy(max_retries=0, backoff_base=0.0),
+        )
+        resilient = make_resilient(stub, **options)
+        # First call: the failure trips the breaker, then degrades
+        # (one primary attempt + one fallback attempt).
+        resilient.evaluate(PARAMS, make_plan())
+        assert resilient.last_report.attempts == 2
+        # Second call: the open breaker rejects the primary without an
+        # attempt; only the fallback runs.
+        resilient.evaluate(PARAMS, make_plan())
+        report = resilient.last_report
+        assert report.breaker_rejections == 1
+        assert report.attempts == 1
+        assert report.produced_backend == "analytical"
+        assert stub.seeds_seen == [7]  # the primary ran exactly once
+
+
+class TestFaultPlanInProcess:
+    def test_injected_crash_exhausts_and_raises(self):
+        stub = StubBackend()
+        plan = BackendFaultPlan(
+            backend_id="stub", crash_fraction=1.0, crash_attempts=None
+        )
+        resilient = make_resilient(stub, breaker=None, fault_plan=plan)
+        with pytest.raises(InjectedBackendFault):
+            resilient.evaluate(PARAMS, make_plan())
+        assert stub.seeds_seen == []  # the fault fires before evaluate
+
+    def test_injected_corruption_flows_through(self):
+        stub = StubBackend()
+        plan = BackendFaultPlan(
+            backend_id="stub", corrupt_fraction=1.0, corrupt_factor=10.0
+        )
+        resilient = make_resilient(stub, breaker=None, fault_plan=plan)
+        result = resilient.evaluate(PARAMS, make_plan())
+        assert result.metric("useful_work_fraction").mean == pytest.approx(5.0)
+        assert resilient.last_report.clean  # corruption is invisible here
+
+
+@pytest.mark.slow
+class TestSubprocessIsolation:
+    def test_hang_is_killed_at_the_deadline(self):
+        from repro.backends import get_backend
+
+        fault = BackendFaultPlan(
+            backend_id="san-sim", hang_fraction=1.0, hang_attempts=None,
+            hang_seconds=60.0,
+        )
+        resilient = ResilientBackend(
+            get_backend("san-sim"),
+            BackendResilienceOptions(
+                deadline=0.5,
+                retry=RetryPolicy(max_retries=0, backoff_base=0.0),
+                breaker=None,
+                isolation="process",
+                fault_plan=fault,
+            ),
+        )
+        with pytest.raises(DeadlineExceededError):
+            resilient.evaluate(PARAMS, make_plan())
+        assert resilient.last_report.deadline_kills == 1
+
+    def test_crash_in_child_is_reported_with_type(self):
+        from repro.backends import get_backend
+        from repro.resilience.backend import RemoteEvaluationError
+
+        fault = BackendFaultPlan(
+            backend_id="san-sim", crash_fraction=1.0, crash_attempts=None
+        )
+        resilient = ResilientBackend(
+            get_backend("san-sim"),
+            BackendResilienceOptions(
+                retry=RetryPolicy(max_retries=0, backoff_base=0.0),
+                breaker=None,
+                isolation="process",
+                fault_plan=fault,
+            ),
+        )
+        with pytest.raises(RemoteEvaluationError) as excinfo:
+            resilient.evaluate(PARAMS, make_plan())
+        assert excinfo.value.error_type == "InjectedBackendFault"

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.failures",
     "repro.workload",
     "repro.backends",
+    "repro.resilience",
     "repro.experiments",
 ]
 
@@ -74,7 +75,12 @@ MODULES = [
     "repro.backends.cluster",
     "repro.backends.analytical",
     "repro.backends.cache",
+    "repro.resilience.backend",
+    "repro.resilience.breaker",
+    "repro.resilience.events",
+    "repro.resilience.retry",
     "repro.experiments.archive",
+    "repro.experiments.chaos",
     "repro.experiments.cli",
     "repro.experiments.config",
     "repro.experiments.figures",
