@@ -14,11 +14,13 @@ Two gates are applied:
   value. Meaningful when run on hardware comparable to the machine
   that produced the baseline (a dev box refreshes it with
   ``--update``).
-* **relative** — the incremental/full kernel speedup ratio, computed
-  within one run so machine speed cancels out. This is the gate CI
-  relies on (``--ratio-only``): hosted runners vary too much for
-  absolute numbers, but the dependency index's advantage over the
-  full-rescan reference must not erode wherever the suite runs.
+* **relative** — the kernel speedup ratios, computed within one run so
+  machine speed cancels out: incremental over full (the dependency
+  index's advantage), and the batched SoA kernel at width 64 over both
+  scalar kernels (the lockstep kernel's effective-throughput
+  advantage). This is the gate CI relies on (``--ratio-only``): hosted
+  runners vary too much for absolute numbers, but a kernel's relative
+  advantage must not erode wherever the suite runs.
 
 Usage::
 
@@ -38,6 +40,16 @@ from pathlib import Path
 BASELINE_PATH = Path(__file__).parent / "BENCH_engine_baseline.json"
 INCREMENTAL_TEST = "test_san_event_throughput"
 FULL_TEST = "test_san_event_throughput_full_kernel"
+BATCHED_TEST = "test_san_event_throughput_batched_n64"
+
+#: Gated within-run speedup ratios: baseline key -> (numerator test,
+#: denominator test). Each ratio is recorded by ``--update`` and gated
+#: whenever the baseline carries it and the run produced both tests.
+RATIOS = {
+    "speedup_incremental_over_full": (INCREMENTAL_TEST, FULL_TEST),
+    "speedup_batched_over_incremental": (BATCHED_TEST, INCREMENTAL_TEST),
+    "speedup_batched_over_full": (BATCHED_TEST, FULL_TEST),
+}
 
 
 def load_throughputs(run_json: Path) -> dict:
@@ -51,12 +63,13 @@ def load_throughputs(run_json: Path) -> dict:
     return throughputs
 
 
-def speedup(throughputs: dict) -> float | None:
-    """Incremental-over-full kernel speedup, when both tests ran."""
-    incremental = throughputs.get(INCREMENTAL_TEST)
-    full = throughputs.get(FULL_TEST)
-    if incremental and full:
-        return incremental / full
+def speedup(throughputs: dict, key: str = "speedup_incremental_over_full") -> float | None:
+    """The named within-run speedup ratio, when both tests ran."""
+    numerator_test, denominator_test = RATIOS[key]
+    numerator = throughputs.get(numerator_test)
+    denominator = throughputs.get(denominator_test)
+    if numerator and denominator:
+        return numerator / denominator
     return None
 
 
@@ -64,7 +77,7 @@ def update_baseline(baseline_path: Path, throughputs: dict) -> None:
     baseline = {
         "note": (
             "events_per_sec per benchmark (kernel-internal counter) and the "
-            "incremental/full speedup ratio; refresh with "
+            "within-run kernel speedup ratios; refresh with "
             "check_benchmark_regression.py --update <run.json>"
         ),
         "benchmarks": {
@@ -72,9 +85,10 @@ def update_baseline(baseline_path: Path, throughputs: dict) -> None:
             for name, value in sorted(throughputs.items())
         },
     }
-    ratio = speedup(throughputs)
-    if ratio is not None:
-        baseline["speedup_incremental_over_full"] = round(ratio, 3)
+    for key in RATIOS:
+        ratio = speedup(throughputs, key)
+        if ratio is not None:
+            baseline[key] = round(ratio, 3)
     baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"baseline updated: {baseline_path}")
 
@@ -132,21 +146,34 @@ def main(argv=None) -> int:
                     f"({100 * (1 - current / base):.1f}% below baseline)"
                 )
 
-    base_ratio = baseline.get("speedup_incremental_over_full")
-    current_ratio = speedup(throughputs)
-    if base_ratio is not None and current_ratio is not None:
-        floor = float(base_ratio) * (1.0 - args.threshold)
-        verdict = "OK" if current_ratio >= floor else "REGRESSION"
-        print(
-            f"incremental/full speedup: {current_ratio:.2f}x "
-            f"(baseline {float(base_ratio):.2f}x, floor {floor:.2f}x) {verdict}"
-        )
-        if current_ratio < floor:
-            failures.append(
-                f"kernel speedup ratio {current_ratio:.2f}x below floor {floor:.2f}x"
+    ratios_checked = 0
+    for key in RATIOS:
+        base_ratio = baseline.get(key)
+        current_ratio = speedup(throughputs, key)
+        label = key.replace("speedup_", "").replace("_over_", "/")
+        if base_ratio is not None and current_ratio is not None:
+            ratios_checked += 1
+            floor = float(base_ratio) * (1.0 - args.threshold)
+            verdict = "OK" if current_ratio >= floor else "REGRESSION"
+            print(
+                f"{label} speedup: {current_ratio:.2f}x "
+                f"(baseline {float(base_ratio):.2f}x, floor {floor:.2f}x) {verdict}"
             )
-    elif args.ratio_only:
-        failures.append("speedup ratio unavailable (need both kernel benchmarks)")
+            if current_ratio < floor:
+                failures.append(
+                    f"{label} speedup ratio {current_ratio:.2f}x "
+                    f"below floor {floor:.2f}x"
+                )
+        elif base_ratio is not None:
+            # The baseline gates this ratio but the run lacks one of
+            # its tests — fail loudly rather than silently un-gate
+            # (e.g. the batched benches skipped for want of numpy).
+            failures.append(
+                f"{label} speedup unavailable: run is missing "
+                f"{' or '.join(t for t in RATIOS[key] if t not in throughputs)}"
+            )
+    if args.ratio_only and ratios_checked == 0:
+        failures.append("no speedup ratios available (need the kernel benchmarks)")
 
     if failures:
         print("\nBENCHMARK REGRESSION:")

@@ -7,7 +7,9 @@ this repository evaluates a checkpoint-system configuration:
 ``san-sim``
     Stochastic discrete-event simulation of the full SAN model
     (incremental kernel); ``san-sim-full`` is the same simulation on
-    the full-rescan reference kernel (bit-identical per seed).
+    the full-rescan reference kernel (bit-identical per seed);
+    ``san-sim-batched`` advances whole replication batches in numpy
+    lockstep (statistically equivalent, not bit-identical).
 ``ctmc``
     Exact steady state of the exponential checkpoint chain via the
     state-space generator.
@@ -39,6 +41,7 @@ from .base import (
     TOTAL_USEFUL_WORK,
     USEFUL_WORK_FRACTION,
     UnknownBackendError,
+    UnsupportedBackendError,
     UnsupportedMetricError,
     UnsupportedParametersError,
 )
@@ -66,6 +69,7 @@ __all__ = [
     "BackendCapabilities",
     "BackendError",
     "UnknownBackendError",
+    "UnsupportedBackendError",
     "UnsupportedMetricError",
     "UnsupportedParametersError",
     "SchemaMismatchError",
@@ -92,6 +96,7 @@ def _register_defaults() -> None:
     defaults = (
         SanSimulationBackend(),
         SanSimulationBackend(id="san-sim-full", kernel="full"),
+        SanSimulationBackend(id="san-sim-batched", kernel="batched"),
         CTMCBackend(),
         ClusterBackend(),
         AnalyticalBackend(),

@@ -54,6 +54,7 @@ __all__ = [
     "UnknownBackendError",
     "UnsupportedMetricError",
     "UnsupportedParametersError",
+    "UnsupportedBackendError",
     "SchemaMismatchError",
     "MetricValue",
     "EvaluationPlan",
@@ -123,6 +124,13 @@ class UnsupportedMetricError(BackendError, ValueError):
 class UnsupportedParametersError(BackendError, ValueError):
     """The backend cannot evaluate the given configuration (a model
     feature it does not implement, or a scale it cannot reach)."""
+
+
+class UnsupportedBackendError(BackendError, RuntimeError):
+    """The backend is registered but cannot run in this environment
+    (a missing optional dependency, e.g. numpy for the batched
+    kernel). Registration and ``repro backends`` listing still work;
+    only evaluation refuses, naming what is missing."""
 
 
 class SchemaMismatchError(BackendError, ValueError):

@@ -31,11 +31,15 @@ from .engine import Engine, EventHandle
 
 __all__ = ["Network", "SharedLink", "Transfer"]
 
-#: Residual bytes below this are floating-point noise, not payload:
-#: transfer sizes are megabytes, and the progress arithmetic
-#: (rate * dt) can leave O(1e-6)-byte remainders whose completion
-#: delay underflows the simulation clock.
-COMPLETION_EPSILON_BYTES = 1e-2
+#: Completion slack, expressed in *time*: a transfer whose residual
+#: completion delay is below this fraction of the current clock is
+#: treated as done. The progress arithmetic (rate * dt) can leave
+#: floating-point remainders whose rescheduled delay underflows the
+#: simulation clock (now + delay == now), so the slack sits a few
+#: orders of magnitude above double-precision ulp while staying far
+#: below any physically meaningful interval — it never rounds real
+#: payload out of a small transfer (work conservation).
+COMPLETION_EPSILON_REL = 1e-12
 
 
 class Network:
@@ -242,10 +246,17 @@ class SharedLink:
         """Finish every transfer whose bytes have drained."""
         self._completion_event = None
         self._advance()
-        eps = COMPLETION_EPSILON_BYTES
         heap = self._finish_heap
         finished: List[Transfer] = []
-        threshold = self._virtual + eps
+        # Residual virtual-bytes whose rescheduled delay would vanish
+        # under the current clock: delay = residual * k / bandwidth.
+        byte_eps = (
+            max(abs(self._engine.now), 1.0)
+            * COMPLETION_EPSILON_REL
+            * self.bandwidth
+            / max(1, self._n_active)
+        )
+        threshold = self._virtual + byte_eps
         while heap:
             virtual_finish, _, item = heap[0]
             if item.cancelled or item.done:
@@ -259,7 +270,7 @@ class SharedLink:
             # Guard against clock underflow: this event was scheduled
             # for the earliest finisher, so at least that transfer is
             # done up to floating-point noise. Finish it (and any peer
-            # within eps of it) despite the residual.
+            # within the same noise band) despite the residual.
             forced_threshold: Optional[float] = None
             while heap:
                 virtual_finish, _, item = heap[0]
@@ -267,7 +278,7 @@ class SharedLink:
                     heapq.heappop(heap)
                     continue
                 if forced_threshold is None:
-                    forced_threshold = virtual_finish + eps
+                    forced_threshold = virtual_finish + byte_eps
                 elif virtual_finish > forced_threshold:
                     break
                 heapq.heappop(heap)

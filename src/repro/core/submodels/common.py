@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from ...san import Exponential, RateModulation
 from ..ledger import WorkLedger
 from ..parameters import ModelParameters
 from . import names
@@ -18,6 +19,7 @@ from . import names
 __all__ = [
     "compute_nodes_up",
     "failure_rate_multiplier",
+    "modulated_failure_exponential",
     "abort_checkpoint_protocol",
     "roll_back_computation",
     "register_recovery_setback",
@@ -53,6 +55,33 @@ def failure_rate_multiplier(params: ModelParameters) -> Callable[[object], float
         return static
 
     return multiplier
+
+
+def modulated_failure_exponential(
+    params: ModelParameters, base_rate: float
+) -> Exponential:
+    """An exponential failure delay at ``base_rate`` scaled by the
+    correlated-failure multiplier.
+
+    The callable rate is the executable truth (used by the scalar
+    kernels — bit-identical to composing :func:`failure_rate_multiplier`
+    by hand); the :class:`~...san.RateModulation` annotation states the
+    same function declaratively so the batched kernel can resample from
+    the marking matrix without calling back into python.
+    """
+    multiplier = failure_rate_multiplier(params)
+
+    def rate(state) -> float:
+        return base_rate * multiplier(state)
+
+    return Exponential(
+        rate,
+        modulation=RateModulation(
+            base=base_rate * params.generic_uniform_multiplier,
+            factor=params.correlated_rate_multiplier,
+            places=(names.PROP_WINDOW, names.GEN_WINDOW),
+        ),
+    )
 
 
 def abort_checkpoint_protocol(state) -> None:

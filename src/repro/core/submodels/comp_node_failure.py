@@ -16,11 +16,22 @@ correlated-failure window.
 
 from __future__ import annotations
 
-from ...san import Case, Exponential, InputGate, OutputGate, SANModel, TimedActivity
+from ...san import (
+    Case,
+    InputGate,
+    OutputGate,
+    SANModel,
+    TimedActivity,
+    tokens_at_least,
+)
 from ..ledger import WorkLedger
 from ..parameters import ModelParameters
 from . import names
-from .common import compute_nodes_up, failure_rate_multiplier, roll_back_computation
+from .common import (
+    compute_nodes_up,
+    modulated_failure_exponential,
+    roll_back_computation,
+)
 
 __all__ = ["build_comp_node_failure"]
 
@@ -33,12 +44,6 @@ def build_comp_node_failure(
     model.add_place(names.GEN_WINDOW)
     model.add_place(names.COMP_FAILED)
 
-    multiplier = failure_rate_multiplier(params)
-    base_rate = params.compute_failure_rate
-
-    def rate(state) -> float:
-        return base_rate * multiplier(state)
-
     def on_failure(state) -> None:
         roll_back_computation(state, ledger, cause="compute")
 
@@ -49,13 +54,22 @@ def build_comp_node_failure(
     model.add_activity(
         TimedActivity(
             "comp_failure",
-            Exponential(rate),
+            modulated_failure_exponential(params, params.compute_failure_rate),
             input_gates=[
                 InputGate(
                     "compute_up",
                     predicate=compute_nodes_up,
                     function=on_failure,
                     reads=[names.EXECUTION, names.QUIESCING, names.DUMPING],
+                    # "Any operational state" is one OR-group: at least
+                    # one of the three places is marked.
+                    conditions=[
+                        [
+                            tokens_at_least(names.EXECUTION),
+                            tokens_at_least(names.QUIESCING),
+                            tokens_at_least(names.DUMPING),
+                        ]
+                    ],
                 )
             ],
             cases=[

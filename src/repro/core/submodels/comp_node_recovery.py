@@ -30,11 +30,13 @@ from ...san import (
     OutputGate,
     SANModel,
     TimedActivity,
+    tokens_at_least,
+    tokens_zero,
 )
 from ..ledger import WorkLedger
 from ..parameters import ModelParameters
 from . import names
-from .common import failure_rate_multiplier, register_recovery_setback
+from .common import modulated_failure_exponential, register_recovery_setback
 
 __all__ = ["build_comp_node_recovery", "recovery_distribution"]
 
@@ -79,6 +81,7 @@ def build_comp_node_recovery(
                     "not_rebooting",
                     predicate=lambda s: s.tokens(names.REBOOTING) == 0,
                     reads=[names.REBOOTING],
+                    conditions=[tokens_zero(names.REBOOTING)],
                 )
             ],
             cases=[Case(output_gates=[OutputGate("dispatch_recovery", dispatch_recovery)])],
@@ -97,6 +100,7 @@ def build_comp_node_recovery(
                     "io_nodes_available",
                     predicate=lambda s: s.tokens(names.IO_RESTARTING) == 0,
                     reads=[names.IO_RESTARTING],
+                    conditions=[tokens_zero(names.IO_RESTARTING)],
                 )
             ],
             cases=[Case(output_arcs=[Arc(stage2)])],
@@ -113,6 +117,12 @@ def build_comp_node_recovery(
         # error-propagation correlated-failure window (Section 4).
         state.place(names.PROP_WINDOW).clear()
 
+    def complete_recovery_vec(marking, rows, cols) -> None:
+        marking[rows, cols[names.APP_COMPUTE]] = 1
+        marking[rows, cols[names.APP_IO]] = 0
+        marking[rows, cols[names.RECOVERY_FAILURES]] = 0
+        marking[rows, cols[names.PROP_WINDOW]] = 0
+
     model.add_activity(
         TimedActivity(
             "recovery_complete",
@@ -121,19 +131,25 @@ def build_comp_node_recovery(
             cases=[
                 Case(
                     output_arcs=[Arc(execution)],
-                    output_gates=[OutputGate("complete_recovery", complete_recovery)],
+                    output_gates=[
+                        OutputGate(
+                            "complete_recovery",
+                            complete_recovery,
+                            vector_function=complete_recovery_vec,
+                            writes=(
+                                names.APP_COMPUTE,
+                                names.APP_IO,
+                                names.RECOVERY_FAILURES,
+                                names.PROP_WINDOW,
+                            ),
+                        )
+                    ],
                 )
             ],
             on_fire=lambda state, case: ledger.recovered(),
         ),
         submodel="comp_node_recovery",
     )
-
-    multiplier = failure_rate_multiplier(params)
-    base_rate = params.compute_failure_rate
-
-    def rate(state) -> float:
-        return base_rate * multiplier(state)
 
     def in_recovery(state) -> bool:
         return bool(
@@ -150,7 +166,7 @@ def build_comp_node_recovery(
     model.add_activity(
         TimedActivity(
             "recovery_failure",
-            Exponential(rate),
+            modulated_failure_exponential(params, params.compute_failure_rate),
             input_gates=[
                 InputGate(
                     "recovering",
@@ -162,6 +178,12 @@ def build_comp_node_recovery(
                         names.RECOVERING_S1,
                         names.RECOVERING_S2,
                         names.RECOVERY_FAILURES,
+                    ],
+                    conditions=[
+                        [
+                            tokens_at_least(names.RECOVERING_S1),
+                            tokens_at_least(names.RECOVERING_S2),
+                        ]
                     ],
                 )
             ],

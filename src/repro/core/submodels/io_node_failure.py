@@ -19,13 +19,22 @@ doing:
 
 from __future__ import annotations
 
-from ...san import Arc, Case, Exponential, InputGate, OutputGate, SANModel, TimedActivity
+from ...san import (
+    Arc,
+    Case,
+    Exponential,
+    InputGate,
+    OutputGate,
+    SANModel,
+    TimedActivity,
+    tokens_zero,
+)
 from ..ledger import WorkLedger
 from ..parameters import ModelParameters
 from . import names
 from .common import (
     compute_nodes_up,
-    failure_rate_multiplier,
+    modulated_failure_exponential,
     register_recovery_setback,
     roll_back_computation,
 )
@@ -39,12 +48,6 @@ def build_io_node_failure(
     """Add the I/O-node failure and restart activities to ``model``."""
     io_idle = model.add_place(names.IO_IDLE, initial=1)
     io_restarting = model.add_place(names.IO_RESTARTING)
-
-    multiplier = failure_rate_multiplier(params)
-    base_rate = params.io_failure_rate
-
-    def rate(state) -> float:
-        return base_rate * multiplier(state)
 
     def io_operational(state) -> bool:
         return (
@@ -79,13 +82,17 @@ def build_io_node_failure(
     model.add_activity(
         TimedActivity(
             "io_failure",
-            Exponential(rate),
+            modulated_failure_exponential(params, params.io_failure_rate),
             input_gates=[
                 InputGate(
                     "io_up",
                     predicate=io_operational,
                     function=on_io_failure,
                     reads=[names.IO_RESTARTING, names.REBOOTING],
+                    conditions=[
+                        tokens_zero(names.IO_RESTARTING),
+                        tokens_zero(names.REBOOTING),
+                    ],
                 )
             ],
             cases=[

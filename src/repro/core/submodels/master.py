@@ -20,16 +20,16 @@ from ...san import (
     Arc,
     Case,
     Deterministic,
-    Exponential,
     InputGate,
     OutputGate,
     SANModel,
     TimedActivity,
+    tokens_at_least,
 )
 from ..ledger import WorkLedger
 from ..parameters import ModelParameters
 from . import names
-from .common import failure_rate_multiplier
+from .common import modulated_failure_exponential
 
 __all__ = ["build_master"]
 
@@ -49,6 +49,11 @@ def build_master(model: SANModel, params: ModelParameters, ledger: WorkLedger) -
         if timeout_configured:
             state.place(names.TIMER_ON).set(1)
 
+    def arm_protocol_vec(marking, rows, cols) -> None:
+        marking[rows, cols[names.MASTER_CKPT]] = 1
+        if timeout_configured:
+            marking[rows, cols[names.TIMER_ON]] = 1
+
     # The interval timer runs while the system computes; a failure
     # resets the master, and the next interval counts from the moment
     # execution resumes (gate on `execution`).
@@ -64,9 +69,21 @@ def build_master(model: SANModel, params: ModelParameters, ledger: WorkLedger) -
                     # lookup; `reads=` still drives the index.
                     predicate=lambda s, _p=execution: _p.tokens > 0,
                     reads=[names.EXECUTION],
+                    conditions=[tokens_at_least(names.EXECUTION)],
                 )
             ],
-            cases=[Case(output_gates=[OutputGate("arm_protocol", arm_protocol)])],
+            cases=[
+                Case(
+                    output_gates=[
+                        OutputGate(
+                            "arm_protocol",
+                            arm_protocol,
+                            vector_function=arm_protocol_vec,
+                            writes=(names.MASTER_CKPT, names.TIMER_ON),
+                        )
+                    ]
+                )
+            ],
         ),
         submodel="master",
     )
@@ -87,12 +104,6 @@ def build_master(model: SANModel, params: ModelParameters, ledger: WorkLedger) -
     # valid), and the master returns to its initial state.
     model.add_place(names.QUIESCING)
     model.add_place(names.DUMPING)
-    multiplier = failure_rate_multiplier(params)
-    single_node_rate = params.node_failure_rate
-
-    def master_rate(state) -> float:
-        return single_node_rate * multiplier(state)
-
     def abort_protocol(state) -> None:
         ledger.master_failed_during_checkpointing()
         if state.tokens(names.QUIESCING):
@@ -111,13 +122,14 @@ def build_master(model: SANModel, params: ModelParameters, ledger: WorkLedger) -
     model.add_activity(
         TimedActivity(
             "master_failure",
-            Exponential(master_rate),
+            modulated_failure_exponential(params, params.node_failure_rate),
             input_gates=[
                 InputGate(
                     "checkpointing_in_progress",
                     predicate=lambda s, _p=master_ckpt: _p.tokens > 0,
                     function=abort_protocol,
                     reads=[names.MASTER_CKPT],
+                    conditions=[tokens_at_least(names.MASTER_CKPT)],
                 )
             ],
             resample_on=[names.PROP_WINDOW, names.GEN_WINDOW],

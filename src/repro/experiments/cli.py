@@ -323,6 +323,27 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--kernel",
+        default=None,
+        choices=["incremental", "full", "batched"],
+        help=(
+            "event kernel for sweep figures (default: the preset plan's "
+            "kernel, i.e. incremental); 'batched' advances whole "
+            "replication batches in numpy lockstep — statistically "
+            "equivalent to the scalar kernels, not bit-identical"
+        ),
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "replications per lockstep batch (batched kernel only; "
+            "default: min(replications, 64))"
+        ),
+    )
+    parser.add_argument(
         "--processes",
         type=int,
         default=None,
@@ -579,6 +600,8 @@ def _run_one(figure_id: str, args: argparse.Namespace, stream) -> bool:
             processes=processes,
             resilience=_resilience_from_args(args),
             backend=getattr(args, "backend", None),
+            kernel=getattr(args, "kernel", None),
+            batch_size=getattr(args, "batch_size", None),
         )
     finally:
         stats = profiling.aggregated() if kernel_stats else None

@@ -1,0 +1,1163 @@
+"""Batched structure-of-arrays event kernel.
+
+The scalar kernels (:mod:`repro.san.simulator`) advance one
+replication at a time. Monte-Carlo studies of the checkpoint model,
+however, run the *same* SAN over many independent replications per
+sweep point — the per-event python overhead is paid N times for work
+that differs only in its random numbers. This module advances N
+replications in lockstep instead, keeping the whole batch state in
+numpy structure-of-arrays form:
+
+* marking — ``(N, places)`` int16 matrix (token counts in this model
+  are tiny; the narrow dtype quarters the memory traffic of the
+  per-step gather/compare pipeline);
+* activity clocks — ``(N, timed)`` float64 matrix of *absolute* fire
+  times (``+inf`` = no pending clock);
+* enablement — ``(N, activities)`` bool matrix recomputed from the
+  marking with two small matrix products (OR-groups, then the
+  conjunction over groups), written into pre-allocated buffers so the
+  per-step cost is a fixed, short sequence of numpy calls.
+
+Each step fires the earliest pending timed event of every still-active
+replication (one event per row per step — rows sit at different
+simulated times but march in step count together), then stabilizes
+instantaneous activities round by round, exactly one per row per
+round in priority order.
+
+**Compilation contract.** Enabling conditions are evaluated for the
+whole batch at once, which requires every input gate to carry the
+declarative ``conditions=`` form (a conjunction of OR-groups of
+``(place, lo, hi)`` marking-interval tests) in addition to its python
+predicate; a model with an unannotated gate is rejected with
+:class:`~repro.san.errors.SimulationError`. Firing is vectorized for
+activities whose effects are expressible as constant marking deltas
+plus declared ``vector_function`` hooks; every other activity — in the
+checkpoint model, the failure activities whose gate functions run
+ledger bookkeeping — takes the **scalar fallback bridge**: the
+affected rows' markings are copied into that row's own model instance,
+the exact scalar fire sequence runs there (input arcs, gate functions,
+case resolution on the row's ``cases`` stream, output arcs/gates,
+``on_fire``), and the marking is copied back. Occupancy and fallback
+rates are reported through the batch counters on
+:class:`~repro.san.profiling.KernelStats`.
+
+**Seed policy.** Row ``k`` owns the same
+:class:`~repro.san.rng.StreamRegistry` the scalar kernels would use
+for that replication; all sampling draws from that row's per-activity
+child streams (``activity/<name>``) and its ``cases`` stream.
+
+**Statistical, not bit-identical, equivalence.** The batch schedules
+random draws in a different order than a scalar run would, and it
+reconciles timed clocks once per step at the *stable* marking (after
+the instantaneous stabilisation sequence) rather than between
+individual instantaneous firings. Two consequences, both invisible to
+the measures but visible to a bitwise trajectory comparison: an
+activity transiently enabled mid-stabilisation does not consume a
+discarded sample, and an activity disabled and re-enabled within one
+zero-duration stabilisation sequence keeps its pending clock instead
+of resampling it at the same instant. Results are therefore
+*statistically equivalent* to the scalar kernels — the
+differential-validation case ``batched-vs-incremental`` holds the two
+within tolerance bands rather than expecting equality.
+"""
+
+from __future__ import annotations
+
+import gc
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .activities import Activity
+from .distributions import Deterministic, Exponential
+from .errors import LivelockError, SimulationError
+from .model import SANModel
+from .profiling import KernelStats
+from .rewards import RewardResult, RewardVariable
+from .rng import StreamRegistry
+
+try:  # pragma: no cover - exercised by monkeypatching numpy_available
+    import numpy as np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    np = None  # type: ignore[assignment]
+
+__all__ = [
+    "BatchedSimulator",
+    "BatchedOutput",
+    "numpy_available",
+    "DEFAULT_BATCH_SIZE",
+]
+
+#: Default number of replications advanced per batch.
+DEFAULT_BATCH_SIZE = 64
+
+#: Stabilisation rounds per step before declaring a livelock. Each
+#: round fires at most one instantaneous activity per row, so this
+#: bounds the per-row chain length like the scalar kernels' valve.
+MAX_STABILISATION_ROUNDS = 256
+
+#: Sentinel for "no upper bound" in compiled condition tests (the
+#: marking matrix is int16, so this is unreachable by any real count).
+_NO_UPPER = 2**15 - 1
+
+#: Per-activity static-analysis flags (combined per firing wave; the
+#: wave's OR tells the step loop which slow paths it can skip).
+_F_SPECIAL = 1  # needs python attention: hooks, on_fire, impulses, bridge
+_F_ENABLES_INST = 2  # firing could enable an instantaneous activity
+_F_TOUCHES_WATCHED = 4  # firing could change a resample_on place
+
+
+def numpy_available() -> bool:
+    """Whether the numpy the batched kernel needs is importable.
+
+    Split out (rather than letting an ImportError escape at call
+    sites) so the backend layer can refuse ``kernel="batched"``
+    gracefully and tests can simulate numpy's absence.
+    """
+    return np is not None
+
+
+def _require_numpy() -> None:
+    if not numpy_available():
+        raise SimulationError(
+            "the batched kernel requires numpy, which is not installed; "
+            "use kernel='incremental' or kernel='full' instead"
+        )
+
+
+class _PlaceView:
+    """Place-shaped handle writing one cell of the marking matrix.
+
+    Hands the scalar gate/hook closures (``state.place(name).set`` …)
+    direct access to row ``row``'s marking, so the fallback bridge
+    runs them without copying the marking in and out of a model's
+    :class:`~repro.san.places.Place` objects. No dirty sink: the
+    batched kernel recomputes enablement globally and diffs watched
+    places itself.
+    """
+
+    __slots__ = ("_sim", "_row", "_col")
+
+    def __init__(self, sim: "BatchedSimulator", row: int, col: int) -> None:
+        self._sim = sim
+        self._row = row
+        self._col = col
+
+    @property
+    def tokens(self) -> int:
+        return int(self._sim._marking[self._row, self._col])
+
+    def set(self, value: int) -> None:
+        self._sim._marking[self._row, self._col] = value
+
+    def clear(self) -> None:
+        self._sim._marking[self._row, self._col] = 0
+
+    def add(self, weight: int = 1) -> None:
+        self._sim._marking[self._row, self._col] += weight
+
+    def remove(self, weight: int = 1) -> None:
+        self._sim._marking[self._row, self._col] -= weight
+
+
+class _RowView:
+    """Scalar-shaped window onto one row of the batch state.
+
+    Quacks enough like :class:`SimulationState` for the closures the
+    batched kernel still calls per row: marking-dependent rate
+    functions (``state.tokens``), impulse rewards (``state.ctx``),
+    gate functions run by the fallback bridge (``state.place``), and
+    ``on_fire`` hooks.
+    """
+
+    __slots__ = ("_sim", "row", "ctx", "_places")
+
+    def __init__(self, sim: "BatchedSimulator", row: int, ctx: Any) -> None:
+        self._sim = sim
+        self.row = row
+        self.ctx = ctx
+        self._places: Dict[str, _PlaceView] = {}
+
+    @property
+    def time(self) -> float:
+        return float(self._sim._time[self.row])
+
+    def tokens(self, name: str) -> int:
+        return int(self._sim._marking[self.row, self._sim._cols[name]])
+
+    def place(self, name: str) -> _PlaceView:
+        view = self._places.get(name)
+        if view is None:
+            view = _PlaceView(self._sim, self.row, self._sim._cols[name])
+            self._places[name] = view
+        return view
+
+    def __repr__(self) -> str:
+        return f"_RowView(row={self.row}, t={self.time:.6g})"
+
+
+@dataclass
+class BatchedOutput:
+    """Result of one batched run: per-row measures plus batch stats.
+
+    Attributes
+    ----------
+    rewards:
+        One ``{name: RewardResult}`` dict per row, shaped exactly like
+        the scalar :class:`~repro.san.simulator.SimulationOutput`
+        rewards so callers aggregate both the same way.
+    event_counts:
+        Firings per row.
+    kernel_stats:
+        Merged instrumentation for the whole batch (``kernel_stats.
+        runs == N``), including the batch occupancy/divergence
+        counters.
+    """
+
+    rewards: List[Dict[str, RewardResult]] = field(default_factory=list)
+    event_counts: List[int] = field(default_factory=list)
+    kernel_stats: Optional[KernelStats] = None
+
+
+class BatchedSimulator:
+    """Advance N structurally identical SAN replications in lockstep.
+
+    Parameters
+    ----------
+    models:
+        One :class:`SANModel` per replication, built independently so
+        rows never share mutable state (gate closures may capture
+        their own model's places and ledger). All models must be
+        structurally identical — same place and activity names in the
+        same order; the template (row 0) defines the compiled layout.
+    streams:
+        One :class:`StreamRegistry` per row; row ``k`` of a batch of
+        replications gets exactly the registry replication ``k`` would
+        get under the scalar kernels (``root.spawn(k)``).
+    ctxs:
+        Optional per-row user context (the checkpoint model's work
+        ledger). Exposed to closures via the row views and bridge
+        states; additionally, if a context has ``total_work``, useful
+        work accrued while the ``execution`` place is marked is
+        flushed into it (vectorized between events, flushed before any
+        closure that could read it).
+    """
+
+    def __init__(
+        self,
+        models: Sequence[SANModel],
+        streams: Sequence[StreamRegistry],
+        ctxs: Optional[Sequence[Any]] = None,
+        execution_place: str = "execution",
+    ) -> None:
+        _require_numpy()
+        if not models:
+            raise SimulationError("batched kernel needs at least one replication")
+        if len(streams) != len(models):
+            raise SimulationError(
+                f"got {len(models)} models but {len(streams)} stream registries"
+            )
+        if ctxs is not None and len(ctxs) != len(models):
+            raise SimulationError(
+                f"got {len(models)} models but {len(ctxs)} contexts"
+            )
+        self._models = list(models)
+        self._streams = list(streams)
+        self._ctxs = list(ctxs) if ctxs is not None else [None] * len(models)
+        self._n = len(models)
+        template = self._models[0]
+        if template.extended_places:
+            raise SimulationError(
+                "the batched kernel does not support extended places; "
+                "use a scalar kernel"
+            )
+
+        self._place_names = [p.name for p in template.places]
+        self._cols: Dict[str, int] = {
+            name: j for j, name in enumerate(self._place_names)
+        }
+        self._n_places = len(self._place_names)
+
+        timed = template.timed_activities
+        inst = template.instantaneous_activities
+        self._n_timed = len(timed)
+        self._n_inst = len(inst)
+        self._acts: Tuple[Activity, ...] = tuple(timed) + tuple(inst)
+        self._verify_isomorphic()
+
+        self._compile_conditions()
+        self._compile_firing()
+        self._compile_sampling()
+        self._compile_resample_watchers()
+        self._compile_flags()
+
+        self._exec_col = self._cols.get(execution_place)
+
+        # Per-row machinery for everything that stays scalar: stream
+        # handles and the per-row activity objects (whose closures
+        # captured that row's places/ledger).
+        self._row_acts: List[Tuple[Activity, ...]] = []
+        self._views: List[_RowView] = []
+        self._case_rngs = []
+        self._act_rngs: List[list] = []
+        # Per-(row, activity) ring buffers of block-drawn standard
+        # exponentials ([data, position]; refilled 256 at a time).
+        self._exp_bufs: List[list] = []
+        for r, model in enumerate(self._models):
+            row_timed = model.timed_activities
+            row_inst = model.instantaneous_activities
+            self._row_acts.append(tuple(row_timed) + tuple(row_inst))
+            self._views.append(_RowView(self, r, self._ctxs[r]))
+            registry = self._streams[r]
+            self._case_rngs.append(registry.get("cases"))
+            self._act_rngs.append(
+                [registry.get(f"activity/{a.name}") for a in row_timed]
+            )
+            self._exp_bufs.append(
+                [
+                    [[], 0] if self._st_kind[t] else None
+                    for t in range(self._n_timed)
+                ]
+            )
+
+        # SoA state, allocated by run().
+        self._marking = None
+        self._time = None
+        self._stats: Optional[KernelStats] = None
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _verify_isomorphic(self) -> None:
+        """All rows must share the template's structure."""
+        template_names = [a.name for a in self._acts]
+        for r, model in enumerate(self._models[1:], start=1):
+            if [p.name for p in model.places] != self._place_names:
+                raise SimulationError(
+                    f"replication {r}: place layout differs from the template"
+                )
+            row_names = [
+                a.name
+                for a in tuple(model.timed_activities)
+                + tuple(model.instantaneous_activities)
+            ]
+            if row_names != template_names:
+                raise SimulationError(
+                    f"replication {r}: activity layout differs from the template"
+                )
+
+    def _compile_conditions(self) -> None:
+        """Flatten every activity's enabling condition into bound
+        arrays plus two 0/1 reduction matrices.
+
+        Per activity: one OR-group per input arc (``tokens >= weight``)
+        plus every input gate's declared CNF groups; activities with no
+        arcs and no gate conditions get a trivially true group. The
+        enablement matrix is then two small float32 matrix products —
+        bounds→groups (a group holds when any of its bounds holds) and
+        groups→activities (an activity is enabled when *all* its
+        groups hold) — which beats segmented reductions at the batch
+        sizes the sweeps use.
+        """
+        cond_cols: List[int] = []
+        cond_lo: List[int] = []
+        cond_hi: List[int] = []
+        group_of_bound: List[int] = []
+        act_of_group: List[int] = []
+        for index, activity in enumerate(self._acts):
+            groups: List[List[Tuple[str, int, Optional[int]]]] = []
+            for arc in activity.input_arcs:
+                groups.append([(arc.place.name, arc.weight, None)])
+            for gate in activity.input_gates:
+                if gate.conditions is None:
+                    raise SimulationError(
+                        f"activity {activity.name!r}: input gate "
+                        f"{gate.name!r} declares no conditions=; the "
+                        f"batched kernel cannot compile its predicate "
+                        f"(use a scalar kernel, or add the declarative "
+                        f"form)"
+                    )
+                groups.extend([list(group) for group in gate.conditions])
+            if not groups:
+                groups = [[(self._place_names[0], 0, None)]]
+            for group in groups:
+                group_index = len(act_of_group)
+                act_of_group.append(index)
+                for place, lo, hi in group:
+                    if place not in self._cols:
+                        raise SimulationError(
+                            f"activity {activity.name!r}: condition reads "
+                            f"unknown place {place!r}"
+                        )
+                    if int(lo) > _NO_UPPER:
+                        raise SimulationError(
+                            f"activity {activity.name!r}: condition lower "
+                            f"bound {lo} exceeds the int16 marking range"
+                        )
+                    cond_cols.append(self._cols[place])
+                    cond_lo.append(int(lo))
+                    cond_hi.append(
+                        _NO_UPPER if hi is None else min(int(hi), _NO_UPPER)
+                    )
+                    group_of_bound.append(group_index)
+        n_bounds = len(cond_cols)
+        n_groups = len(act_of_group)
+        n_acts = len(self._acts)
+        self._n_bounds = n_bounds
+        self._n_groups = n_groups
+        # Python copies kept for the static analyses in _compile_flags.
+        self._py_bound_cols = cond_cols
+        self._py_bound_lo = cond_lo
+        self._py_bound_hi = cond_hi
+        self._py_bound_act = [act_of_group[g] for g in group_of_bound]
+        self._cond_cols = np.asarray(cond_cols, dtype=np.intp)
+        self._cond_lo = np.asarray(cond_lo, dtype=np.int16)
+        self._cond_hi = np.asarray(cond_hi, dtype=np.int16)
+        self._or_mat = np.zeros((n_bounds, n_groups), dtype=np.float32)
+        self._or_mat[np.arange(n_bounds), group_of_bound] = 1.0
+        self._and_mat = np.zeros((n_groups, n_acts), dtype=np.float32)
+        self._and_mat[np.arange(n_groups), act_of_group] = 1.0
+        # An activity is enabled when its satisfied-group count reaches
+        # its group count (compared with a 0.5 guard band: the counts
+        # are small integers, exactly representable in float32).
+        counts = np.zeros(n_acts, dtype=np.float32)
+        for act in act_of_group:
+            counts[act] += 1.0
+        self._and_need = counts - 0.5
+
+    def _compile_firing(self) -> None:
+        """Classify each activity as vector-fireable or bridged and
+        precompute the constant marking deltas for the vector path."""
+        n_acts = len(self._acts)
+        self._vectorizable = np.zeros(n_acts, dtype=bool)
+        self._delta = np.zeros((n_acts, self._n_places), dtype=np.int16)
+        self._vec_hooks: List[tuple] = [()] * n_acts
+        self._has_on_fire = [a.on_fire is not None for a in self._acts]
+        # Arc effects as (column, weight) pairs for the bridge, which
+        # applies them straight to the marking matrix.
+        self._in_arc_cols: List[tuple] = [()] * n_acts
+        self._case_arc_cols: List[tuple] = [()] * n_acts
+        for i, activity in enumerate(self._acts):
+            self._in_arc_cols[i] = tuple(
+                (self._cols[arc.place.name], arc.weight)
+                for arc in activity.input_arcs
+            )
+            self._case_arc_cols[i] = tuple(
+                tuple(
+                    (self._cols[arc.place.name], arc.weight)
+                    for arc in case.output_arcs
+                )
+                for case in activity.cases
+            )
+            single_case = len(activity.cases) == 1
+            pure_gates = all(g.is_pure for g in activity.input_gates)
+            case0 = activity.cases[0]
+            hooks_ok = all(
+                og.vector_function is not None for og in case0.output_gates
+            )
+            if not (single_case and pure_gates and hooks_ok):
+                continue
+            self._vectorizable[i] = True
+            for arc in activity.input_arcs:
+                self._delta[i, self._cols[arc.place.name]] -= arc.weight
+            for arc in case0.output_arcs:
+                self._delta[i, self._cols[arc.place.name]] += arc.weight
+            self._vec_hooks[i] = tuple(
+                og.vector_function for og in case0.output_gates
+            )
+
+    def _compile_sampling(self) -> None:
+        """Classify each timed activity's clock-resampling path.
+
+        Constant delays are vector-copied in bulk. Exponential delays
+        — constant-rate, or state-dependent with a declarative
+        :class:`~repro.san.distributions.RateModulation` — consume
+        block-drawn standard exponentials from the row's per-activity
+        stream with one scale multiply per draw (``Generator.
+        exponential(scale)`` is exactly ``scale * standard_
+        exponential()`` on the same stream, so the per-stream variate
+        sequence is unchanged). Every other distribution falls back to
+        its scalar ``sample`` through the row view.
+        """
+        self._det_mask = np.zeros(self._n_timed, dtype=bool)
+        self._det_delay = np.zeros(self._n_timed, dtype=np.float64)
+        # Resample kinds: 0 = scalar sample() fallback, 1 = constant-
+        # rate exponential, 2 = modulated exponential (scale chosen by
+        # a marking test over the declared places).
+        self._st_kind = [0] * self._n_timed
+        self._st_scale = [0.0] * self._n_timed
+        self._st_factor_scale = [0.0] * self._n_timed
+        self._st_mod_cols: List[tuple] = [()] * self._n_timed
+        for t, activity in enumerate(self._acts[: self._n_timed]):
+            dist = activity.distribution  # type: ignore[attr-defined]
+            if isinstance(dist, Deterministic) and not callable(dist._value):
+                self._det_mask[t] = True
+                self._det_delay[t] = float(dist._value)
+            elif isinstance(dist, Exponential):
+                if not callable(dist._rate):
+                    self._st_kind[t] = 1
+                    self._st_scale[t] = 1.0 / float(dist._rate)
+                elif dist.modulation is not None:
+                    mod = dist.modulation
+                    cols = []
+                    for name in mod.places:
+                        col = self._cols.get(name)
+                        if col is None:
+                            raise SimulationError(
+                                f"activity {activity.name!r}: RateModulation "
+                                f"names unknown place {name!r}"
+                            )
+                        cols.append(col)
+                    self._st_kind[t] = 2
+                    self._st_scale[t] = 1.0 / mod.base
+                    self._st_factor_scale[t] = 1.0 / (mod.base * mod.factor)
+                    self._st_mod_cols[t] = tuple(cols)
+        self._stoch_mask = ~self._det_mask
+        # Bound samplers for the template's timed activities; the
+        # distributions close over parameters, not over row state, so
+        # one binding serves every row (state-dependent parameters
+        # receive the row view at sample time).
+        self._samplers = [
+            a.distribution.sample  # type: ignore[attr-defined]
+            for a in self._acts[: self._n_timed]
+        ]
+
+    def _compile_resample_watchers(self) -> None:
+        """Map watched places to the timed activities that must discard
+        their clocks when one of them changes (``resample_on``)."""
+        watched: List[int] = []
+        watchers: Dict[int, List[int]] = {}
+        for t, activity in enumerate(self._acts[: self._n_timed]):
+            for name in getattr(activity, "resample_on", ()):
+                col = self._cols.get(name)
+                if col is None:
+                    continue
+                if col not in watchers:
+                    watchers[col] = []
+                    watched.append(col)
+                watchers[col].append(t)
+        self._watched_cols = np.asarray(watched, dtype=np.intp)
+        self._watchers = [watchers[c] for c in watched]
+
+    def _hook_writes(self, index: int) -> Optional[set]:
+        """The set of place columns activity ``index``'s vector hooks
+        declare they write, or ``None`` when unknowable (scalar
+        bridge, or a hook with no ``writes=`` declaration)."""
+        if not self._vectorizable[index]:
+            return None
+        cols: set = set()
+        case0 = self._acts[index].cases[0]
+        for gate in case0.output_gates:
+            if gate.writes is None:
+                return None
+            for name in gate.writes:
+                col = self._cols.get(name)
+                if col is None:
+                    raise SimulationError(
+                        f"output gate {gate.name!r}: writes= names "
+                        f"unknown place {name!r}"
+                    )
+                cols.add(col)
+        return cols
+
+    def _compile_flags(self) -> None:
+        """Static per-activity analysis feeding the step loop's skip
+        decisions: which firings need python attention, which could
+        enable an instantaneous activity, and which could touch a
+        ``resample_on`` watched place."""
+        n_timed = self._n_timed
+        # Columns whose token *increase* (resp. *decrease*) could flip
+        # some instantaneous activity's condition bound towards true.
+        inst_up: set = set()
+        inst_down: set = set()
+        for b in range(self._n_bounds):
+            if self._py_bound_act[b] >= n_timed:
+                if self._py_bound_lo[b] > 0:
+                    inst_up.add(self._py_bound_cols[b])
+                if self._py_bound_hi[b] < _NO_UPPER:
+                    inst_down.add(self._py_bound_cols[b])
+        watched = set(self._watched_cols.tolist())
+        n_acts = len(self._acts)
+        flags = np.zeros(n_acts, dtype=np.uint8)
+        for i in range(n_acts):
+            special = (
+                not self._vectorizable[i]
+                or bool(self._vec_hooks[i])
+                or self._has_on_fire[i]
+            )
+            hook_cols = self._hook_writes(i)
+            if hook_cols is None:
+                can_enable = True
+                touches = bool(watched)
+            else:
+                # Constant deltas have a known direction; hook-written
+                # places can move either way.
+                up = {
+                    j for j in range(self._n_places) if self._delta[i, j] > 0
+                } | hook_cols
+                down = {
+                    j for j in range(self._n_places) if self._delta[i, j] < 0
+                } | hook_cols
+                can_enable = bool(up & inst_up or down & inst_down)
+                touches = bool((up | down) & watched)
+            flags[i] = (
+                (_F_SPECIAL if special else 0)
+                | (_F_ENABLES_INST if can_enable else 0)
+                | (_F_TOUCHES_WATCHED if touches else 0)
+            )
+        self._base_flags = flags
+
+    # ------------------------------------------------------------------
+    # Vectorized primitives
+    # ------------------------------------------------------------------
+    def _alloc_buffers(self) -> None:
+        """Pre-allocate every hot-loop scratch array (the per-step cost
+        is dominated by numpy call count, so nothing allocates inside
+        the loop)."""
+        n, nb, ng, na = self._n, self._n_bounds, self._n_groups, len(self._acts)
+        nt = self._n_timed
+        self._b_gath = np.empty((n, nb), dtype=np.int16)
+        self._b_sat = np.empty((n, nb), dtype=bool)
+        self._b_sat2 = np.empty((n, nb), dtype=bool)
+        self._b_satf = np.empty((n, nb), dtype=np.float32)
+        self._b_grp = np.empty((n, ng), dtype=np.float32)
+        self._b_grpb = np.empty((n, ng), dtype=bool)
+        self._b_grpf = np.empty((n, ng), dtype=np.float32)
+        self._b_actf = np.empty((n, na), dtype=np.float32)
+        self._b_en = np.empty((n, na), dtype=bool)
+        self._b_rows = np.empty(n, dtype=bool)
+        self._b_inst = np.empty((n, self._n_inst), dtype=bool)
+        nw = len(self._watched_cols)
+        self._b_watch = np.empty((n, nw), dtype=np.int16)
+        self._b_watch2 = np.empty((n, nw), dtype=np.int16)
+        self._b_watchb = np.empty((n, nw), dtype=bool)
+        self._b_t1 = np.empty((n, nt), dtype=bool)
+        self._b_t2 = np.empty((n, nt), dtype=bool)
+        self._b_t3 = np.empty((n, nt), dtype=bool)
+        self._b_nt = np.empty((n, nt), dtype=np.float64)
+        self._b_delta = np.empty((n, self._n_places), dtype=np.int16)
+        self._b_w1 = np.empty(n, dtype=np.float64)
+        self._b_w2 = np.empty(n, dtype=np.float64)
+
+    def _enabled_into(self):
+        """Recompute the (N, activities) enablement matrix from the
+        current marking into the shared buffer — a gather, two
+        compares and two tiny matrix products regardless of batch
+        size."""
+        self._en_calls += 1
+        self._marking.take(self._cond_cols, axis=1, out=self._b_gath)
+        np.greater_equal(self._b_gath, self._cond_lo, out=self._b_sat)
+        np.less_equal(self._b_gath, self._cond_hi, out=self._b_sat2)
+        np.logical_and(self._b_sat, self._b_sat2, out=self._b_sat)
+        np.copyto(self._b_satf, self._b_sat, casting="unsafe")
+        np.matmul(self._b_satf, self._or_mat, out=self._b_grp)
+        np.greater(self._b_grp, 0.0, out=self._b_grpb)
+        np.copyto(self._b_grpf, self._b_grpb, casting="unsafe")
+        np.matmul(self._b_grpf, self._and_mat, out=self._b_actf)
+        np.greater(self._b_actf, self._and_need, out=self._b_en)
+        return self._b_en
+
+    def _reconcile(self, enabled) -> None:
+        """Möbius restart reactivation over the whole batch at the
+        (stable) current marking: newly disabled activities discard
+        their clocks; newly enabled (or resample-forced) ones sample
+        afresh at the row's current time."""
+        prev = self._prev_en
+        en_t = enabled[:, : self._n_timed]
+        diff = np.logical_xor(prev, en_t, out=self._b_t1)
+        if not diff.any():
+            return
+        newly_disabled = np.logical_and(diff, prev, out=self._b_t2)
+        disabled_count = int(np.count_nonzero(newly_disabled))
+        if disabled_count:
+            self._invalidations += disabled_count
+            np.copyto(self._clocks, np.inf, where=newly_disabled)
+        need = np.logical_and(diff, en_t, out=self._b_t2)
+        need_det = np.logical_and(need, self._det_mask, out=self._b_t3)
+        det_count = int(np.count_nonzero(need_det))
+        if det_count:
+            self._det_resamples += det_count
+            np.add(self._time[:, None], self._det_delay, out=self._b_nt)
+            np.copyto(self._clocks, self._b_nt, where=need_det)
+        need_st = np.logical_and(need, self._stoch_mask, out=self._b_t3)
+        if need_st.any():
+            rows, ts = need_st.nonzero()
+            clocks = self._clocks
+            time = self._time
+            marking = self._marking
+            kinds = self._st_kind
+            scales = self._st_scale
+            fscales = self._st_factor_scale
+            mod_cols = self._st_mod_cols
+            bufs = self._exp_bufs
+            samplers = self._samplers
+            rngs = self._act_rngs
+            views = self._views
+            for r, t in zip(rows.tolist(), ts.tolist()):
+                kind = kinds[t]
+                if kind:
+                    buf = bufs[r][t]
+                    data, pos = buf
+                    if pos >= len(data):
+                        data = rngs[r][t].standard_exponential(256).tolist()
+                        buf[0] = data
+                        pos = 0
+                    buf[1] = pos + 1
+                    scale = scales[t]
+                    if kind == 2:
+                        for c in mod_cols[t]:
+                            if marking[r, c]:
+                                scale = fscales[t]
+                                break
+                    clocks[r, t] = time[r] + data[pos] * scale
+                else:
+                    clocks[r, t] = time[r] + samplers[t](rngs[r][t], views[r])
+            self._st_resamples += rows.size
+        np.copyto(prev, en_t)
+
+    def _flush_work(self, row: int) -> None:
+        """Push vector-accrued useful work into the row's ledger before
+        any closure that could read it runs."""
+        work = self._work[row]
+        if work:
+            ctx = self._ctxs[row]
+            if ctx is not None and hasattr(ctx, "total_work"):
+                ctx.total_work += work
+            self._work[row] = 0.0
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+    def _fire_batch(self, frows, facts, warmup: float) -> int:
+        """Apply one firing per listed row; return the wave's combined
+        activity flags.
+
+        ``frows`` is an index array (or ``None`` meaning *every* row)
+        and ``facts`` the per-row activity indices. Constant marking
+        deltas are applied in one bulk operation; rows whose activity
+        needs python attention (vector hooks, ``on_fire``, impulses,
+        or the scalar bridge) are grouped and handled per activity.
+        """
+        flags = self._act_flags[facts]
+        fmax = int(np.bitwise_or.reduce(flags))
+        marking = self._marking
+        snapshot = None
+        if fmax & _F_TOUCHES_WATCHED:
+            snapshot = marking.take(
+                self._watched_cols, axis=1, out=self._b_watch
+            )
+        if frows is None:
+            self._delta.take(facts, axis=0, out=self._b_delta)
+            marking += self._b_delta
+            self._events += 1
+        else:
+            marking[frows] += self._delta[facts]
+            self._events[frows] += 1
+        if fmax & _F_SPECIAL:
+            positions = (flags & _F_SPECIAL).nonzero()[0]
+            rows = positions if frows is None else frows[positions]
+            by_act: Dict[int, List[int]] = {}
+            facts_list = facts[positions].tolist()
+            for row, act in zip(rows.tolist(), facts_list):
+                by_act.setdefault(act, []).append(row)
+            for act_index, act_rows in by_act.items():
+                self._fire_special(act_index, act_rows, warmup)
+        if snapshot is not None:
+            self._apply_watched_changes(snapshot)
+        return fmax
+
+    def _fire_special(
+        self, act_index: int, rows: List[int], warmup: float
+    ) -> None:
+        """Finish firing ``act_index`` for rows that need python work."""
+        if self._vectorizable[act_index]:
+            hooks = self._vec_hooks[act_index]
+            if hooks:
+                rows_arr = np.asarray(rows, dtype=np.intp)
+                for hook in hooks:
+                    hook(self._marking, rows_arr, self._cols)
+            if self._has_on_fire[act_index]:
+                for r in rows:
+                    self._flush_work(r)
+                    self._row_acts[r][act_index].on_fire(self._views[r], 0)
+            impulses = self._act_impulses[act_index]
+            if impulses:
+                time = self._time
+                for r in rows:
+                    if time[r] >= warmup:
+                        view = self._views[r]
+                        for idx, fn in impulses:
+                            self._acc[r, idx] += fn(view, 0)
+        else:
+            self._scalar_fallbacks += len(rows)
+            for r in rows:
+                self._bridge_fire(r, act_index, warmup)
+
+    def _bridge_fire(self, row: int, act_index: int, warmup: float) -> None:
+        """Run the exact scalar fire sequence for one row.
+
+        The scalar sequence — input arcs, input-gate functions, case
+        resolution on the row's ``cases`` stream, output arcs, output
+        gates, ``on_fire`` — runs against the row view, whose place
+        handles write the marking matrix directly, so nothing is
+        copied in or out. The activity object is the *row's own* (its
+        closures captured that row's ledger).
+        """
+        self._flush_work(row)
+        state = self._views[row]
+        marking_row = self._marking[row]
+        for col, weight in self._in_arc_cols[act_index]:
+            marking_row[col] -= weight
+        activity = self._row_acts[row][act_index]
+        for gate in activity.input_gates:
+            gate.function(state)
+        case_index = (
+            activity.resolve_case(state, self._case_rngs[row])
+            if len(activity.cases) > 1
+            else 0
+        )
+        for col, weight in self._case_arc_cols[act_index][case_index]:
+            marking_row[col] += weight
+        for out_gate in activity.cases[case_index].output_gates:
+            out_gate.function(state)
+        if activity.on_fire is not None:
+            activity.on_fire(state, case_index)
+        if self._time[row] >= warmup:
+            impulses = self._act_impulses[act_index]
+            if impulses:
+                for idx, fn in impulses:
+                    self._acc[row, idx] += fn(state, case_index)
+
+    def _apply_watched_changes(self, snapshot) -> None:
+        """Force a resample (scalar semantics: discarded clock) for
+        watcher activities on rows whose watched places changed."""
+        changed = np.not_equal(
+            self._marking.take(self._watched_cols, axis=1, out=self._b_watch2),
+            snapshot,
+            out=self._b_watchb,
+        )
+        if not changed.any():
+            return
+        for k, watcher_ts in enumerate(self._watchers):
+            rows = changed[:, k].nonzero()[0]
+            if rows.size:
+                for t in watcher_ts:
+                    self._clocks[rows, t] = np.inf
+                    self._prev_en[rows, t] = False
+
+    def _settle(self, warmup: float, active, active_all: bool):
+        """Fire instantaneous activities round by round (one per row
+        per round, priority order) until none is enabled anywhere;
+        return the stable enablement matrix.
+
+        Timed-clock reconciliation is *not* interleaved here — the
+        step loop reconciles once against the stable marking this
+        returns (see the module docstring for the equivalence
+        contract).
+        """
+        n_timed = self._n_timed
+        rows_any = self._b_rows
+        for rounds in range(MAX_STABILISATION_ROUNDS + 1):
+            enabled = self._enabled_into()
+            inst_en = enabled[:, n_timed:]
+            if not active_all:
+                inst_en = np.logical_and(
+                    inst_en, active[:, None], out=self._b_inst
+                )
+            if inst_en.size == 0:
+                return enabled
+            inst_en.any(axis=1, out=rows_any)
+            if not rows_any.any():
+                if rounds:
+                    self._stab_passes += 1
+                    if rounds > self._max_chain:
+                        self._max_chain = rounds
+                return enabled
+            if rounds == MAX_STABILISATION_ROUNDS:
+                break
+            choice = inst_en.argmax(axis=1)
+            frows = rows_any.nonzero()[0]
+            facts = choice[frows]
+            facts += n_timed
+            self._fire_batch(frows, facts, warmup)
+            self._inst_firings += frows.size
+        row = int(rows_any.nonzero()[0][0])
+        name = self._acts[n_timed + int(np.argmax(inst_en[row]))].name
+        raise LivelockError(
+            "instantaneous",
+            name,
+            MAX_STABILISATION_ROUNDS,
+            time=float(self._time[row]),
+        )
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: float,
+        warmup: float = 0.0,
+        rewards: Sequence[RewardVariable] = (),
+    ) -> BatchedOutput:
+        """Advance every replication to ``until`` and collect rewards.
+
+        Mirrors the scalar :meth:`Simulator.run` contract: rate
+        rewards integrate over ``[warmup, until]``, impulses apply at
+        post-warmup firings, and each row's ``RewardResult`` reports
+        the same observation window a scalar run would.
+        """
+        if until <= 0:
+            raise SimulationError(f"until must be > 0, got {until}")
+        if warmup < 0 or warmup >= until:
+            raise SimulationError(
+                f"warmup must be in [0, until), got {warmup} vs {until}"
+            )
+        n = self._n
+        started = perf_counter()
+        stats = KernelStats(kernel="batched", runs=n)
+        self._stats = stats
+        stats.batch_width = n
+
+        rewards = list(rewards)
+        self._compile_rewards(rewards)
+        self._alloc_buffers()
+
+        self._marking = np.tile(
+            np.asarray(
+                [p.initial for p in self._models[0].places], dtype=np.int16
+            ),
+            (n, 1),
+        )
+        self._time = np.zeros(n, dtype=np.float64)
+        self._clocks = np.full((n, self._n_timed), np.inf, dtype=np.float64)
+        self._prev_en = np.zeros((n, self._n_timed), dtype=bool)
+        self._work = np.zeros(n, dtype=np.float64)
+        self._acc = np.zeros((n, len(rewards)), dtype=np.float64)
+        self._events = np.zeros(n, dtype=np.int64)
+        active = np.ones(n, dtype=bool)
+        active_count = n
+        active_all = True
+        arange = np.arange(n)
+
+        # Python-side tallies (attribute bumps per step add up).
+        self._en_calls = 0
+        self._det_resamples = 0
+        self._st_resamples = 0
+        self._invalidations = 0
+        self._stab_passes = 0
+        self._inst_firings = 0
+        self._scalar_fallbacks = 0
+        self._max_chain = 0
+        steps = 0
+        row_steps = 0
+
+        # Locals for the hot loop.
+        marking = self._marking
+        clocks = self._clocks
+        prev_en = self._prev_en
+        work = self._work
+        acc = self._acc
+        views = self._views
+        acc_mat = self._acc_mat
+        b_mf32 = self._b_mf32
+        b_hits = self._b_hits
+        b_hitsb = self._b_hitsb
+        b_contrib = self._b_contrib
+        has_exec = self._exec_col is not None and acc_mat is not None
+        has_ind = self._ind_count > 0
+        ind_all = self._ind_all
+        ind_reward_idx = self._ind_reward_idx
+        generic_rewards = self._generic_rewards
+        all_warm = warmup == 0.0
+        observation = until - warmup
+        b_w1 = self._b_w1
+        b_w2 = self._b_w2
+
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            # Initial stabilisation + clock schedule at t=0 (matches
+            # the scalar kernels' startup sequence).
+            enabled = self._settle(warmup, active, active_all)
+            self._reconcile(enabled)
+
+            while active_count:
+                steps += 1
+                act_choice = clocks.argmin(axis=1)
+                next_time = clocks[arange, act_choice]
+                nt_max = float(next_time.max())
+                fin = None
+                if nt_max > until:
+                    fin = next_time > until
+                    if not active_all:
+                        np.logical_and(fin, active, out=fin)
+                np.minimum(next_time, until, out=next_time)
+                new_time = next_time
+
+                # Accrue rewards and ledger work over the elapsing
+                # interval while the marking still describes it.
+                # Finished rows sit at time == until with infinite
+                # clocks, so their dt is 0. The old time array's
+                # storage is recycled as the dt buffer.
+                time_arr = self._time
+                if all_warm:
+                    dt = np.subtract(new_time, time_arr, out=time_arr)
+                    dt_obs = dt
+                else:
+                    np.maximum(new_time, warmup, out=b_w1)
+                    np.maximum(time_arr, warmup, out=b_w2)
+                    dt_obs = np.subtract(b_w1, b_w2, out=b_w1)
+                    dt = np.subtract(new_time, time_arr, out=time_arr)
+                self._time = new_time
+                if acc_mat is not None:
+                    np.copyto(b_mf32, marking, casting="unsafe")
+                    np.matmul(b_mf32, acc_mat, out=b_hits)
+                    np.greater(b_hits, 0.0, out=b_hitsb)
+                    if has_exec:
+                        np.add(work, dt, out=work, where=b_hitsb[:, 0])
+                        ind_b = b_hitsb[:, 1:]
+                    else:
+                        ind_b = b_hitsb
+                    if has_ind:
+                        np.multiply(ind_b, dt_obs[:, None], out=b_contrib)
+                        if ind_all:
+                            acc += b_contrib
+                        else:
+                            acc[:, ind_reward_idx] += b_contrib
+                if generic_rewards:
+                    for r in np.nonzero(dt_obs)[0].tolist():
+                        view = views[r]
+                        for idx, reward in generic_rewards:
+                            rate = reward.rate(view)
+                            if rate:
+                                acc[r, idx] += rate * dt_obs[r]
+                if not all_warm and float(new_time.min()) >= warmup:
+                    all_warm = True
+
+                if fin is not None and fin.any():
+                    np.logical_and(active, np.logical_not(fin), out=active)
+                    clocks[fin] = np.inf
+                    fin_rows = fin.nonzero()[0]
+                    active_count -= fin_rows.size
+                    active_all = False
+                    for r in fin_rows.tolist():
+                        self._flush_work(r)
+                    if active_count == 0:
+                        break
+
+                if active_all:
+                    frows = None
+                    facts = act_choice
+                else:
+                    frows = active.nonzero()[0]
+                    facts = act_choice[frows]
+                row_steps += active_count
+                wave_flags = self._fire_batch(frows, facts, warmup)
+                # The fired activity resamples even if it stays enabled.
+                if frows is None:
+                    clocks[arange, facts] = np.inf
+                    prev_en[arange, facts] = False
+                else:
+                    clocks[frows, facts] = np.inf
+                    prev_en[frows, facts] = False
+
+                if wave_flags & _F_ENABLES_INST:
+                    enabled = self._settle(warmup, active, active_all)
+                else:
+                    enabled = self._enabled_into()
+                self._reconcile(enabled)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        total_events = int(self._events.sum())
+        stats.events = total_events
+        stats.batch_steps = steps
+        stats.batch_row_steps = row_steps
+        stats.batch_capacity = steps * n
+        stats.resamples = self._det_resamples + self._st_resamples
+        stats.clock_invalidations = self._invalidations
+        stats.stabilisations = self._stab_passes
+        stats.stabilisation_firings = self._inst_firings
+        stats.scalar_fallback_firings = self._scalar_fallbacks
+        stats.vector_firings = total_events - self._scalar_fallbacks
+        stats.max_stabilisation_chain = self._max_chain
+        stats.enabled_checks = self._en_calls * len(self._acts) * n
+        stats.wall_seconds = perf_counter() - started
+
+        output = BatchedOutput(kernel_stats=stats)
+        for r in range(n):
+            row_rewards: Dict[str, RewardResult] = {}
+            for idx, reward in enumerate(rewards):
+                row_rewards[reward.name] = RewardResult(
+                    name=reward.name,
+                    accumulated=float(self._acc[r, idx]),
+                    observation_time=observation,
+                )
+            output.rewards.append(row_rewards)
+            output.event_counts.append(int(self._events[r]))
+        return output
+
+    def _compile_rewards(self, rewards: Sequence[RewardVariable]) -> None:
+        """Split rewards into vectorized indicators, generic rates and
+        the impulse map; fold the useful-work ``execution`` test and
+        every indicator into one places→columns accrual matrix so the
+        step loop evaluates them all with a single matrix product."""
+        generic: List[Tuple[int, RewardVariable]] = []
+        impulse_map: Dict[str, List[tuple]] = {}
+        ind_idx: List[int] = []
+        ind_places: List[List[int]] = []
+        for idx, reward in enumerate(rewards):
+            if reward.rate is not None:
+                if reward.indicator is not None:
+                    cols = []
+                    for name in reward.indicator:
+                        col = self._cols.get(name)
+                        if col is None:
+                            raise SimulationError(
+                                f"reward {reward.name!r}: indicator reads "
+                                f"unknown place {name!r}"
+                            )
+                        cols.append(col)
+                    ind_idx.append(idx)
+                    ind_places.append(cols)
+                else:
+                    generic.append((idx, reward))
+            for activity_name, fn in reward.impulses.items():
+                impulse_map.setdefault(activity_name, []).append((idx, fn))
+        has_exec = self._exec_col is not None
+        self._ind_count = len(ind_idx)
+        n_cols = (1 if has_exec else 0) + len(ind_idx)
+        if n_cols:
+            acc_mat = np.zeros((self._n_places, n_cols), dtype=np.float32)
+            offset = 0
+            if has_exec:
+                acc_mat[self._exec_col, 0] = 1.0
+                offset = 1
+            for k, cols in enumerate(ind_places):
+                for col in cols:
+                    acc_mat[col, offset + k] = 1.0
+            self._acc_mat = acc_mat
+            self._b_mf32 = np.empty((self._n, self._n_places), dtype=np.float32)
+            self._b_hits = np.empty((self._n, n_cols), dtype=np.float32)
+            self._b_hitsb = np.empty((self._n, n_cols), dtype=bool)
+            self._b_contrib = np.empty(
+                (self._n, len(ind_idx)), dtype=np.float64
+            )
+        else:
+            self._acc_mat = None
+            self._b_mf32 = self._b_hits = self._b_hitsb = None
+            self._b_contrib = None
+        self._ind_all = len(ind_idx) == len(rewards) and bool(rewards)
+        self._ind_reward_idx = np.asarray(ind_idx, dtype=np.intp)
+        self._generic_rewards = generic
+        self._impulse_map = impulse_map
+        act_flags = self._base_flags.copy()
+        act_index = {a.name: i for i, a in enumerate(self._acts)}
+        self._act_impulses: List[Optional[list]] = [None] * len(self._acts)
+        for activity_name, entries in impulse_map.items():
+            index = act_index.get(activity_name)
+            if index is not None:
+                act_flags[index] |= _F_SPECIAL
+                self._act_impulses[index] = entries
+        self._act_flags = act_flags

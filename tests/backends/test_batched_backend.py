@@ -1,0 +1,129 @@
+"""The ``san-sim-batched`` backend: registration, gating, identity.
+
+Covers the backend-layer face of the batched kernel: the registry
+entry and its capability contract, numpy-absence refusal (a
+:class:`UnsupportedBackendError` with a reason — never a bare
+``ImportError``), batch diagnostics in the result details, cache-key
+separation for plans differing only in kernel or batch size, and the
+kernel-pinning rule that drops an inherited ``batch_size`` when a
+scalar-kernel backend overrides a batched plan.
+"""
+
+import pytest
+
+from repro.backends import (
+    EvaluationPlan,
+    ResultCache,
+    USEFUL_WORK_FRACTION,
+    UnsupportedBackendError,
+    UnsupportedParametersError,
+    get_backend,
+)
+from repro.backends.base import BackendError
+from repro.core import HOUR, ModelParameters, SimulationPlan
+
+PARAMS = ModelParameters()
+BATCHED_PLAN = EvaluationPlan(
+    metrics=(USEFUL_WORK_FRACTION,),
+    simulation=SimulationPlan(
+        warmup=2 * HOUR, observation=20 * HOUR, replications=3,
+        kernel="batched", batch_size=3,
+    ),
+    seed=4,
+)
+
+
+def test_registered_with_equivalence_contract_in_description():
+    backend = get_backend("san-sim-batched")
+    assert backend.kernel == "batched"
+    assert "statistically equivalent" in backend.capabilities.description
+    assert "not" in backend.capabilities.description
+    assert USEFUL_WORK_FRACTION in backend.capabilities.metrics
+
+
+def test_evaluate_reports_batch_diagnostics():
+    result = get_backend("san-sim-batched").evaluate(PARAMS, BATCHED_PLAN)
+    assert USEFUL_WORK_FRACTION in result.metrics
+    assert 0.0 < result.metrics[USEFUL_WORK_FRACTION].mean < 1.0
+    assert result.details["batch_width"] == 3.0
+    assert 0.0 < result.details["batch_occupancy"] <= 1.0
+    assert 0.0 <= result.details["scalar_fallback_rate"] < 1.0
+
+
+def test_batched_backend_runs_batched_even_on_default_plan():
+    """The pinned kernel overrides the plan's default incremental
+    kernel, so plain plans still exercise the SoA path."""
+    plan = EvaluationPlan(
+        metrics=(USEFUL_WORK_FRACTION,),
+        simulation=SimulationPlan(
+            warmup=2 * HOUR, observation=10 * HOUR, replications=2
+        ),
+        seed=1,
+    )
+    result = get_backend("san-sim-batched").evaluate(PARAMS, plan)
+    assert "batch_width" in result.details
+
+
+def test_scalar_backend_drops_inherited_batch_size():
+    """A batched plan evaluated by the pinned full-rescan backend must
+    not crash on the (batched-only) batch_size field."""
+    result = get_backend("san-sim-full").evaluate(PARAMS, BATCHED_PLAN)
+    assert USEFUL_WORK_FRACTION in result.metrics
+    assert "batch_width" not in result.details
+
+
+def test_numpy_absence_is_a_reported_refusal(monkeypatch):
+    """Without numpy the backend stays registered but refuses with
+    UnsupportedBackendError (a BackendError, not an ImportError), and
+    its supports() veto gives sweeps a reason to skip it."""
+    monkeypatch.setattr("repro.san.batched.np", None)
+    backend = get_backend("san-sim-batched")
+
+    reason = backend.supports(PARAMS, BATCHED_PLAN)
+    assert reason is not None and "numpy" in reason
+
+    with pytest.raises(UnsupportedBackendError, match="numpy"):
+        backend.evaluate(PARAMS, BATCHED_PLAN)
+    assert issubclass(UnsupportedBackendError, BackendError)
+    assert not issubclass(UnsupportedBackendError, ImportError)
+
+    # check() turns the veto into the standard skip exception too.
+    with pytest.raises(UnsupportedParametersError):
+        backend.check(PARAMS, BATCHED_PLAN)
+
+
+def test_numpy_absence_does_not_affect_scalar_backends(monkeypatch):
+    monkeypatch.setattr("repro.san.batched.np", None)
+    plan = EvaluationPlan(
+        metrics=(USEFUL_WORK_FRACTION,),
+        simulation=SimulationPlan(
+            warmup=0.0, observation=4 * HOUR, replications=1
+        ),
+    )
+    assert get_backend("san-sim").supports(PARAMS, plan) is None
+    result = get_backend("san-sim").evaluate(PARAMS, plan)
+    assert USEFUL_WORK_FRACTION in result.metrics
+
+
+def test_cache_key_separates_kernel_and_batch_size(tmp_path):
+    """Plans differing only in kernel variant or batch size must miss
+    each other's cache entries — the SoA kernel is statistically
+    equivalent, not bit-identical, so its results are distinct."""
+    cache = ResultCache(str(tmp_path))
+    backend = get_backend("san-sim")
+
+    def key(**overrides):
+        sim = SimulationPlan(
+            warmup=2 * HOUR, observation=20 * HOUR, replications=3,
+            **overrides,
+        )
+        return cache.key(backend, PARAMS, EvaluationPlan(simulation=sim))
+
+    keys = {
+        key(),
+        key(kernel="full"),
+        key(kernel="batched"),
+        key(kernel="batched", batch_size=3),
+        key(kernel="batched", batch_size=16),
+    }
+    assert len(keys) == 5

@@ -147,6 +147,33 @@ class TestExitCodeMapping:
         assert rc == 2
         assert "validation backend failure" in captured.err
 
+    def test_kernel_override_on_custom_figure_exits_2(self, capsys):
+        rc = cli.main(["run-figure", "fig3", "--kernel", "batched"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "kernel override" in captured.err
+
+    def test_kernel_and_batch_size_forwarded_to_runner(self, monkeypatch):
+        seen = {}
+
+        def capturing_runner(**kwargs):
+            seen.update(kwargs)
+            raise BackendError("stop after capture")
+
+        monkeypatch.setitem(cli.FIGURE_RUNNERS, "fig4a", capturing_runner)
+        rc = cli.main(
+            ["run-figure", "fig4a", "--preset", "quick",
+             "--kernel", "batched", "--batch-size", "16"]
+        )
+        assert rc == 2
+        assert seen["kernel"] == "batched"
+        assert seen["batch_size"] == 16
+
+    def test_unknown_kernel_rejected_by_argparse(self):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["run-figure", "fig4a", "--kernel", "warp"])
+        assert excinfo.value.code == 2
+
     def test_validate_unknown_case_exits_2(self, capsys):
         rc = cli.main(["validate", "--cases", "no-such-case", "--list"])
         captured = capsys.readouterr()

@@ -22,14 +22,20 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Directories the audit covers.
-AUDITED = ("tests", "examples")
+#: Directories the audit covers. The engine layers (``src/repro/san``
+#: including the batched structure-of-arrays driver, and
+#: ``src/repro/core``) are audited alongside tests and examples: every
+#: kernel must draw through per-replication ``StreamRegistry`` child
+#: streams, never through a generator it built itself.
+AUDITED = ("tests", "examples", "src/repro/san", "src/repro/core")
 
 #: path (relative, posix) -> why direct RNG construction is allowed.
 ALLOWLIST = {
     "tests/test_seed_policy.py": "the audit itself spells the patterns",
     "tests/san/test_rng.py": "exercises the StreamRegistry primitives "
     "against raw numpy generators on purpose",
+    "src/repro/san/rng.py": "the StreamRegistry implementation is the "
+    "one sanctioned constructor of numpy generators",
 }
 
 #: Direct seeding that bypasses StreamRegistry.

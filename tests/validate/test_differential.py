@@ -204,3 +204,33 @@ class TestDefaultCases:
     def test_invalid_scale_rejected(self):
         with pytest.raises(ValueError):
             default_cases(0)[0]
+
+    def test_batched_case_has_an_exact_oracle(self):
+        """The batched-vs-incremental case must include a backend the
+        perturbation machinery leaves alone (an exact oracle) —
+        otherwise the mutation smoke could never produce DISAGREE and
+        the case would prove nothing."""
+        case = {c.name: c for c in default_cases()}["batched-vs-incremental"]
+        assert "san-sim-batched" in case.backends
+        assert "san-sim" in case.backends
+        kinds = {
+            backend_id: get_backend(backend_id).capabilities.kind
+            for backend_id in case.backends
+        }
+        assert "exact" in kinds.values(), kinds
+
+    def test_scaling_preserves_kernel_and_batch_size(self):
+        """Effort scaling must shrink the horizon, not silently change
+        which kernel a case exercises."""
+        cases = {c.name: c for c in default_cases(0.25)}
+        batched = cases["batched-vs-incremental"]
+        assert batched.plan.simulation.kernel == "incremental"
+        for case in cases.values():
+            full = {c.name: c for c in default_cases()}[case.name]
+            assert (
+                case.plan.simulation.kernel == full.plan.simulation.kernel
+            ), case.name
+            assert (
+                case.plan.simulation.batch_size
+                == full.plan.simulation.batch_size
+            ), case.name
