@@ -42,7 +42,12 @@ from .base import (
 )
 from .canonical import canonical_json
 
-__all__ = ["CACHE_KEY_VERSION", "TMP_SWEEP_AGE_SECONDS", "ResultCache"]
+__all__ = [
+    "CACHE_KEY_VERSION",
+    "TMP_SWEEP_AGE_SECONDS",
+    "ResultCache",
+    "request_digest",
+]
 
 #: Version of the key-derivation scheme itself. Bumped to 2 when the
 #: lossy ``json.dumps(..., default=str)`` encoder was replaced by the
@@ -57,6 +62,32 @@ TMP_SWEEP_AGE_SECONDS = 60.0
 #: Cache roots already swept by this process — the janitor is an
 #: init-time hygiene pass, not a recurring cost on every cache handle.
 _SWEPT_ROOTS: Set[str] = set()
+
+
+def request_digest(backend: Backend, params: ModelParameters,
+                   plan: EvaluationPlan) -> str:
+    """Digest of the canonical evaluation request.
+
+    Everything that can change the value is hashed: the result schema
+    version, the backend id and version, every model parameter, and
+    the whole evaluation plan (metrics, simulation effort, seed,
+    duration). This is the one key-derivation recipe for the whole
+    stack: :class:`ResultCache` files its entries under it and
+    :class:`~repro.exec.EvaluationTask` deduplicates on it, so a queue
+    coalescing two submissions is exactly the set of requests the
+    cache would have served from one entry.
+    """
+    identity = {
+        "schema": SCHEMA_VERSION,
+        "key_version": CACHE_KEY_VERSION,
+        "backend": backend.id,
+        "backend_version": backend.backend_version,
+    }
+    identity.update(plan_key_dict(params, plan))
+    canonical = canonical_json(identity)
+    return hashlib.blake2b(
+        canonical.encode("utf-8"), digest_size=16
+    ).hexdigest()
 
 
 class ResultCache:
@@ -93,24 +124,8 @@ class ResultCache:
 
     def key(self, backend: Backend, params: ModelParameters,
             plan: EvaluationPlan) -> str:
-        """Digest of the canonical request.
-
-        Everything that can change the value is hashed: the result
-        schema version, the backend id and version, every model
-        parameter, and the whole evaluation plan (metrics, simulation
-        effort, seed, duration).
-        """
-        identity = {
-            "schema": SCHEMA_VERSION,
-            "key_version": CACHE_KEY_VERSION,
-            "backend": backend.id,
-            "backend_version": backend.backend_version,
-        }
-        identity.update(plan_key_dict(params, plan))
-        canonical = canonical_json(identity)
-        return hashlib.blake2b(
-            canonical.encode("utf-8"), digest_size=16
-        ).hexdigest()
+        """Digest of the canonical request (see :func:`request_digest`)."""
+        return request_digest(backend, params, plan)
 
     def path(self, backend: Backend, params: ModelParameters,
              plan: EvaluationPlan) -> str:

@@ -1,0 +1,342 @@
+"""File-backed persistent work queue with dedup and priority order.
+
+Layout under the queue directory::
+
+    <queue_dir>/
+      pending/   <priority:06d>-<counter:08d>-<cache_key>.json
+      inflight/  same filename, moved here atomically while executing
+      results/   <cache_key>.json   (ok TaskResult envelopes only)
+
+Every file is written atomically (temp file + fsync + ``os.replace``,
+the same discipline as the result cache and the journal) and a task
+is *claimed* by an atomic rename from ``pending/`` to ``inflight/``,
+so two drainers can share one queue directory without double-running
+a task.
+
+Deduplication: tasks are keyed by the canonical cache digest
+(:meth:`~repro.exec.task.EvaluationTask.cache_key`). Submitting a key
+that is already queued, already being waited on, or already answered
+in the results store does not enqueue new work — the submission is
+*coalesced*: it will be served from the single evaluation of that
+key. Concurrent figures sharing points therefore evaluate each unique
+point exactly once per queue.
+
+Priority: lower ``task.priority`` values run first (then submission
+order) — the lexicographic sort of the zero-padded filenames is the
+schedule, so the order is stable across processes and restarts.
+
+Crash recovery: a drainer killed mid-task leaves its claimed file in
+``inflight/`` forever. On startup the janitor requeues in-flight
+files older than :data:`INFLIGHT_SWEEP_AGE_SECONDS` back into
+``pending/`` (mirror of the ResultCache ``.tmp`` janitor), publishing
+the count as the ``queue.orphans_requeued`` metric.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from collections import deque
+from dataclasses import replace
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Tuple
+
+from ..obs import metrics as obs_metrics
+from . import task as _task
+from .base import ExecutorCapabilities
+from .task import EvaluationTask, TaskError, TaskResult
+
+__all__ = ["INFLIGHT_SWEEP_AGE_SECONDS", "QueueExecutor"]
+
+#: Minimum age (seconds since last mtime) before a claimed task file
+#: in ``inflight/`` is considered orphaned by a crashed drainer and
+#: requeued.
+INFLIGHT_SWEEP_AGE_SECONDS = 60.0
+
+
+class QueueExecutor:
+    """Persistent on-disk queue executor with coalescing."""
+
+    capabilities = ExecutorCapabilities(
+        name="queue",
+        parallel=False,
+        preemptive_timeout=False,
+        persistent=True,
+        deduplicates=True,
+    )
+
+    def __init__(
+        self,
+        queue_dir: str,
+        point_timeout: Optional[float] = None,
+        fault_plan: Optional[Any] = None,
+        backend_resilience: Optional[Any] = None,
+        run_task: Optional[Callable[..., TaskResult]] = None,
+        orphan_age: float = INFLIGHT_SWEEP_AGE_SECONDS,
+    ) -> None:
+        """Queue executor rooted at ``queue_dir`` (created if missing).
+
+        ``point_timeout`` is the cooperative per-task deadline (the
+        queue executes in-process, like the serial executor);
+        ``orphan_age`` overrides the janitor's age threshold (tests
+        use 0 to requeue immediately). ``run_task`` is the test seam
+        over :func:`~repro.exec.task.execute_task`.
+        """
+        self.queue_dir = queue_dir
+        self.notes: List[str] = []
+        self._pending_dir = os.path.join(queue_dir, "pending")
+        self._inflight_dir = os.path.join(queue_dir, "inflight")
+        self._results_dir = os.path.join(queue_dir, "results")
+        for directory in (
+            self._pending_dir, self._inflight_dir, self._results_dir
+        ):
+            os.makedirs(directory, exist_ok=True)
+        self._point_timeout = point_timeout
+        self._fault_plan = fault_plan
+        self._backend_resilience = backend_resilience
+        self._run_task = run_task
+        self._orphan_age = orphan_age
+        self._counter = 0
+        self._waiters: Dict[str, List[EvaluationTask]] = {}
+        self._served: Deque[Tuple[EvaluationTask, TaskResult]] = deque()
+        self._executed = 0
+        self._coalesced = 0
+        self._orphans_requeued = 0
+        self._depth_high_water = 0
+        self._sweep_orphaned_inflight()
+
+    # ------------------------------------------------------------------
+    # Janitor
+    # ------------------------------------------------------------------
+    def _sweep_orphaned_inflight(self) -> None:
+        """Requeue task files abandoned by a crashed drainer."""
+        requeued = 0
+        now = time.time()
+        for name in sorted(os.listdir(self._inflight_dir)):
+            path = os.path.join(self._inflight_dir, name)
+            try:
+                age = now - os.path.getmtime(path)
+                if age >= self._orphan_age:
+                    os.replace(path, os.path.join(self._pending_dir, name))
+                    requeued += 1
+            except OSError:
+                continue  # raced with another janitor or drainer: fine
+        if requeued:
+            self._orphans_requeued = requeued
+            obs_metrics.registry().counter("queue.orphans_requeued").inc(
+                requeued
+            )
+            self.notes.append(
+                f"work queue janitor: requeued {requeued} orphaned "
+                f"in-flight task(s) in {self.queue_dir}"
+            )
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, task: EvaluationTask) -> None:
+        """Enqueue one task, coalescing on its cache key.
+
+        A key already being waited on, already queued on disk, or
+        already answered in the results store is not enqueued again;
+        the submission is counted as coalesced and served from the
+        single evaluation of that key.
+        """
+        key = task.cache_key()
+        waiters = self._waiters.get(key)
+        if waiters is not None:
+            waiters.append(task)
+            self._coalesced += 1
+            return
+        stored = self._load_stored(key)
+        if stored is not None:
+            self._served.append((task, stored))
+            self._coalesced += 1
+            return
+        self._waiters[key] = [task]
+        if self._queued_files(key):
+            # Persisted by an earlier (possibly crashed) submitter:
+            # ride on that file instead of enqueueing a duplicate.
+            self._coalesced += 1
+        else:
+            self._write_pending(task, key)
+        depth = len(os.listdir(self._pending_dir)) + len(
+            os.listdir(self._inflight_dir)
+        )
+        self._depth_high_water = max(self._depth_high_water, depth)
+
+    @property
+    def pending(self) -> int:
+        """Submissions not yet yielded by :meth:`drain`."""
+        return sum(len(w) for w in self._waiters.values()) + len(self._served)
+
+    # ------------------------------------------------------------------
+    # File plumbing
+    # ------------------------------------------------------------------
+    def _queued_files(self, key: str) -> List[str]:
+        suffix = f"-{key}.json"
+        found = []
+        for directory in (self._pending_dir, self._inflight_dir):
+            for name in os.listdir(directory):
+                if name.endswith(suffix):
+                    found.append(os.path.join(directory, name))
+        return found
+
+    def _write_pending(self, task: EvaluationTask, key: str) -> None:
+        priority = max(0, task.priority)
+        name = f"{priority:06d}-{self._counter:08d}-{key}.json"
+        self._counter += 1
+        self._atomic_write(
+            os.path.join(self._pending_dir, name), task.to_json_dict()
+        )
+
+    @staticmethod
+    def _atomic_write(path: str, payload: Dict[str, Any]) -> None:
+        directory = os.path.dirname(path)
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=".queue-", suffix=".json.tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+
+    def _load_stored(self, key: str) -> Optional[TaskResult]:
+        path = os.path.join(self._results_dir, f"{key}.json")
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            return TaskResult.from_json_dict(payload)
+        except (OSError, ValueError, TaskError):
+            return None  # absent or unreadable: evaluate fresh
+
+    def _store_result(self, key: str, result: TaskResult) -> None:
+        try:
+            self._atomic_write(
+                os.path.join(self._results_dir, f"{key}.json"),
+                result.to_json_dict(),
+            )
+        except OSError:
+            pass  # a full or read-only store must not fail the task
+
+    def _claim_next(self) -> Optional[str]:
+        """Atomically move the first pending file to ``inflight/``."""
+        for name in sorted(os.listdir(self._pending_dir)):
+            if not name.endswith(".json"):
+                continue
+            source = os.path.join(self._pending_dir, name)
+            target = os.path.join(self._inflight_dir, name)
+            try:
+                os.replace(source, target)
+            except OSError:
+                continue  # another drainer claimed it first
+            return target
+        return None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _run(self, task: EvaluationTask) -> TaskResult:
+        runner = self._run_task
+        if runner is None:
+            runner = _task.execute_task
+        self._executed += 1
+        return runner(
+            task,
+            self._fault_plan,
+            self._backend_resilience,
+            self._point_timeout,
+        )
+
+    def _dispatch(self, key: str, result: TaskResult) -> List[TaskResult]:
+        """Stamp one evaluation's result onto every waiting submission."""
+        waiters = self._waiters.pop(key, [])
+        stamped = []
+        for position, waiter in enumerate(waiters):
+            stamped.append(
+                replace(
+                    result,
+                    index=waiter.index,
+                    series=waiter.series,
+                    x=waiter.x,
+                    attempt=waiter.attempt,
+                    coalesced=position > 0,
+                )
+            )
+        return stamped
+
+    def drain(self) -> Iterator[TaskResult]:
+        """Execute queued tasks in priority order; yield results for
+        every local submission (coalesced ones included) until none
+        remain waiting. Queued tasks belonging to other submitters are
+        executed and stored but not yielded."""
+        while self._waiters or self._served:
+            while self._served:
+                waiter, stored = self._served.popleft()
+                yield replace(
+                    stored,
+                    index=waiter.index,
+                    series=waiter.series,
+                    x=waiter.x,
+                    attempt=waiter.attempt,
+                    coalesced=True,
+                )
+            if not self._waiters:
+                continue
+            claimed = self._claim_next()
+            if claimed is None:
+                # Waiters remain but no file is claimable (lost to a
+                # crash before the janitor threshold, or claimed by a
+                # foreign drainer that died): evaluate from the
+                # in-memory submission so the sweep always completes.
+                key = next(iter(self._waiters))
+                result = self._run(self._waiters[key][0])
+                if result.ok:
+                    self._store_result(key, result)
+                for stamped in self._dispatch(key, result):
+                    yield stamped
+                continue
+            try:
+                with open(claimed, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                task = EvaluationTask.from_json_dict(payload)
+            except (OSError, ValueError, TaskError) as exc:
+                self.notes.append(
+                    f"work queue: dropped unreadable task file "
+                    f"{os.path.basename(claimed)} ({exc})"
+                )
+                try:
+                    os.unlink(claimed)
+                except OSError:
+                    pass
+                continue
+            key = task.cache_key()
+            result = self._run(task)
+            if result.ok:
+                self._store_result(key, result)
+            try:
+                os.unlink(claimed)
+            except OSError:
+                pass
+            for stamped in self._dispatch(key, result):
+                yield stamped
+
+    def close(self) -> None:
+        """Nothing to release — the queue directory *is* the state."""
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for the run manifest's ``execution`` section."""
+        return {
+            "executor": self.capabilities.name,
+            "tasks_executed": self._executed,
+            "coalesced": self._coalesced,
+            "queue_depth_high_water": self._depth_high_water,
+            "orphans_requeued": self._orphans_requeued,
+        }

@@ -1,0 +1,100 @@
+"""In-process executor: deterministic, one task at a time.
+
+The simplest implementation of the
+:class:`~repro.exec.base.Executor` protocol — and the reference for
+the conformance suite: results come back in exactly submission order,
+so a serial run is the canonical answer the pool and queue executors
+must reproduce bit-for-bit.
+
+A serial executor cannot preempt a hung evaluation (it *is* the
+evaluating process), so ``point_timeout`` is enforced cooperatively:
+the timeout is threaded into :func:`~repro.exec.task.execute_task` as
+a deadline that tightens the simulation's per-replication wall-clock
+budget. A runaway point then raises
+:class:`~repro.san.errors.WallClockExceededError` from inside the
+executive and flows through the normal retry path, instead of hanging
+the sweep forever.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
+
+from . import task as _task
+from .base import ExecutorCapabilities
+from .task import EvaluationTask, TaskResult
+
+__all__ = ["SerialExecutor"]
+
+
+class SerialExecutor:
+    """Execute tasks in-process, in submission order."""
+
+    capabilities = ExecutorCapabilities(
+        name="serial",
+        parallel=False,
+        preemptive_timeout=False,
+        persistent=False,
+        deduplicates=False,
+    )
+
+    def __init__(
+        self,
+        point_timeout: Optional[float] = None,
+        fault_plan: Optional[Any] = None,
+        backend_resilience: Optional[Any] = None,
+        run_task: Optional[Callable[..., TaskResult]] = None,
+    ) -> None:
+        """In-process executor.
+
+        ``point_timeout`` becomes the cooperative per-task deadline
+        (see the module docstring); ``fault_plan`` and
+        ``backend_resilience`` are forwarded to every
+        :func:`~repro.exec.task.execute_task` call. ``run_task``
+        overrides the evaluation function itself (test seam); when
+        ``None`` the executor resolves
+        ``repro.exec.task.execute_task`` at call time, so
+        monkeypatching the module function takes effect.
+        """
+        self.notes: List[str] = []
+        self._ready: Deque[EvaluationTask] = deque()
+        self._point_timeout = point_timeout
+        self._fault_plan = fault_plan
+        self._backend_resilience = backend_resilience
+        self._run_task = run_task
+        self._executed = 0
+
+    def submit(self, task: EvaluationTask) -> None:
+        """Append one task to the FIFO."""
+        self._ready.append(task)
+
+    @property
+    def pending(self) -> int:
+        """Tasks submitted but not yet executed."""
+        return len(self._ready)
+
+    def drain(self) -> Iterator[TaskResult]:
+        """Execute and yield queued tasks until the FIFO is empty."""
+        while self._ready:
+            item = self._ready.popleft()
+            runner = self._run_task
+            if runner is None:
+                runner = _task.execute_task
+            self._executed += 1
+            yield runner(
+                item,
+                self._fault_plan,
+                self._backend_resilience,
+                self._point_timeout,
+            )
+
+    def close(self) -> None:
+        """Nothing to release; kept for protocol symmetry."""
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for the run manifest's ``execution`` section."""
+        return {
+            "executor": self.capabilities.name,
+            "tasks_executed": self._executed,
+        }

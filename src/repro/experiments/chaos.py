@@ -205,6 +205,8 @@ def run_chaos(
     tolerance: float = 0.15,
     policy: Optional[TolerancePolicy] = None,
     out_dir: Optional[str] = None,
+    executor: Optional[str] = None,
+    queue_dir: Optional[str] = None,
 ) -> ChaosOutcome:
     """Run one figure clean and faulted; compare the archives.
 
@@ -217,15 +219,25 @@ def run_chaos(
     ``san-sim-full`` degradation chain when the figure runs on
     ``san-sim``.
 
-    Both runs are serial: pooled workers cannot ship their resilience
-    event logs back to the parent, and the comparison depends on the
-    event record to prove faults actually fired. Custom (non-sweep)
-    figures are rejected — there is no point-level evaluation to
-    afflict.
+    ``executor`` selects the in-process execution substrate both runs
+    use: ``"serial"`` (the default) or ``"queue"`` (with ``queue_dir``;
+    each run gets its own sub-queue under ``<queue_dir>/clean`` and
+    ``<queue_dir>/faulted`` so the faulted run cannot coalesce against
+    the clean run's results — that would prove nothing). ``"pool"`` is
+    rejected: pooled workers cannot ship their resilience event logs
+    back to the parent, and the comparison depends on the event record
+    to prove faults actually fired. Custom (non-sweep) figures are
+    rejected — there is no point-level evaluation to afflict.
 
     When ``out_dir`` is given, both archives (and their manifests) are
     saved under ``<out_dir>/clean`` and ``<out_dir>/faulted``.
     """
+    if executor == "pool":
+        raise ValueError(
+            "chaos cannot run on the pool executor: pooled workers do "
+            "not ship their resilience event logs back to the parent; "
+            "use 'serial' or 'queue'"
+        )
     try:
         spec = FIGURE_SPECS[figure_id]
     except KeyError:
@@ -274,6 +286,10 @@ def run_chaos(
                 backend_resilience=backend_resilience
             ),
             backend=backend,
+            executor=executor,
+            queue_dir=(
+                os.path.join(queue_dir, label) if queue_dir is not None else None
+            ),
         )
         if out_dir is not None:
             save_figure(figure, os.path.join(out_dir, label))

@@ -35,6 +35,7 @@ import time
 from typing import List, Optional
 
 from ..backends import BackendError, all_backends, backend_ids
+from ..exec import EXECUTOR_IDS, ExecutorError
 from .config import FIGURE_IDS, PRESETS
 from .figures import FIGURE_RUNNERS
 from .report import (
@@ -155,6 +156,21 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--out", default=None, metavar="DIR",
         help="save both archives under DIR/clean and DIR/faulted",
+    )
+    chaos.add_argument(
+        "--executor", default=None, choices=["serial", "queue"],
+        help=(
+            "execution substrate for both runs (default: serial; "
+            "'pool' is rejected because pooled workers cannot ship "
+            "the resilience event log back to the parent)"
+        ),
+    )
+    chaos.add_argument(
+        "--queue-dir", default=None, metavar="DIR",
+        help=(
+            "directory backing the 'queue' executor; each run gets "
+            "its own sub-queue under DIR/clean and DIR/faulted"
+        ),
     )
 
     obs = sub.add_parser(
@@ -348,6 +364,34 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="worker processes for the sweep (default: serial)",
+    )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        choices=list(EXECUTOR_IDS),
+        help=(
+            "execution strategy for sweep figures: 'serial' (in-process), "
+            "'pool' (worker processes, honours --processes), or 'queue' "
+            "(file-backed persistent queue with in-flight dedup; requires "
+            "--queue-dir); default: serial, or pool when --processes >= 2"
+        ),
+    )
+    parser.add_argument(
+        "--queue-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory backing the 'queue' executor (pending/, inflight/ "
+            "and results/ live under it; survives crashes and dedups "
+            "repeated submissions of the same point)"
+        ),
+    )
+    parser.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        metavar="N",
+        help="slice each sweep figure to its first N points",
     )
     parser.add_argument(
         "--no-validate",
@@ -602,6 +646,9 @@ def _run_one(figure_id: str, args: argparse.Namespace, stream) -> bool:
             backend=getattr(args, "backend", None),
             kernel=getattr(args, "kernel", None),
             batch_size=getattr(args, "batch_size", None),
+            executor=getattr(args, "executor", None),
+            queue_dir=getattr(args, "queue_dir", None),
+            max_points=getattr(args, "max_points", None),
         )
     finally:
         stats = profiling.aggregated() if kernel_stats else None
@@ -889,6 +936,8 @@ def _chaos_command(args: argparse.Namespace) -> int:
             options=options,
             tolerance=args.tolerance,
             out_dir=args.out,
+            executor=args.executor,
+            queue_dir=args.queue_dir,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -955,14 +1004,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "chaos":
         try:
             return _chaos_command(args)
-        except BackendError as exc:
+        except (BackendError, ExecutorError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
     if args.command == "run-figure":
         try:
             ok = _run_one(args.figure, args, stream=None)
-        except BackendError as exc:
+        except (BackendError, ExecutorError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         return 0 if ok else 1
@@ -1073,7 +1122,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         for figure_id in sorted(FIGURE_RUNNERS):
             try:
                 all_ok = _run_one(figure_id, args, stream) and all_ok
-            except BackendError as exc:
+            except (BackendError, ExecutorError) as exc:
                 print(f"error: {figure_id}: {exc}\n", file=sys.stderr)
                 all_ok = False
         if args.output:

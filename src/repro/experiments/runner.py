@@ -37,6 +37,7 @@ from ..backends import (
 )
 from ..core.parameters import ModelParameters
 from ..core.simulation import SimulationPlan
+from ..exec import EvaluationTask, Executor, make_executor
 from ..obs import RunManifest, metrics as obs_metrics
 from ..obs.trace import JsonlTraceSink, default_sink
 from ..san import profiling
@@ -44,11 +45,9 @@ from .resilience import (
     CheckpointJournal,
     FailureReport,
     Outcome,
-    PointTask,
     ResilienceOptions,
     SupervisorResult,
     SweepSupervisor,
-    failure_payload,
 )
 
 __all__ = ["SweepPoint", "FigureResult", "run_sweep", "DEFAULT_BACKEND"]
@@ -122,65 +121,36 @@ class FigureResult:
         return max(points, key=lambda p: p[1])[0]
 
 
-def _evaluate_point_worker(
-    point: SweepPoint,
-    plan: EvaluationPlan,
-    backend_name: str,
-    cache_dir: Optional[str],
-    backend_resilience,
-    seed: int,
-    index: int,
-    attempt: int,
-    fault_plan,
-) -> Tuple[str, object]:
-    """Supervised worker: evaluate one point, never raise.
+def _resolve_executor(
+    executor,
+    queue_dir: Optional[str],
+    processes: Optional[int],
+    options: ResilienceOptions,
+) -> Tuple[Optional[Executor], bool]:
+    """Turn ``run_sweep``'s ``executor`` argument into an instance.
 
-    Resolves the backend by name (backends register at import time in
-    every worker process), evaluates with the point's own seed, and
-    best-effort writes the result through to the cache. Exceptions
-    are serialised via :func:`failure_payload` before they cross the
-    process boundary, so structured errors with rich payloads can
-    never poison the pool's result pipe.
-
-    With ``backend_resilience`` set, the backend is wrapped in a
-    :class:`~repro.resilience.backend.ResilientBackend` (deadlines,
-    seed-deriving retries, circuit breaker, degradation chain,
-    backend-level fault injection). Only a *clean* execution — the
-    primary backend, first attempt, base seed, exactly what an
-    unfaulted run would produce — is written to the result cache;
-    retried or degraded results stay out so the cache can never
-    launder a degraded value into a clean run.
+    Returns ``(instance, owned)``: ``None`` instance means "let the
+    supervisor build its default from ``processes``" (the legacy
+    behavior); a string is resolved through
+    :func:`repro.exec.make_executor` and owned (closed) by the sweep;
+    anything else is treated as a ready-made executor the caller
+    keeps ownership of.
     """
-    try:
-        if fault_plan is not None:
-            fault_plan.before_point(index, attempt)
-        backend = get_backend(backend_name)
-        executor = backend
-        if backend_resilience is not None:
-            from ..resilience import ResilientBackend
-
-            executor = ResilientBackend(backend, backend_resilience)
-        seeded_plan = plan.with_seed(seed)
-        result = executor.evaluate(point.params, seeded_plan)
-        metric_value = result.metric(seeded_plan.metrics[0])
-        outcome: Outcome = (
-            point.series,
-            point.x,
-            metric_value.mean,
-            metric_value.half_width,
+    if executor is None:
+        return None, False
+    if isinstance(executor, str):
+        return (
+            make_executor(
+                executor,
+                processes=processes,
+                point_timeout=options.point_timeout,
+                fault_plan=options.fault_plan,
+                backend_resilience=options.backend_resilience,
+                queue_dir=queue_dir,
+            ),
+            True,
         )
-        report = getattr(executor, "last_report", None)
-        cacheable = report is None or report.clean
-        if cache_dir and cacheable:
-            try:
-                ResultCache(cache_dir).put(
-                    backend, point.params, seeded_plan, result
-                )
-            except OSError:
-                pass  # a full or read-only cache must not fail the point
-        return ("ok", outcome)
-    except Exception as exc:
-        return ("error", failure_payload(exc))
+    return executor, False
 
 
 def _check_unique_points(points: Sequence[SweepPoint]) -> None:
@@ -253,6 +223,8 @@ def run_sweep(
     progress: Optional[Callable[[int, int], None]] = None,
     resilience: Optional[ResilienceOptions] = None,
     backend: str = DEFAULT_BACKEND,
+    executor=None,
+    queue_dir: Optional[str] = None,
 ) -> FigureResult:
     """Evaluate every point and assemble the figure.
 
@@ -277,6 +249,16 @@ def run_sweep(
     up from) a content-addressed result cache keyed by the canonical
     parameter hash, backend id/version and schema version, so repeated
     sweeps skip already-evaluated points across runs.
+
+    ``executor`` selects the execution substrate (see
+    :mod:`repro.exec`): ``None`` keeps the legacy behavior (a serial
+    executor, or a pool when ``processes >= 2``); the strings
+    ``"serial"`` / ``"pool"`` / ``"queue"`` build the named executor
+    (``"queue"`` requires ``queue_dir``); an
+    :class:`~repro.exec.base.Executor` instance is driven as-is and
+    left open, so several sweeps can share one persistent queue and
+    coalesce their common points. The manifest's ``execution``
+    section records which executor ran and what it did.
     """
     if metric not in ("useful_work_fraction", "total_useful_work"):
         raise ValueError(f"unknown metric {metric!r}")
@@ -369,13 +351,17 @@ def run_sweep(
         progress(done, total)
 
     tasks = [
-        PointTask(
+        EvaluationTask(
             index=index,
             series=point.series,
-            x=float(point.x),
+            # Raw (possibly integral) x: the archive preserves the
+            # declared type, exactly as the pre-executor path did.
+            x=point.x,
+            params=point.params,
+            plan=eval_plan,
+            backend=backend,
             base_seed=seed + index,
-            args=(point, eval_plan, backend, options.cache_dir,
-                  options.backend_resilience),
+            cache_dir=options.cache_dir,
         )
         for index, point in enumerate(points)
         if (point.series, float(point.x)) not in completed
@@ -383,7 +369,7 @@ def run_sweep(
 
     completed_this_run = 0
 
-    def on_success(task: PointTask, outcome: Outcome, attempt: int,
+    def on_success(task: EvaluationTask, outcome: Outcome, attempt: int,
                    seed_used: int) -> None:
         nonlocal done, completed_this_run
         if journal is not None:
@@ -399,15 +385,20 @@ def run_sweep(
             options.fault_plan.after_success(completed_this_run)
 
     worker_count = processes if processes is not None else 1
+    exec_instance, owns_executor = _resolve_executor(
+        executor, queue_dir, processes, options
+    )
     supervisor = SweepSupervisor(
-        _evaluate_point_worker,
         options,
         processes=worker_count,
         on_success=on_success,
+        executor=exec_instance,
     )
     try:
         supervised: SupervisorResult = supervisor.run(tasks)
     finally:
+        if owns_executor and exec_instance is not None:
+            exec_instance.close()
         if journal is not None:
             journal.close()
 
@@ -467,7 +458,12 @@ def run_sweep(
             "events": res_events,
             "summary": summary,
         }
-        if processes not in (None, 1):
+        pooled = (
+            exec_instance.capabilities.name == "pool"
+            if exec_instance is not None
+            else worker_count > 1
+        )
+        if pooled:
             resilience_section["note"] = (
                 "pooled workers log resilience events in their own "
                 "processes; this section covers supervisor-side events only"
@@ -497,6 +493,23 @@ def run_sweep(
     wall_clock = time.monotonic() - start_clock
     reg.timing("sweep.run_seconds").observe(wall_clock)
 
+    execution_section: Dict[str, object] = dict(supervised.execution or {})
+    if not execution_section:
+        # Nothing needed executing (fully journaled/cached sweep):
+        # still record which executor *would* have run.
+        execution_section = {
+            "executor": (
+                exec_instance.capabilities.name
+                if exec_instance is not None
+                else ("pool" if worker_count > 1 else "serial")
+            ),
+            "tasks_executed": 0,
+        }
+    execution_section["attempts"] = {
+        str(index): count
+        for index, count in sorted(supervised.attempts.items())
+    }
+
     aggregate = profiling.aggregated()
     sink = default_sink()
     figure.manifest = RunManifest(
@@ -517,6 +530,7 @@ def run_sweep(
         trace=sink.summary() if isinstance(sink, JsonlTraceSink) else None,
         wall_clock_seconds=wall_clock,
         resilience=resilience_section,
+        execution=execution_section,
         notes=list(notes),
     )
     return figure

@@ -118,6 +118,14 @@ class RunManifest:
         field is additive and optional, so the schema version is
         unchanged: old manifests load as ``None``, and readers that
         predate it simply ignore the key.
+    execution:
+        Optional record of how the run's tasks were executed (see
+        :mod:`repro.exec`): the executor id, tasks executed, coalesced
+        submissions and queue depth high-water (queue executor),
+        timeouts and pool restarts (pool executor), plus the
+        per-point attempt counts. Additive and optional exactly like
+        ``resilience``: the schema version is unchanged, old
+        manifests load as ``None``.
     """
 
     figure_id: str
@@ -142,6 +150,7 @@ class RunManifest:
     wall_clock_seconds: float = 0.0
     validation: Optional[Dict[str, Any]] = None
     resilience: Optional[Dict[str, Any]] = None
+    execution: Optional[Dict[str, Any]] = None
     notes: List[str] = field(default_factory=list)
     schema_version: int = MANIFEST_SCHEMA_VERSION
     repro_version: str = __version__
@@ -177,6 +186,7 @@ class RunManifest:
             "wall_clock_seconds": self.wall_clock_seconds,
             "validation": self.validation,
             "resilience": self.resilience,
+            "execution": self.execution,
             "notes": list(self.notes),
         }
 
@@ -220,6 +230,7 @@ class RunManifest:
                 wall_clock_seconds=float(payload.get("wall_clock_seconds", 0.0)),
                 validation=payload.get("validation"),
                 resilience=payload.get("resilience"),
+                execution=payload.get("execution"),
                 notes=[str(note) for note in payload.get("notes", [])],
                 schema_version=MANIFEST_SCHEMA_VERSION,
                 repro_version=str(payload.get("repro_version", "")),
@@ -353,6 +364,37 @@ def render_manifest(manifest: RunManifest) -> str:
         )
         for stamp in summary.get("degraded") or []:
             lines.append(f"  degraded: {stamp}")
+    if manifest.execution:
+        execution = manifest.execution
+        line = (
+            f"  execution: {execution.get('executor', '?')} executor, "
+            f"{execution.get('tasks_executed', 0)} task(s) executed"
+        )
+        if execution.get("coalesced"):
+            line += f", {execution['coalesced']} coalesced"
+        if execution.get("queue_depth_high_water"):
+            line += (
+                f", queue depth high-water "
+                f"{execution['queue_depth_high_water']}"
+            )
+        if execution.get("orphans_requeued"):
+            line += f", {execution['orphans_requeued']} orphan(s) requeued"
+        if execution.get("timeouts"):
+            line += f", {execution['timeouts']} timeout(s)"
+        lines.append(line)
+        retried = {
+            index: count
+            for index, count in (execution.get("attempts") or {}).items()
+            if isinstance(count, int) and count > 1
+        }
+        if retried:
+            shown = ", ".join(
+                f"point {index}: {count} attempts"
+                for index, count in sorted(
+                    retried.items(), key=lambda item: int(item[0])
+                )
+            )
+            lines.append(f"  attempts: {shown}")
     counters = manifest.metrics.get("counters") if manifest.metrics else None
     if counters:
         shown = ", ".join(

@@ -219,10 +219,64 @@ def summarize_result(
     )
 
 
+def _evaluate_participants(
+    participants: Sequence[Tuple[str, ModelParameters]],
+    plan: EvaluationPlan,
+    seed: int,
+    executor,
+) -> Dict[str, EvaluationResult]:
+    """Evaluate ``(backend_id, params)`` pairs through an executor.
+
+    Each participant becomes one :class:`~repro.exec.EvaluationTask`
+    (``series`` = backend id, ``base_seed`` = the case seed, so the
+    derived attempt-0 seed matches the inline path exactly); the
+    executor is drained and each serialised result is rebuilt into the
+    :class:`~repro.backends.EvaluationResult` the comparison layer
+    expects. An error envelope is re-raised — a differential case that
+    cannot evaluate a backend must fail loudly, exactly as the inline
+    ``backend.evaluate`` call would.
+    """
+    from ..exec import EvaluationTask, make_executor
+
+    owned = isinstance(executor, str)
+    instance = make_executor(executor) if owned else executor
+    results: Dict[str, EvaluationResult] = {}
+    try:
+        for index, (backend_id, params) in enumerate(participants):
+            instance.submit(
+                EvaluationTask(
+                    index=index,
+                    series=backend_id,
+                    x=0.0,
+                    params=params,
+                    plan=plan,
+                    backend=backend_id,
+                    base_seed=seed,
+                )
+            )
+        for task_result in instance.drain():
+            if not task_result.ok:
+                failure = task_result.failure or {}
+                raise RuntimeError(
+                    f"differential evaluation of backend "
+                    f"{task_result.series!r} failed: "
+                    f"{failure.get('error_type', 'Exception')}: "
+                    f"{failure.get('error_message', 'unknown error')}"
+                )
+            results[task_result.series] = EvaluationResult.from_json_dict(
+                task_result.result
+            )
+    finally:
+        if owned:
+            instance.close()
+    return results
+
+
 def run_case(
     case: DifferentialCase,
     seed: int = 0,
     perturb: Optional[Mapping[str, float]] = None,
+    executor=None,
 ) -> CaseResult:
     """Evaluate one case on every participating backend and compare
     all pairs.
@@ -231,12 +285,21 @@ def run_case(
     backends only; the exact oracles answer the reference
     configuration, so a perturbation that matters must produce a
     DISAGREE somewhere.
+
+    ``executor`` routes the per-backend evaluations through the
+    execution layer (:mod:`repro.exec`): ``None`` evaluates inline
+    (the historical path, bit-identical results), a string such as
+    ``"serial"`` builds and owns that executor for this case, and a
+    ready-made :class:`~repro.exec.base.Executor` instance is driven
+    as-is and left open, so a persistent queue can coalesce repeated
+    validation runs.
     """
     plan = case.plan.with_seed(seed)
     summaries: Dict[str, SampleSummary] = {}
     skipped: Dict[str, str] = {}
     perturbed: List[str] = []
 
+    participants: List[Tuple[str, ModelParameters]] = []
     for backend_id in case.backends:
         backend = get_backend(backend_id)
         if not backend.capabilities.supports_metric(case.metric):
@@ -250,8 +313,19 @@ def run_case(
         if reason is not None:
             skipped[backend_id] = reason
             continue
-        result = backend.evaluate(params, plan)
-        summaries[backend_id] = summarize_result(backend, result, case.metric)
+        participants.append((backend_id, params))
+
+    if executor is None:
+        evaluated = {
+            backend_id: get_backend(backend_id).evaluate(params, plan)
+            for backend_id, params in participants
+        }
+    else:
+        evaluated = _evaluate_participants(participants, case.plan, seed, executor)
+    for backend_id, result in evaluated.items():
+        summaries[backend_id] = summarize_result(
+            get_backend(backend_id), result, case.metric
+        )
 
     pairs = [
         PairComparison(
@@ -277,9 +351,18 @@ def run_cases(
     cases: Sequence[DifferentialCase],
     seed: int = 0,
     perturb: Optional[Mapping[str, float]] = None,
+    executor=None,
 ) -> List[CaseResult]:
-    """Every case at one root seed."""
-    return [run_case(case, seed=seed, perturb=perturb) for case in cases]
+    """Every case at one root seed.
+
+    ``executor`` is passed through to :func:`run_case`; note that an
+    executor *instance* is shared across all cases (and left open),
+    while a string builds a fresh executor per case.
+    """
+    return [
+        run_case(case, seed=seed, perturb=perturb, executor=executor)
+        for case in cases
+    ]
 
 
 def default_cases(scale: float = 1.0) -> List[DifferentialCase]:

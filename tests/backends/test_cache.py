@@ -13,8 +13,8 @@ from repro.backends import (
     get_backend,
 )
 from repro.core import HOUR, ModelParameters, SimulationPlan
+from repro.exec import task as task_module
 from repro.experiments import ResilienceOptions, SweepPoint, run_sweep
-from repro.experiments import runner as runner_module
 
 TINY_SIM = SimulationPlan(warmup=2 * HOUR, observation=20 * HOUR, replications=1)
 TINY = EvaluationPlan(simulation=TINY_SIM)
@@ -94,7 +94,7 @@ class TestWarmCacheSweep:
         def boom(*args, **kwargs):
             raise AssertionError("warm cache must not evaluate any point")
 
-        monkeypatch.setattr(runner_module, "_evaluate_point_worker", boom)
+        monkeypatch.setattr(task_module, "execute_task", boom)
         warm = run_sweep(
             "t", "t", "x", "useful_work_fraction", self.make_points(),
             TINY_SIM, seed=5, resilience=options,

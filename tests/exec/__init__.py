@@ -1,0 +1,1 @@
+"""Tests for the execution layer (repro.exec)."""

@@ -1,0 +1,229 @@
+"""Queue executor specifics: dedup, priority, persistence, janitor.
+
+The on-disk contract: pending task files sort lexicographically into
+the schedule, identical submissions coalesce on the canonical cache
+key, ok results persist in the results store so later executors (or a
+second run of the same figure) are served without re-evaluating, and
+a startup janitor requeues in-flight files orphaned by a crashed
+drainer.
+"""
+
+import json
+import os
+
+from repro.backends import EvaluationPlan
+from repro.core import HOUR, ModelParameters, SimulationPlan
+from repro.exec import EvaluationTask, QueueExecutor, TaskResult
+from repro.exec.queue import INFLIGHT_SWEEP_AGE_SECONDS
+
+TINY_SIM = SimulationPlan(warmup=2 * HOUR, observation=20 * HOUR, replications=2)
+TINY = EvaluationPlan(simulation=TINY_SIM)
+
+
+def make_task(index=0, n_processors=8192, priority=0, base_seed=11, attempt=0):
+    return EvaluationTask(
+        index=index,
+        series="s",
+        x=float(index + 1),
+        params=ModelParameters(n_processors=n_processors),
+        plan=TINY,
+        backend="analytical",
+        base_seed=base_seed,
+        priority=priority,
+        attempt=attempt,
+    )
+
+
+def ok_result(task, fault_plan=None, backend_resilience=None, deadline=None):
+    """Canned evaluation: the task's index encoded as the mean."""
+    return TaskResult(
+        status="ok", index=task.index, series=task.series, x=task.x,
+        attempt=task.attempt, seed_used=task.seed,
+        mean=float(task.index), half_width=0.0,
+        result={"backend": task.backend},
+    )
+
+
+class TestCoalescing:
+    def test_duplicate_submission_evaluates_once(self, tmp_path):
+        executor = QueueExecutor(str(tmp_path))
+        task = make_task()
+        executor.submit(task)
+        executor.submit(task)
+        results = list(executor.drain())
+        assert len(results) == 2
+        assert all(r.ok for r in results)
+        assert [r.coalesced for r in results] == [False, True]
+        stats = executor.stats()
+        assert stats["tasks_executed"] == 1
+        assert stats["coalesced"] == 1
+
+    def test_results_store_serves_second_executor(self, tmp_path):
+        first = QueueExecutor(str(tmp_path))
+        task = make_task()
+        first.submit(task)
+        [original] = list(first.drain())
+
+        second = QueueExecutor(str(tmp_path))
+        second.submit(task)
+        [served] = list(second.drain())
+        assert served.ok
+        assert served.coalesced
+        assert served.mean == original.mean
+        assert second.stats()["tasks_executed"] == 0
+        assert second.stats()["coalesced"] == 1
+
+    def test_distinct_seeds_are_distinct_work(self, tmp_path):
+        executor = QueueExecutor(str(tmp_path))
+        executor.submit(make_task(base_seed=11))
+        executor.submit(make_task(base_seed=12))
+        results = list(executor.drain())
+        assert len(results) == 2
+        assert executor.stats()["tasks_executed"] == 2
+        assert executor.stats()["coalesced"] == 0
+
+    def test_rides_on_pending_file_from_crashed_submitter(self, tmp_path):
+        # A submitter that persisted its task and died: the next
+        # submission of the same key must ride on the existing file
+        # instead of enqueueing a duplicate.
+        crashed = QueueExecutor(str(tmp_path))
+        task = make_task()
+        crashed.submit(task)  # persists pending/..., never drained
+
+        survivor = QueueExecutor(str(tmp_path))
+        survivor.submit(task)
+        pending = os.listdir(tmp_path / "pending")
+        assert len(pending) == 1
+        assert survivor.stats()["coalesced"] == 1
+        [result] = list(survivor.drain())
+        assert result.ok
+        assert os.listdir(tmp_path / "pending") == []
+
+
+class TestPriorityOrdering:
+    def test_lower_priority_value_runs_first(self, tmp_path):
+        executed = []
+
+        def spy(task, *args):
+            executed.append(task.index)
+            return ok_result(task)
+
+        executor = QueueExecutor(str(tmp_path), run_task=spy)
+        executor.submit(make_task(index=0, n_processors=8192, priority=5))
+        executor.submit(make_task(index=1, n_processors=16384, priority=0))
+        executor.submit(make_task(index=2, n_processors=32768, priority=5))
+        list(executor.drain())
+        assert executed == [1, 0, 2]
+
+    def test_same_priority_keeps_submission_order(self, tmp_path):
+        executed = []
+
+        def spy(task, *args):
+            executed.append(task.index)
+            return ok_result(task)
+
+        executor = QueueExecutor(str(tmp_path), run_task=spy)
+        for index, procs in enumerate((8192, 16384, 32768)):
+            executor.submit(make_task(index=index, n_processors=procs))
+        list(executor.drain())
+        assert executed == [0, 1, 2]
+
+
+class TestCrashResume:
+    def test_fresh_executor_drains_persisted_tasks(self, tmp_path):
+        # Submit, "crash" (abandon the executor), then resume: a new
+        # executor submitting the same work drains the persisted file.
+        crashed = QueueExecutor(str(tmp_path))
+        for index, procs in enumerate((8192, 16384)):
+            crashed.submit(make_task(index=index, n_processors=procs))
+        assert len(os.listdir(tmp_path / "pending")) == 2
+
+        resumed = QueueExecutor(str(tmp_path))
+        for index, procs in enumerate((8192, 16384)):
+            resumed.submit(make_task(index=index, n_processors=procs))
+        results = list(resumed.drain())
+        assert [r.ok for r in results] == [True, True]
+        assert os.listdir(tmp_path / "pending") == []
+        # Both answers persist for the *next* crashed run.
+        assert len(os.listdir(tmp_path / "results")) == 2
+
+    def test_error_results_are_not_persisted(self, tmp_path):
+        def flaky(task, *args):
+            if task.index == 1:
+                return TaskResult(
+                    status="error", index=task.index, series=task.series,
+                    x=task.x, attempt=task.attempt, seed_used=task.seed,
+                    failure={"error_type": "RuntimeError",
+                             "error_message": "injected"},
+                )
+            return ok_result(task)
+
+        executor = QueueExecutor(str(tmp_path), run_task=flaky)
+        executor.submit(make_task(index=0, n_processors=8192))
+        executor.submit(make_task(index=1, n_processors=16384))
+        results = {r.index: r for r in executor.drain()}
+        assert results[0].ok
+        assert not results[1].ok
+        # Only the ok result landed in the store: failures must be
+        # re-evaluated, never replayed.
+        assert len(os.listdir(tmp_path / "results")) == 1
+
+    def test_unreadable_task_file_is_dropped_with_note(self, tmp_path):
+        executor = QueueExecutor(str(tmp_path))
+        task = make_task()
+        executor.submit(task)
+        [path] = [
+            os.path.join(tmp_path, "pending", name)
+            for name in os.listdir(tmp_path / "pending")
+        ]
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{truncated")
+        [result] = list(executor.drain())
+        # The in-memory submission still completes (fallback path).
+        assert result.ok
+        assert any("unreadable task file" in note for note in executor.notes)
+
+
+class TestJanitor:
+    @staticmethod
+    def plant_inflight(tmp_path, age=None):
+        task = make_task()
+        name = f"000000-00000000-{task.cache_key()}.json"
+        os.makedirs(tmp_path / "inflight", exist_ok=True)
+        path = tmp_path / "inflight" / name
+        path.write_text(
+            json.dumps(task.to_json_dict(), sort_keys=True), encoding="utf-8"
+        )
+        if age is not None:
+            old = os.path.getmtime(path) - age
+            os.utime(path, (old, old))
+        return name
+
+    def test_orphaned_inflight_is_requeued_and_counted(self, tmp_path):
+        from repro.obs import metrics
+
+        name = self.plant_inflight(tmp_path, age=INFLIGHT_SWEEP_AGE_SECONDS + 5)
+        counter = metrics.registry().counter("queue.orphans_requeued")
+        before = counter.value
+        executor = QueueExecutor(str(tmp_path))
+        assert os.listdir(tmp_path / "inflight") == []
+        assert os.listdir(tmp_path / "pending") == [name]
+        assert counter.value == before + 1
+        assert executor.stats()["orphans_requeued"] == 1
+        assert any("janitor" in note for note in executor.notes)
+
+    def test_fresh_inflight_is_left_for_its_drainer(self, tmp_path):
+        name = self.plant_inflight(tmp_path)  # mtime = now
+        executor = QueueExecutor(str(tmp_path))
+        assert os.listdir(tmp_path / "inflight") == [name]
+        assert executor.stats()["orphans_requeued"] == 0
+
+    def test_orphan_age_zero_requeues_immediately(self, tmp_path):
+        # The tests' (and an impatient operator's) escape hatch.
+        name = self.plant_inflight(tmp_path)
+        executor = QueueExecutor(str(tmp_path), orphan_age=0.0)
+        assert os.listdir(tmp_path / "pending") == [name]
+        # The requeued task is then drainable by a matching submission.
+        executor.submit(make_task())
+        [result] = list(executor.drain())
+        assert result.ok

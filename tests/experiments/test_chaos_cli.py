@@ -86,6 +86,29 @@ class TestChaosApi:
         assert outcome.bit_identical
         assert outcome.faults_fired == 0
 
+    def test_queue_executor_uses_per_run_sub_queues(self, tmp_path):
+        # Clean and faulted runs must not coalesce against each other
+        # (identical cache keys!), so each gets its own sub-queue.
+        queue_dir = tmp_path / "queue"
+        outcome = run_chaos(
+            "fig4a",
+            preset="quick",
+            scale=0.05,
+            max_points=2,
+            fault_plan=BackendFaultPlan(backend_id="san-sim", salt="quiet"),
+            executor="queue",
+            queue_dir=str(queue_dir),
+        )
+        assert outcome.recovered
+        assert outcome.bit_identical
+        assert (queue_dir / "clean" / "results").is_dir()
+        assert (queue_dir / "faulted" / "results").is_dir()
+
+    def test_pool_executor_is_rejected(self):
+        with pytest.raises(ValueError, match="pool executor"):
+            run_chaos("fig4a", preset="quick", scale=0.05, max_points=2,
+                      executor="pool")
+
 
 class TestChaosErrors:
     def test_unknown_figure_exits_2(self, capsys):

@@ -194,6 +194,47 @@ class TestExitCodeMapping:
         assert rc == 2
         assert "no baseline" in captured.err
 
+    def test_queue_executor_without_dir_exits_2(self, capsys):
+        rc = cli.main(
+            ["run-figure", "fig4a", "--preset", "quick", "--executor", "queue"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "--queue-dir" in captured.err
+
+    def test_unknown_executor_rejected_by_argparse(self):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["run-figure", "fig4a", "--executor", "abacus"])
+        assert excinfo.value.code == 2
+
+    def test_executor_override_on_custom_figure_exits_2(self, capsys):
+        rc = cli.main(["run-figure", "fig3", "--executor", "serial"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "executor override" in captured.err
+
+    def test_executor_options_forwarded_to_runner(self, monkeypatch):
+        seen = {}
+
+        def capturing_runner(**kwargs):
+            seen.update(kwargs)
+            raise BackendError("stop after capture")
+
+        monkeypatch.setitem(cli.FIGURE_RUNNERS, "fig4a", capturing_runner)
+        rc = cli.main(
+            ["run-figure", "fig4a", "--preset", "quick",
+             "--executor", "queue", "--queue-dir", "q", "--max-points", "4"]
+        )
+        assert rc == 2
+        assert seen["executor"] == "queue"
+        assert seen["queue_dir"] == "q"
+        assert seen["max_points"] == 4
+
+    def test_chaos_rejects_pool_executor_by_argparse(self):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["chaos", "fig4a", "--executor", "pool"])
+        assert excinfo.value.code == 2
+
     def test_unknown_command_is_a_usage_error(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             cli.main(["no-such-command"])

@@ -368,7 +368,7 @@ class ScriptedAsyncResult:
 
 
 class StubPool:
-    """A pool double running workers synchronously in-process, except
+    """A pool double running tasks synchronously in-process, except
     for ``(index, attempt)`` pairs scripted to hang forever."""
 
     def __init__(self, clock, hangs=()):
@@ -378,8 +378,8 @@ class StubPool:
         self.closed = False
 
     def apply_async(self, func, args):
-        index, attempt = args[-3], args[-2]
-        if (index, attempt) in self.hangs:
+        task = args[0]
+        if (task.index, task.attempt) in self.hangs:
             return ScriptedAsyncResult(hang=True, clock=self.clock)
         return ScriptedAsyncResult(value=func(*args))
 
@@ -402,15 +402,27 @@ class TestDeterministicSupervision:
     """
 
     @staticmethod
-    def ok_worker(seed, index, attempt, fault_plan):
-        return ("ok", ("s", float(index + 1), 0.5, 0.0))
+    def ok_task(task, fault_plan=None, backend_resilience=None, deadline=None):
+        from repro.exec import TaskResult
+
+        return TaskResult(
+            status="ok", index=task.index, series=task.series, x=task.x,
+            attempt=task.attempt, seed_used=task.seed, mean=0.5,
+            half_width=0.0,
+        )
 
     @staticmethod
     def make_tasks(count):
-        from repro.experiments.resilience import PointTask
+        from repro.backends import EvaluationPlan
+        from repro.exec import EvaluationTask
 
+        base = ModelParameters(n_processors=8192)
+        plan = EvaluationPlan(simulation=TINY)
         return [
-            PointTask(index=i, series="s", x=float(i + 1), base_seed=7, args=())
+            EvaluationTask(
+                index=i, series="s", x=float(i + 1), params=base,
+                plan=plan, backend="san-sim", base_seed=7,
+            )
             for i in range(count)
         ]
 
@@ -428,12 +440,12 @@ class TestDeterministicSupervision:
             return pool
 
         supervisor = SweepSupervisor(
-            self.ok_worker,
             ResilienceOptions(retry=FAST_RETRY, point_timeout=5.0),
             processes=2,
             clock=clock,
             sleep=clock.sleep,
             pool_factory=pool_factory,
+            run_task=self.ok_task,
         )
         result = supervisor.run(self.make_tasks(2))
         assert not result.failures
@@ -442,6 +454,9 @@ class TestDeterministicSupervision:
         assert result.attempts[1] == 1
         assert len(pools) == 2  # the hung pool was replaced
         assert pools[0].terminated
+        assert result.execution["executor"] == "pool"
+        assert result.execution["timeouts"] == 1
+        assert result.execution["pools_started"] == 2
         # The supervisor waited out one point timeout plus the backoff,
         # nothing near the "hang" itself (which never returns).
         assert clock.now <= 5.0 + FAST_RETRY.delay_for(1) + 1.0
@@ -456,7 +471,6 @@ class TestDeterministicSupervision:
             return StubPool(clock, hangs={(0, a) for a in range(10)})
 
         supervisor = SweepSupervisor(
-            self.ok_worker,
             ResilienceOptions(
                 retry=RetryPolicy(max_retries=1, backoff_base=0.01),
                 point_timeout=5.0,
@@ -465,6 +479,7 @@ class TestDeterministicSupervision:
             clock=clock,
             sleep=clock.sleep,
             pool_factory=pool_factory,
+            run_task=self.ok_task,
         )
         result = supervisor.run(self.make_tasks(1))
         assert len(result.failures) == 1
@@ -472,27 +487,33 @@ class TestDeterministicSupervision:
         assert result.failures[0].attempts == 2
 
     def test_serial_backoff_follows_the_policy_exactly(self):
+        from repro.exec import TaskResult
         from repro.experiments.resilience import SweepSupervisor
 
         clock = FakeClock()
         attempts_seen = []
 
-        def flaky_worker(seed, index, attempt, fault_plan):
-            attempts_seen.append(attempt)
-            if attempt < 2:
-                return ("error", {"error_type": "Boom", "error_message": "x"})
-            return ("ok", ("s", 1.0, 0.5, 0.0))
+        def flaky_task(task, fault_plan=None, backend_resilience=None,
+                       deadline=None):
+            attempts_seen.append(task.attempt)
+            if task.attempt < 2:
+                return TaskResult(
+                    status="error", index=task.index, series=task.series,
+                    x=task.x, attempt=task.attempt, seed_used=task.seed,
+                    failure={"error_type": "Boom", "error_message": "x"},
+                )
+            return self.ok_task(task)
 
         policy = RetryPolicy(
             max_retries=3, backoff_base=10.0, backoff_factor=2.0,
             backoff_max=60.0,
         )
         supervisor = SweepSupervisor(
-            flaky_worker,
             ResilienceOptions(retry=policy),
             processes=1,
             clock=clock,
             sleep=clock.sleep,
+            run_task=flaky_task,
         )
         result = supervisor.run(self.make_tasks(1))
         assert not result.failures

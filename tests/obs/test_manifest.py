@@ -112,6 +112,57 @@ class TestResilienceSection:
         assert "resilience" not in render_manifest(make_manifest())
 
 
+class TestExecutionSection:
+    SECTION = {
+        "executor": "queue",
+        "tasks_executed": 4,
+        "coalesced": 2,
+        "queue_depth_high_water": 4,
+        "orphans_requeued": 1,
+        "attempts": {"0": 1, "1": 3},
+    }
+
+    def test_round_trips(self, tmp_path):
+        manifest = make_manifest(execution=self.SECTION)
+        loaded = load_manifest(write_manifest(manifest, str(tmp_path)))
+        assert loaded.execution == self.SECTION
+
+    def test_absent_in_old_payloads_loads_as_none(self, tmp_path):
+        path = Path(write_manifest(make_manifest(), str(tmp_path)))
+        payload = json.loads(path.read_text())
+        assert payload["execution"] is None
+        del payload["execution"]  # a pre-executor-layer manifest
+        path.write_text(json.dumps(payload))
+        assert load_manifest(path).execution is None
+
+    def test_render_shows_executor_and_counters(self):
+        text = render_manifest(make_manifest(execution=self.SECTION))
+        assert "execution: queue executor, 4 task(s) executed" in text
+        assert "2 coalesced" in text
+        assert "queue depth high-water 4" in text
+        assert "1 orphan(s) requeued" in text
+        assert "point 1: 3 attempts" in text
+        # Single-attempt points are not worth a line.
+        assert "point 0" not in text
+
+    def test_render_pool_shape(self):
+        text = render_manifest(
+            make_manifest(
+                execution={
+                    "executor": "pool",
+                    "tasks_executed": 5,
+                    "processes": 4,
+                    "timeouts": 2,
+                }
+            )
+        )
+        assert "execution: pool executor, 5 task(s) executed" in text
+        assert "2 timeout(s)" in text
+
+    def test_render_without_section_is_silent(self):
+        assert "execution" not in render_manifest(make_manifest())
+
+
 class TestSchemaRejection:
     def test_wrong_schema_version(self, tmp_path):
         path = Path(write_manifest(make_manifest(), str(tmp_path)))

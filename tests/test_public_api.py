@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.workload",
     "repro.backends",
     "repro.resilience",
+    "repro.exec",
     "repro.experiments",
 ]
 
@@ -79,6 +80,11 @@ MODULES = [
     "repro.resilience.breaker",
     "repro.resilience.events",
     "repro.resilience.retry",
+    "repro.exec.task",
+    "repro.exec.base",
+    "repro.exec.serial",
+    "repro.exec.pool",
+    "repro.exec.queue",
     "repro.experiments.archive",
     "repro.experiments.chaos",
     "repro.experiments.cli",
