@@ -29,7 +29,12 @@ from .base import (
     make_executor,
 )
 from .pool import PoolExecutor, shutdown_pool
-from .queue import INFLIGHT_SWEEP_AGE_SECONDS, QueueExecutor
+from .queue import (
+    HEARTBEAT_DIVISOR,
+    INFLIGHT_SWEEP_AGE_SECONDS,
+    InflightLease,
+    QueueExecutor,
+)
 from .serial import SerialExecutor
 from .task import (
     TASK_SCHEMA_VERSION,
@@ -51,6 +56,8 @@ __all__ = [
     "shutdown_pool",
     "QueueExecutor",
     "INFLIGHT_SWEEP_AGE_SECONDS",
+    "HEARTBEAT_DIVISOR",
+    "InflightLease",
     "SerialExecutor",
     "TASK_SCHEMA_VERSION",
     "EvaluationTask",

@@ -23,6 +23,12 @@ Usage::
     python -m repro backends --state-dir health   # breaker state per backend
     python -m repro chaos fig4a --preset quick --scale 0.1 --max-points 4 \
         --crash 0.5 --hang 0.25 --hang-seconds 120 --deadline 30
+    python -m repro worker --queue-dir q --idle-exit 10   # queue drainer
+    python -m repro job submit fig4a --queue-dir q --preset quick \
+        --max-points 6 --tenant ci
+    python -m repro job status JOB --queue-dir q --wait --timeout 300
+    python -m repro job collect JOB --queue-dir q --save-json out
+    python -m repro cache prune --cache-dir cache --max-bytes 1048576
 """
 
 from __future__ import annotations
@@ -171,6 +177,162 @@ def build_parser() -> argparse.ArgumentParser:
             "directory backing the 'queue' executor; each run gets "
             "its own sub-queue under DIR/clean and DIR/faulted"
         ),
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help=(
+            "run a long-lived queue drainer: claim tasks from a shared "
+            "--queue-dir, execute them through the resilience layer while "
+            "heartbeating the in-flight lease, exit cleanly on SIGTERM "
+            "after the current task (see docs/EXECUTION.md, Service mode)"
+        ),
+    )
+    worker.add_argument(
+        "--queue-dir", required=True, metavar="DIR",
+        help="shared queue directory (same layout as the queue executor)",
+    )
+    worker.add_argument(
+        "--worker-id", default=None, metavar="NAME",
+        help="name for this worker's log and metrics snapshot "
+             "(default: worker-<pid>)",
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.2, metavar="SECONDS",
+        help="sleep between polls of an empty queue (default: 0.2)",
+    )
+    worker.add_argument(
+        "--idle-exit", type=float, default=None, metavar="SECONDS",
+        help="exit after this long with nothing claimable "
+             "(default: run until signalled)",
+    )
+    worker.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="exit after executing N tasks (default: unlimited)",
+    )
+    worker.add_argument(
+        "--orphan-age", type=float, default=None, metavar="SECONDS",
+        help="in-flight lease threshold shared by janitor and heartbeat "
+             "(default: 60)",
+    )
+    worker.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="cooperative wall-clock limit per task",
+    )
+    worker.add_argument(
+        "--backend-deadline", type=float, default=None, metavar="SECONDS",
+        help="deadline per backend evaluation attempt (resilient wrapper)",
+    )
+    worker.add_argument(
+        "--backend-retries", type=int, default=None, metavar="N",
+        help="retries per backend evaluation (resilient wrapper)",
+    )
+    worker.add_argument(
+        "--degrade-to", action="append", default=None, metavar="BACKEND",
+        help="fallback backend chain (repeatable; resilient wrapper)",
+    )
+
+    job = sub.add_parser(
+        "job",
+        help=(
+            "submit a figure sweep as a named job on a shared queue, "
+            "poll its status, or collect the finished figure from the "
+            "results store (never blocks a worker)"
+        ),
+    )
+    job_sub = job.add_subparsers(dest="job_command", required=True)
+    job_submit = job_sub.add_parser(
+        "submit", help="enqueue one figure sweep as a named job"
+    )
+    job_submit.add_argument("figure", help="sweep figure id (e.g. fig4a)")
+    job_submit.add_argument(
+        "--queue-dir", required=True, metavar="DIR",
+        help="shared queue directory workers drain",
+    )
+    job_submit.add_argument(
+        "--preset", default="quick", choices=sorted(PRESETS),
+        help="simulation length/replication preset (default: quick)",
+    )
+    job_submit.add_argument("--seed", type=int, default=0,
+                            help="root random seed")
+    job_submit.add_argument(
+        "--max-points", type=int, default=None, metavar="N",
+        help="slice the sweep to its first N points",
+    )
+    job_submit.add_argument(
+        "--priority", type=int, default=0,
+        help="queue priority (lower runs first; default: 0)",
+    )
+    job_submit.add_argument(
+        "--tenant", default="default", metavar="LABEL",
+        help="tenant label for per-tenant accounting (default: 'default')",
+    )
+    job_submit.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="human-readable job name (default: the figure id)",
+    )
+    job_submit.add_argument(
+        "--backend", default=None, choices=backend_ids(),
+        help="evaluation backend override (default: the figure's)",
+    )
+    job_submit.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache the workers should use",
+    )
+    job_status_p = job_sub.add_parser(
+        "status", help="poll one job against the queue's results store"
+    )
+    job_status_p.add_argument("job_id", help="job id printed by submit")
+    job_status_p.add_argument(
+        "--queue-dir", required=True, metavar="DIR",
+    )
+    job_status_p.add_argument(
+        "--json", action="store_true",
+        help="print the status as JSON instead of one line",
+    )
+    job_status_p.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes (exit 1 on --timeout)",
+    )
+    job_status_p.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="give up waiting after this long (default: 300)",
+    )
+    job_status_p.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="SECONDS",
+        help="sleep between polls with --wait (default: 0.5)",
+    )
+    job_collect = job_sub.add_parser(
+        "collect",
+        help="assemble the finished job's figure from the results store",
+    )
+    job_collect.add_argument("job_id", help="job id printed by submit")
+    job_collect.add_argument(
+        "--queue-dir", required=True, metavar="DIR",
+    )
+    job_collect.add_argument(
+        "--save-json", default=None, metavar="DIR",
+        help="archive the collected figure as JSON in this directory",
+    )
+
+    cache = sub.add_parser(
+        "cache", help="maintain a content-addressed result cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_prune = cache_sub.add_parser(
+        "prune",
+        help=(
+            "evict least-recently-used entries until the cache fits a "
+            "byte budget (safe against live readers and writers)"
+        ),
+    )
+    cache_prune.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="cache root (the --cache-dir sweeps write to)",
+    )
+    cache_prune.add_argument(
+        "--max-bytes", type=int, required=True, metavar="N",
+        help="byte budget the cache must fit after pruning",
     )
 
     obs = sub.add_parser(
@@ -711,7 +873,9 @@ def _run_one(figure_id: str, args: argparse.Namespace, stream) -> bool:
 def _obs_command(path: str, as_json: bool = False) -> int:
     """Validate and render manifests / metrics snapshots at ``path``.
 
-    A directory renders every ``*.manifest.json`` inside it; a
+    A directory renders every ``*.manifest.json`` and every
+    ``*.metrics.json`` inside it (the latter is what service workers
+    and job submitters leave under ``<queue_dir>/obs/``); a
     ``.manifest.json`` file renders that manifest; any other JSON file
     is treated as a metrics snapshot written by ``--metrics-out``.
     Returns 0 when everything validated, 1 otherwise.
@@ -719,7 +883,12 @@ def _obs_command(path: str, as_json: bool = False) -> int:
     import json
     import os
 
-    from ..obs import ManifestError, load_manifest, render_manifest
+    from ..obs import (
+        ManifestError,
+        load_manifest,
+        render_manifest,
+        render_metrics_snapshot,
+    )
 
     def render_one_manifest(manifest_file: str) -> bool:
         try:
@@ -733,58 +902,207 @@ def _obs_command(path: str, as_json: bool = False) -> int:
             print(render_manifest(manifest))
         return True
 
+    def render_one_snapshot(snapshot_file: str, named: bool = False) -> bool:
+        try:
+            with open(snapshot_file, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {snapshot_file!r}: {exc}",
+                  file=sys.stderr)
+            return False
+        if not isinstance(payload, dict) or "counters" not in payload:
+            print(
+                f"error: {snapshot_file!r} is neither a run manifest nor a "
+                "metrics snapshot (no 'counters' key)",
+                file=sys.stderr,
+            )
+            return False
+        if as_json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return True
+        if named:
+            print(f"metrics: {os.path.basename(snapshot_file)}")
+        rendered = render_metrics_snapshot(payload)
+        if rendered:
+            print(rendered)
+        return True
+
     if os.path.isdir(path):
-        manifest_files = sorted(
+        names = sorted(os.listdir(path))
+        manifest_files = [
             os.path.join(path, name)
-            for name in os.listdir(path)
+            for name in names
             if name.endswith(".manifest.json")
-        )
-        if not manifest_files:
-            print(f"error: no *.manifest.json files in {path!r}", file=sys.stderr)
+        ]
+        metrics_files = [
+            os.path.join(path, name)
+            for name in names
+            if name.endswith(".metrics.json")
+        ]
+        if not manifest_files and not metrics_files:
+            print(
+                f"error: no *.manifest.json or *.metrics.json files in "
+                f"{path!r}",
+                file=sys.stderr,
+            )
             return 1
         ok = True
-        for index, manifest_file in enumerate(manifest_files):
-            if index and not as_json:
+        first = True
+        for manifest_file in manifest_files:
+            if not first and not as_json:
                 print()
+            first = False
             ok = render_one_manifest(manifest_file) and ok
+        for metrics_file in metrics_files:
+            if not first and not as_json:
+                print()
+            first = False
+            ok = render_one_snapshot(metrics_file, named=True) and ok
         return 0 if ok else 1
 
     if path.endswith(".manifest.json"):
         return 0 if render_one_manifest(path) else 1
 
     # A metrics snapshot (the --metrics-out format).
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
-    except (OSError, ValueError) as exc:
-        print(f"error: cannot read {path!r}: {exc}", file=sys.stderr)
-        return 1
-    if not isinstance(payload, dict) or "counters" not in payload:
+    return 0 if render_one_snapshot(path) else 1
+
+
+def _worker_command(args: argparse.Namespace) -> int:
+    """The ``worker`` subcommand: run one queue drainer until
+    signalled (or idle-exit / max-tasks)."""
+    from ..service import ServiceWorker
+    from ..exec.queue import INFLIGHT_SWEEP_AGE_SECONDS
+
+    worker = ServiceWorker(
+        args.queue_dir,
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        idle_exit=args.idle_exit,
+        max_tasks=args.max_tasks,
+        orphan_age=(
+            args.orphan_age
+            if args.orphan_age is not None
+            else INFLIGHT_SWEEP_AGE_SECONDS
+        ),
+        point_timeout=args.point_timeout,
+        backend_resilience=_backend_resilience_from_args(args),
+    )
+    worker.install_signal_handlers()
+    print(
+        f"worker {worker.worker_id} draining {args.queue_dir} "
+        f"(poll {args.poll_interval:g}s"
+        + (f", idle-exit {args.idle_exit:g}s" if args.idle_exit else "")
+        + ")"
+    )
+    executed = worker.run()
+    print(
+        f"worker {worker.worker_id} exiting: {executed} task(s) executed, "
+        f"{worker.failed} failed"
+    )
+    return 0
+
+
+def _job_command(args: argparse.Namespace) -> int:
+    """The ``job`` subcommand: submit / status / collect.
+
+    Exit codes: 0 success (status: job done, or a non---wait poll),
+    1 job not done in time (--wait) or figure-level failure, 2
+    operational error (unknown figure, unfinished collect, bad
+    record).
+    """
+    from ..service import JobError, collect_job, job_status, submit_job
+
+    if args.job_command == "submit":
+        try:
+            record = submit_job(
+                args.queue_dir,
+                args.figure,
+                preset=args.preset,
+                seed=args.seed,
+                max_points=args.max_points,
+                priority=args.priority,
+                tenant=args.tenant,
+                name=args.name,
+                backend=args.backend,
+                cache_dir=args.cache_dir,
+            )
+        except JobError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        queued = record.submitted - record.served_from_cache - record.coalesced
+        print(record.job_id)
         print(
-            f"error: {path!r} is neither a run manifest nor a metrics "
-            "snapshot (no 'counters' key)",
+            f"submitted {record.submitted} point(s) for tenant "
+            f"{record.tenant!r}: {queued} queued, "
+            f"{record.served_from_cache} already answered, "
+            f"{record.coalesced} coalesced with queued work",
             file=sys.stderr,
         )
-        return 1
-    if as_json:
-        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
-    for section in ("counters", "gauges"):
-        values = payload.get(section) or {}
-        if values:
-            print(f"{section}:")
-            for name, value in sorted(values.items()):
-                print(f"  {name:<40} {value}")
-    timings = payload.get("timings") or {}
-    if timings:
-        print("timings:")
-        for name, summary in sorted(timings.items()):
+
+    if args.job_command == "status":
+        import json as _json
+
+        try:
+            status = job_status(args.queue_dir, args.job_id)
+            if args.wait:
+                deadline = time.time() + args.timeout
+                while not status.finished and time.time() < deadline:
+                    time.sleep(args.poll_interval)
+                    status = job_status(args.queue_dir, args.job_id)
+        except JobError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(_json.dumps(status.to_json_dict(), indent=2, sort_keys=True))
+        else:
+            print(status.render())
+        if args.wait and not status.finished:
             print(
-                f"  {name:<40} n={summary.get('count', 0)} "
-                f"total={summary.get('total_seconds', 0.0):.3f}s "
-                f"mean={summary.get('mean_seconds', 0.0):.4f}s"
+                f"error: job {args.job_id} not finished after "
+                f"{args.timeout:g}s",
+                file=sys.stderr,
             )
-    return 0
+            return 1
+        return 0
+
+    if args.job_command == "collect":
+        try:
+            figure = collect_job(args.queue_dir, args.job_id)
+        except JobError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(render_figure(figure))
+        if args.save_json:
+            from .archive import save_figure
+
+            path = save_figure(figure, args.save_json)
+            print(f"archived to {path}", file=sys.stderr)
+        return 0
+
+    raise AssertionError(f"unhandled job command {args.job_command!r}")
+
+
+def _cache_command(args: argparse.Namespace) -> int:
+    """The ``cache`` subcommand (currently: ``prune``)."""
+    from ..backends.cache import ResultCache
+
+    if args.cache_command == "prune":
+        try:
+            summary = ResultCache(args.cache_dir).prune(args.max_bytes)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"cache {args.cache_dir}: {summary['entries_removed']} of "
+            f"{summary['entries_before']} entry(ies) evicted "
+            f"({summary['bytes_removed']} of {summary['bytes_before']} "
+            f"bytes); {summary['bytes_after']} bytes remain "
+            f"(budget {args.max_bytes})"
+        )
+        return 0
+
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
 def _validate_command(args: argparse.Namespace) -> int:
@@ -993,6 +1311,23 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "obs":
         return _obs_command(args.path, as_json=args.json)
+
+    if args.command == "worker":
+        try:
+            return _worker_command(args)
+        except (BackendError, ExecutorError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "job":
+        try:
+            return _job_command(args)
+        except (BackendError, ExecutorError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "cache":
+        return _cache_command(args)
 
     if args.command == "validate":
         try:

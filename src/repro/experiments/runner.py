@@ -50,7 +50,14 @@ from .resilience import (
     SweepSupervisor,
 )
 
-__all__ = ["SweepPoint", "FigureResult", "run_sweep", "DEFAULT_BACKEND"]
+__all__ = [
+    "SweepPoint",
+    "FigureResult",
+    "run_sweep",
+    "sweep_eval_plan",
+    "build_sweep_tasks",
+    "DEFAULT_BACKEND",
+]
 
 #: Backend a sweep uses unless told otherwise (the paper's primary
 #: evaluation path).
@@ -151,6 +158,56 @@ def _resolve_executor(
             True,
         )
     return executor, False
+
+
+def sweep_eval_plan(metric: str, plan: SimulationPlan,
+                    seed: int) -> EvaluationPlan:
+    """The evaluation plan a sweep roots every point's task in.
+
+    Derived metrics (``total_useful_work``) resolve to the base metric
+    the backends actually produce; the scale factor is applied at
+    assembly time from each point's own processor count.
+    """
+    base_metric = DERIVED_METRICS.get(metric, metric)
+    return EvaluationPlan(metrics=(base_metric,), simulation=plan, seed=seed)
+
+
+def build_sweep_tasks(
+    points: Sequence[SweepPoint],
+    eval_plan: EvaluationPlan,
+    seed: int,
+    backend: str,
+    cache_dir: Optional[str] = None,
+    priority: int = 0,
+    skip_keys: Optional[Dict[Tuple[str, float], Outcome]] = None,
+) -> List[EvaluationTask]:
+    """The :class:`~repro.exec.EvaluationTask` list for a sweep.
+
+    One task per point not already answered in ``skip_keys``, seeded
+    ``seed + index`` (the historical per-point convention the retry
+    derivation builds on). This is the single construction recipe for
+    the in-process sweep (:func:`run_sweep`) and the service-mode job
+    API (:mod:`repro.service.jobs`), so both submit byte-identical
+    work and coalesce on the same cache keys.
+    """
+    skip = skip_keys or {}
+    return [
+        EvaluationTask(
+            index=index,
+            series=point.series,
+            # Raw (possibly integral) x: the archive preserves the
+            # declared type, exactly as the pre-executor path did.
+            x=point.x,
+            params=point.params,
+            plan=eval_plan,
+            backend=backend,
+            base_seed=seed + index,
+            priority=priority,
+            cache_dir=cache_dir,
+        )
+        for index, point in enumerate(points)
+        if (point.series, float(point.x)) not in skip
+    ]
 
 
 def _check_unique_points(points: Sequence[SweepPoint]) -> None:
@@ -277,8 +334,8 @@ def run_sweep(
 
         resilience_events.drain()
 
-    base_metric = DERIVED_METRICS.get(metric, metric)
-    eval_plan = EvaluationPlan(metrics=(base_metric,), simulation=plan, seed=seed)
+    eval_plan = sweep_eval_plan(metric, plan, seed)
+    base_metric = eval_plan.metrics[0]
     backend_obj = _check_backend(backend, metric, points, eval_plan)
 
     total = len(points)
@@ -330,8 +387,12 @@ def run_sweep(
             value = cached.metrics.get(base_metric)
             if value is None:
                 continue
+            # Keep the point's declared x (and its type): executed
+            # points carry task.x through unchanged, so a cache-served
+            # point must too or warm archives stop being bit-identical
+            # to cold ones (131072 would become 131072.0).
             outcome: Outcome = (
-                point.series, float(point.x), value.mean, value.half_width
+                point.series, point.x, value.mean, value.half_width
             )
             completed[key] = outcome
             cache_hits += 1
@@ -350,22 +411,10 @@ def run_sweep(
     if progress and done:
         progress(done, total)
 
-    tasks = [
-        EvaluationTask(
-            index=index,
-            series=point.series,
-            # Raw (possibly integral) x: the archive preserves the
-            # declared type, exactly as the pre-executor path did.
-            x=point.x,
-            params=point.params,
-            plan=eval_plan,
-            backend=backend,
-            base_seed=seed + index,
-            cache_dir=options.cache_dir,
-        )
-        for index, point in enumerate(points)
-        if (point.series, float(point.x)) not in completed
-    ]
+    tasks = build_sweep_tasks(
+        points, eval_plan, seed, backend,
+        cache_dir=options.cache_dir, skip_keys=completed,
+    )
 
     completed_this_run = 0
 

@@ -38,6 +38,7 @@ from .manifest import (
     load_manifest,
     manifest_path,
     render_manifest,
+    render_metrics_snapshot,
     write_manifest,
 )
 from .metrics import (
@@ -64,6 +65,7 @@ __all__ = [
     "load_manifest",
     "manifest_path",
     "render_manifest",
+    "render_metrics_snapshot",
     "write_manifest",
     "Counter",
     "Gauge",

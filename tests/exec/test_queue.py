@@ -10,11 +10,16 @@ drainer.
 
 import json
 import os
+import time
 
 from repro.backends import EvaluationPlan
 from repro.core import HOUR, ModelParameters, SimulationPlan
-from repro.exec import EvaluationTask, QueueExecutor, TaskResult
-from repro.exec.queue import INFLIGHT_SWEEP_AGE_SECONDS
+from repro.exec import EvaluationTask, InflightLease, QueueExecutor, TaskResult
+from repro.exec.queue import (
+    INFLIGHT_SWEEP_AGE_SECONDS,
+    next_counter,
+    sweep_orphaned_inflight,
+)
 
 TINY_SIM = SimulationPlan(warmup=2 * HOUR, observation=20 * HOUR, replications=2)
 TINY = EvaluationPlan(simulation=TINY_SIM)
@@ -227,3 +232,196 @@ class TestJanitor:
         executor.submit(make_task())
         [result] = list(executor.drain())
         assert result.ok
+
+
+class TestPersistentCounter:
+    """The FIFO tie-break counter survives restarts and is shared by
+    every process submitting to one queue directory (regression: it
+    used to be a per-process ``self._counter = 0``, so a second
+    executor restarted the numbering and broke submission order)."""
+
+    @staticmethod
+    def pending_names(tmp_path):
+        return sorted(os.listdir(tmp_path / "pending"))
+
+    def test_next_counter_is_monotonic_and_persisted(self, tmp_path):
+        pending = str(tmp_path / "pending")
+        inflight = str(tmp_path / "inflight")
+        os.makedirs(pending)
+        os.makedirs(inflight)
+        values = [
+            next_counter(str(tmp_path), pending, inflight) for _ in range(3)
+        ]
+        assert values == [0, 1, 2]
+
+    def test_counter_recovers_from_queued_filenames(self, tmp_path):
+        # Even with the counter file gone, the directory scan finds
+        # the highest queued counter and continues past it.
+        executor = QueueExecutor(str(tmp_path))
+        executor.submit(make_task(index=0, n_processors=8192))
+        executor.submit(make_task(index=1, n_processors=16384))
+        os.unlink(tmp_path / "counter")
+        value = next_counter(
+            str(tmp_path),
+            str(tmp_path / "pending"),
+            str(tmp_path / "inflight"),
+        )
+        assert value == 2
+
+    def test_two_executors_interleave_in_submission_order(self, tmp_path):
+        # Two processes (modelled by two instances) submit alternately
+        # to one queue: the on-disk schedule must be the true global
+        # submission order, and a drain must execute it in that order.
+        executed = []
+
+        def spy(task, *args):
+            executed.append(task.index)
+            return ok_result(task)
+
+        first = QueueExecutor(str(tmp_path))
+        second = QueueExecutor(str(tmp_path), run_task=spy)
+        sizes = (8192, 16384, 32768, 65536)
+        submitters = (first, second, first, second)
+        for index, (executor, procs) in enumerate(zip(submitters, sizes)):
+            executor.submit(make_task(index=index, n_processors=procs))
+
+        names = self.pending_names(tmp_path)
+        counters = [int(name.split("-", 2)[1]) for name in names]
+        assert counters == [0, 1, 2, 3]
+        expected_keys = [
+            make_task(index=i, n_processors=p).cache_key()
+            for i, p in enumerate(sizes)
+        ]
+        assert [name.split("-", 2)[2][:-len(".json")] for name in names] == (
+            expected_keys
+        )
+
+        # ``second`` drains everything (foreign files included): the
+        # execution order is the global submission order.
+        list(second.drain())
+        assert executed == [0, 1, 2, 3]
+
+    def test_order_survives_a_restart(self, tmp_path):
+        # Submit two points, "crash", then a fresh executor submits two
+        # more: the newcomers must queue *after* the survivors.
+        crashed = QueueExecutor(str(tmp_path))
+        crashed.submit(make_task(index=0, n_processors=8192))
+        crashed.submit(make_task(index=1, n_processors=16384))
+
+        executed = []
+
+        def spy(task, *args):
+            executed.append(task.index)
+            return ok_result(task)
+
+        restarted = QueueExecutor(str(tmp_path), run_task=spy)
+        restarted.submit(make_task(index=2, n_processors=32768))
+        restarted.submit(make_task(index=3, n_processors=65536))
+        counters = [
+            int(name.split("-", 2)[1]) for name in self.pending_names(tmp_path)
+        ]
+        assert counters == [0, 1, 2, 3]
+        list(restarted.drain())
+        assert executed == [0, 1, 2, 3]
+
+
+class TestInflightLease:
+    """Heartbeat leases: a live drainer's claim is never requeued, a
+    crashed drainer's claim is (regression: the janitor used to treat
+    the claim's creation mtime as its age, so any slow task older than
+    the threshold was double-run)."""
+
+    def plant(self, tmp_path, mtime):
+        os.makedirs(tmp_path / "pending", exist_ok=True)
+        os.makedirs(tmp_path / "inflight", exist_ok=True)
+        task = make_task()
+        path = tmp_path / "inflight" / f"000000-00000000-{task.cache_key()}.json"
+        path.write_text(
+            json.dumps(task.to_json_dict(), sort_keys=True), encoding="utf-8"
+        )
+        os.utime(path, (mtime, mtime))
+        return path
+
+    def test_heartbeated_slow_task_is_not_requeued(self, tmp_path):
+        # The claim is *hours* older than orphan_age in wall-clock
+        # terms, but its lease was beaten one second ago: keep it.
+        now = 1_000_000.0
+        path = self.plant(tmp_path, mtime=now - 1.0)
+        requeued = sweep_orphaned_inflight(
+            str(tmp_path / "pending"), str(tmp_path / "inflight"),
+            orphan_age=60.0, clock=lambda: now,
+        )
+        assert requeued == 0
+        assert path.exists()
+
+    def test_crashed_claim_is_requeued(self, tmp_path):
+        now = 1_000_000.0
+        path = self.plant(tmp_path, mtime=now - 120.0)
+        requeued = sweep_orphaned_inflight(
+            str(tmp_path / "pending"), str(tmp_path / "inflight"),
+            orphan_age=60.0, clock=lambda: now,
+        )
+        assert requeued == 1
+        assert not path.exists()
+        assert len(os.listdir(tmp_path / "pending")) == 1
+
+    def test_executor_janitor_uses_injected_clock(self, tmp_path):
+        now = 1_000_000.0
+        live = self.plant(tmp_path, mtime=now - 5.0)
+        executor = QueueExecutor(
+            str(tmp_path), orphan_age=60.0, clock=lambda: now
+        )
+        assert live.exists()
+        assert executor.stats()["orphans_requeued"] == 0
+
+    def test_beat_touches_the_claim(self, tmp_path):
+        path = tmp_path / "claim.json"
+        path.write_text("{}", encoding="utf-8")
+        os.utime(path, (1.0, 1.0))
+        lease = InflightLease(str(path), orphan_age=60.0, clock=lambda: 42.0)
+        lease.beat()
+        assert os.path.getmtime(path) == 42.0
+
+    def test_beat_on_vanished_claim_is_ignored(self, tmp_path):
+        lease = InflightLease(str(tmp_path / "gone.json"), orphan_age=60.0)
+        lease.beat()  # must not raise
+
+    def test_zero_orphan_age_disables_the_thread(self, tmp_path):
+        path = tmp_path / "claim.json"
+        path.write_text("{}", encoding="utf-8")
+        lease = InflightLease(str(path), orphan_age=0.0)
+        assert lease.interval == 0.0
+        with lease:
+            assert lease._thread is None
+
+    def test_heartbeat_thread_keeps_lease_fresh(self, tmp_path):
+        # Real thread, real clock: a claim planted stale comes back
+        # fresh while the lease is held.
+        path = tmp_path / "claim.json"
+        path.write_text("{}", encoding="utf-8")
+        stale = time.time() - 3600.0
+        os.utime(path, (stale, stale))
+        with InflightLease(str(path), orphan_age=0.3):
+            time.sleep(0.35)
+        assert time.time() - os.path.getmtime(path) < 1.0
+
+    def test_sibling_janitor_spares_a_live_slow_task(self, tmp_path):
+        # End to end: while one executor runs a task slower than
+        # orphan_age, a sibling executor's startup janitor runs — the
+        # heartbeat must keep the claim out of its reach.
+        orphan_age = 0.5
+
+        def slow(task, *args):
+            time.sleep(0.6)
+            sibling = QueueExecutor(str(tmp_path), orphan_age=orphan_age)
+            assert os.listdir(tmp_path / "pending") == []
+            assert sibling.stats()["orphans_requeued"] == 0
+            return ok_result(task)
+
+        executor = QueueExecutor(
+            str(tmp_path), run_task=slow, orphan_age=orphan_age
+        )
+        executor.submit(make_task())
+        [result] = list(executor.drain())
+        assert result.ok
+        assert executor.stats()["tasks_executed"] == 1
