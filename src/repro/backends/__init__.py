@@ -44,6 +44,7 @@ from .base import (
     UnsupportedBackendError,
     UnsupportedMetricError,
     UnsupportedParametersError,
+    non_flat_strategy,
 )
 from .cache import ResultCache
 from .registry import (
@@ -70,6 +71,7 @@ __all__ = [
     "BackendError",
     "UnknownBackendError",
     "UnsupportedBackendError",
+    "non_flat_strategy",
     "UnsupportedMetricError",
     "UnsupportedParametersError",
     "SchemaMismatchError",

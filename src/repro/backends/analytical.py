@@ -31,6 +31,8 @@ from .base import (
     MetricValue,
     TOTAL_USEFUL_WORK,
     USEFUL_WORK_FRACTION,
+    UnsupportedBackendError,
+    non_flat_strategy,
 )
 
 __all__ = [
@@ -93,6 +95,13 @@ class AnalyticalBackend(BaseBackend):
     ) -> Optional[str]:
         """Closed forms exist only for the renewal-friendly slice of
         the parameter space when useful work is requested."""
+        spec = non_flat_strategy(plan)
+        if spec is not None:
+            return (
+                f"the closed forms model only the flat coordinated "
+                f"checkpoint protocol; strategy {spec!r} needs a sampled "
+                f"SAN backend (san-sim)"
+            )
         wants_work = any(
             metric in (USEFUL_WORK_FRACTION, TOTAL_USEFUL_WORK)
             for metric in plan.metrics
@@ -121,6 +130,13 @@ class AnalyticalBackend(BaseBackend):
         self, params: ModelParameters, plan: EvaluationPlan
     ) -> EvaluationResult:
         """Evaluate the requested closed forms exactly."""
+        spec = non_flat_strategy(plan)
+        if spec is not None:
+            raise UnsupportedBackendError(
+                f"backend {self.id!r} cannot run: the closed forms model "
+                f"only the flat coordinated checkpoint protocol; strategy "
+                f"{spec!r} needs a sampled SAN backend (san-sim)"
+            )
         self.check(params, plan)
         overhead = blocking_checkpoint_overhead(params)
         mtbf = params.system_mtbf / params.generic_uniform_multiplier

@@ -62,6 +62,7 @@ __all__ = [
     "BackendCapabilities",
     "Backend",
     "BaseBackend",
+    "non_flat_strategy",
 ]
 
 #: Version of the :class:`EvaluationResult` JSON schema. Bump whenever
@@ -415,3 +416,18 @@ def plan_key_dict(params: ModelParameters, plan: EvaluationPlan) -> Dict[str, ob
     (used by the result cache and anything else that hashes requests).
     """
     return {"params": asdict(params), "plan": asdict(plan)}
+
+
+def non_flat_strategy(plan: EvaluationPlan) -> Optional[str]:
+    """The plan's checkpointing-strategy spec when it is *not* the
+    flat reference protocol, else ``None``.
+
+    Backends whose model implements only the flat coordinated
+    checkpoint (the exact chain, the closed forms, the message-level
+    cluster protocol) veto non-flat strategies with this — a
+    ``supports`` reason for sweeps to skip on, and an
+    :class:`UnsupportedBackendError` on the evaluate path, the same
+    discipline as the batched kernel's numpy veto.
+    """
+    spec = plan.simulation.strategy
+    return None if spec == "flat" else spec

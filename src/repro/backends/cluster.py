@@ -29,6 +29,8 @@ from .base import (
     MetricValue,
     TOTAL_USEFUL_WORK,
     USEFUL_WORK_FRACTION,
+    UnsupportedBackendError,
+    non_flat_strategy,
 )
 
 __all__ = ["ClusterBackend"]
@@ -77,6 +79,13 @@ class ClusterBackend(BaseBackend):
                 f"recovery distribution {params.recovery_distribution!r} "
                 "is not implemented by the cluster simulator"
             )
+        spec = non_flat_strategy(plan)
+        if spec is not None:
+            return (
+                f"the message-level protocol implements only the flat "
+                f"coordinated checkpoint; strategy {spec!r} needs a "
+                f"sampled SAN backend (san-sim)"
+            )
         return None
 
     @observed
@@ -85,6 +94,14 @@ class ClusterBackend(BaseBackend):
     ) -> EvaluationResult:
         """Run one trajectory of ``plan.duration`` (falling back to
         ``plan.simulation.observation``) seeded with ``plan.seed``."""
+        spec = non_flat_strategy(plan)
+        if spec is not None:
+            raise UnsupportedBackendError(
+                f"backend {self.id!r} cannot run: the message-level "
+                f"protocol implements only the flat coordinated "
+                f"checkpoint; strategy {spec!r} needs a sampled SAN "
+                f"backend (san-sim)"
+            )
         self.check(params, plan)
         duration = plan.duration or plan.simulation.observation
         outcome = ClusterSimulator(params, seed=plan.seed).run(duration=duration)

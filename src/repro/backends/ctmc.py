@@ -43,6 +43,8 @@ from .base import (
     MetricValue,
     TOTAL_USEFUL_WORK,
     USEFUL_WORK_FRACTION,
+    UnsupportedBackendError,
+    non_flat_strategy,
 )
 
 __all__ = ["CTMCBackend"]
@@ -109,6 +111,13 @@ class CTMCBackend(BaseBackend):
             )
         if params.recovery_failure_threshold is not None:
             return "reboot thresholds add a rebooting state to the chain"
+        spec = non_flat_strategy(plan)
+        if spec is not None:
+            return (
+                f"the exact chain models only the flat coordinated "
+                f"checkpoint protocol; strategy {spec!r} needs a sampled "
+                f"SAN backend (san-sim)"
+            )
         return None
 
     def build_submodel(self, params: ModelParameters) -> SANModel:
@@ -165,6 +174,13 @@ class CTMCBackend(BaseBackend):
         the chain is a faithful abstraction (failures rare within one
         interval), which is exactly where this backend is useful.
         """
+        spec = non_flat_strategy(plan)
+        if spec is not None:
+            raise UnsupportedBackendError(
+                f"backend {self.id!r} cannot run: the exact chain models "
+                f"only the flat coordinated checkpoint protocol; strategy "
+                f"{spec!r} needs a sampled SAN backend (san-sim)"
+            )
         self.check(params, plan)
         space = StateSpaceGenerator(self.build_submodel(params)).generate()
         solution = space.steady_state()

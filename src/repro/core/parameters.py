@@ -154,6 +154,20 @@ class ModelParameters:
         ``"deterministic"``. The paper does not specify; the ablation
         bench shows the steady-state results are insensitive to the
         choice.
+    checkpoint_write_factor:
+        Scale factor on the checkpoint *write* volume (the dump to the
+        I/O nodes and the background file-system write). The hook the
+        checkpointing strategies (:mod:`repro.strategies`) use to
+        model delta/compressed checkpoints: ``incremental`` sets it to
+        the average dump volume per period. 1.0 (the default) is the
+        paper's flat protocol, bit-for-bit — scaling by 1.0 is exact
+        in IEEE arithmetic.
+    recovery_read_factor:
+        Scale factor on the stage-1 recovery *read* volume (the I/O
+        nodes reading the checkpoint back from the file system).
+        ``incremental`` sets it above 1 to model replaying the
+        incremental chain back to the last full checkpoint. 1.0 (the
+        default) is the flat protocol.
     """
 
     n_processors: int = 65536
@@ -184,6 +198,8 @@ class ModelParameters:
     app_io_data_per_node: float = 10 * MB
     background_checkpoint_write: bool = True
     recovery_distribution: str = "exponential"
+    checkpoint_write_factor: float = 1.0
+    recovery_read_factor: float = 1.0
 
     # ------------------------------------------------------------------
     # Validation
@@ -212,6 +228,8 @@ class ModelParameters:
             "bandwidth_compute_to_io",
             "bandwidth_io_to_fs",
             "checkpoint_size_per_node",
+            "checkpoint_write_factor",
+            "recovery_read_factor",
         ):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be > 0, got {getattr(self, name)}")
@@ -325,28 +343,37 @@ class ModelParameters:
         """Time for the compute nodes to dump checkpoints to their I/O
         nodes. Groups proceed in parallel, so this is one group's data
         over the group's aggregate link: ``nodes_per_group * size /
-        350 MB/s`` (46.8 s at the paper's defaults)."""
+        350 MB/s`` (46.8 s at the paper's defaults), scaled by the
+        strategy's ``checkpoint_write_factor``."""
         return (
             self.nodes_per_io_group
             * self.checkpoint_size_per_node
             / self.bandwidth_compute_to_io
-        )
+        ) * self.checkpoint_write_factor
 
     @property
     def checkpoint_fs_write_time(self) -> float:
         """Background write of one group's checkpoint from an I/O node
-        to the file system (131 s at the paper's defaults)."""
+        to the file system (131 s at the paper's defaults), scaled by
+        the strategy's ``checkpoint_write_factor``."""
         return (
             self.nodes_per_io_group
             * self.checkpoint_size_per_node
             / self.bandwidth_io_to_fs
-        )
+        ) * self.checkpoint_write_factor
 
     @property
     def checkpoint_fs_read_time(self) -> float:
         """Stage-1 recovery: I/O nodes read the checkpoint back from
-        the file system (reads cannot be done in the background)."""
-        return self.checkpoint_fs_write_time
+        the file system (reads cannot be done in the background).
+        Scaled by the strategy's ``recovery_read_factor`` — *not* the
+        write factor: an incremental strategy writes small deltas but
+        recovery replays the whole chain back to the last full dump."""
+        return (
+            self.nodes_per_io_group
+            * self.checkpoint_size_per_node
+            / self.bandwidth_io_to_fs
+        ) * self.recovery_read_factor
 
     @property
     def app_io_write_time(self) -> float:

@@ -93,6 +93,18 @@ class SimulationPlan:
     batch_size:
         Replications advanced per lockstep batch (``batched`` kernel
         only; ``None`` = ``min(replications, 64)``).
+    strategy:
+        Checkpointing-strategy spec (see :mod:`repro.strategies`):
+        ``"flat"`` (default, the paper's protocol — untouched model
+        parameters, bit-identical to pre-zoo behaviour) or a
+        ``"name:key=value,..."`` spec such as
+        ``"incremental:compression_ratio=0.5,full_checkpoint_period=4"``.
+        Validated and canonicalised (parameters sorted, values
+        normalised) on construction, so two spellings of the same
+        parameterisation always produce the same cache digest. As a
+        plan field it flows into every
+        :class:`~repro.backends.base.EvaluationPlan` cache key, task
+        JSON payload and run manifest automatically.
     """
 
     warmup: float = DEFAULT_WARMUP
@@ -102,6 +114,7 @@ class SimulationPlan:
     wall_clock_budget: Optional[float] = None
     kernel: str = "incremental"
     batch_size: Optional[int] = None
+    strategy: str = "flat"
 
     def __post_init__(self) -> None:
         if self.warmup < 0:
@@ -130,6 +143,24 @@ class SimulationPlan:
                 raise ValueError(
                     f"batch_size must be >= 1, got {self.batch_size}"
                 )
+        if self.strategy != "flat":
+            # Lazy import: repro.strategies depends only on
+            # core.parameters, never back on this module. The spec is
+            # canonicalised in place so equal parameterisations are
+            # equal plans (and equal cache digests); canonicalisation
+            # is a projection, so re-validating a canonical spec is a
+            # no-op. StrategyError subclasses ValueError, matching the
+            # other plan-field failures.
+            from ..strategies import canonical_spec
+
+            object.__setattr__(self, "strategy", canonical_spec(self.strategy))
+
+    def resolve_strategy(self):
+        """The :class:`~repro.strategies.base.CheckpointStrategy`
+        instance this plan's spec names."""
+        from ..strategies import resolve
+
+        return resolve(self.strategy)
 
     @property
     def horizon(self) -> float:
@@ -308,6 +339,11 @@ def simulate_batched(
     (statistically; trajectories are not bit-identical to the scalar
     kernels).
     """
+    if plan.strategy != "flat":
+        # configure() is idempotent (it sets absolute values), so the
+        # simulate() -> simulate_batched() path applying it twice is
+        # harmless.
+        params = plan.resolve_strategy().configure(params)
     root = StreamRegistry(seed)
     batch_size = plan.batch_size or min(plan.replications, DEFAULT_BATCH_SIZE)
     per_reward: Dict[str, List[float]] = {}
@@ -373,6 +409,8 @@ def simulate(
     advances whole replication batches in numpy lockstep.
     """
     plan = plan or SimulationPlan()
+    if plan.strategy != "flat":
+        params = plan.resolve_strategy().configure(params)
     if plan.kernel == "batched":
         return simulate_batched(params, plan, seed, extra_rewards)
     root = StreamRegistry(seed)

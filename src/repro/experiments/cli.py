@@ -42,6 +42,7 @@ from typing import List, Optional
 
 from ..backends import BackendError, all_backends, backend_ids
 from ..exec import EXECUTOR_IDS, ExecutorError
+from ..strategies import StrategyError
 from .config import FIGURE_IDS, PRESETS
 from .figures import FIGURE_RUNNERS
 from .report import (
@@ -77,6 +78,13 @@ def build_parser() -> argparse.ArgumentParser:
             "also render each backend's circuit-breaker health from the "
             "state files a resilient run wrote there "
             "(--breaker-state-dir / chaos --state-dir)"
+        ),
+    )
+    sub.add_parser(
+        "strategies",
+        help=(
+            "list the registered checkpointing strategies, their spec "
+            "parameters and their flat-reduction oracles"
         ),
     )
     sub.add_parser("table3", help="print the model-parameter table")
@@ -453,6 +461,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to these differential cases",
     )
     validate.add_argument(
+        "--backends", default=None, metavar="ID[,ID...]",
+        help=(
+            "restrict the differential cases to these backend ids "
+            "(strategy-suffixed participants such as "
+            "'san-sim@incremental:...' count under their base id); "
+            "cases left with fewer than two participants are dropped"
+        ),
+    )
+    validate.add_argument(
         "--scale", type=float, default=1.0,
         help="scale the simulation effort of every case (CI smoke uses <1)",
     )
@@ -519,6 +536,17 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
         help=(
             "replications per lockstep batch (batched kernel only; "
             "default: min(replications, 64))"
+        ),
+    )
+    parser.add_argument(
+        "--strategy",
+        default=None,
+        metavar="NAME[:k=v,...]",
+        help=(
+            "checkpointing strategy for sweep figures (default: each "
+            "figure's declared strategy, i.e. the paper's flat "
+            "protocol); e.g. 'incremental:compression_ratio=0.5' or "
+            "'adaptive'; see the 'strategies' command"
         ),
     )
     parser.add_argument(
@@ -808,6 +836,7 @@ def _run_one(figure_id: str, args: argparse.Namespace, stream) -> bool:
             backend=getattr(args, "backend", None),
             kernel=getattr(args, "kernel", None),
             batch_size=getattr(args, "batch_size", None),
+            strategy=getattr(args, "strategy", None),
             executor=getattr(args, "executor", None),
             queue_dir=getattr(args, "queue_dir", None),
             max_points=getattr(args, "max_points", None),
@@ -1119,6 +1148,7 @@ def _validate_command(args: argparse.Namespace) -> int:
         BaselineError,
         check_baselines,
         default_cases,
+        filter_cases_by_backends,
         parse_perturbation,
         record_baselines,
         run_full_suite,
@@ -1127,6 +1157,11 @@ def _validate_command(args: argparse.Namespace) -> int:
     case_names = (
         [name.strip() for name in args.cases.split(",") if name.strip()]
         if args.cases
+        else None
+    )
+    backend_filter = (
+        [name.strip() for name in args.backends.split(",") if name.strip()]
+        if getattr(args, "backends", None)
         else None
     )
     cases = default_cases(args.scale)
@@ -1141,6 +1176,12 @@ def _validate_command(args: argparse.Namespace) -> int:
             )
             return 2
         cases = [case for case in cases if case.name in case_names]
+    if backend_filter is not None:
+        try:
+            cases = filter_cases_by_backends(cases, backend_filter)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.list_cases:
         for case in cases:
@@ -1182,6 +1223,7 @@ def _validate_command(args: argparse.Namespace) -> int:
             include_metamorphic=not args.skip_metamorphic,
             include_differential=not args.skip_differential,
             case_names=case_names,
+            backends=backend_filter,
         )
         if args.json:
             print(_json.dumps(report.to_json_dict(), indent=2, sort_keys=True))
@@ -1305,6 +1347,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                         print(f"    last error: {state['last_error']}")
         return 0
 
+    if args.command == "strategies":
+        from ..strategies import all_strategies
+
+        for strategy in all_strategies():
+            caps = strategy.capabilities
+            print(f"{strategy.id}  (v{strategy.strategy_version})")
+            if caps.parameters:
+                defaults = strategy.params_dict()
+                rendered = ", ".join(
+                    f"{name}={defaults[name]!r}" if name in defaults else name
+                    for name in caps.parameters
+                )
+                print(f"    parameters: {rendered}")
+            print(f"    {caps.description}")
+            if caps.reduction:
+                print(f"    flat reduction: {caps.reduction}")
+        return 0
+
     if args.command == "table3":
         print(render_table3())
         return 0
@@ -1346,7 +1406,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "run-figure":
         try:
             ok = _run_one(args.figure, args, stream=None)
-        except (BackendError, ExecutorError) as exc:
+        except (BackendError, ExecutorError, StrategyError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         return 0 if ok else 1
@@ -1457,7 +1517,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         for figure_id in sorted(FIGURE_RUNNERS):
             try:
                 all_ok = _run_one(figure_id, args, stream) and all_ok
-            except (BackendError, ExecutorError) as exc:
+            except (BackendError, ExecutorError, StrategyError) as exc:
                 print(f"error: {figure_id}: {exc}\n", file=sys.stderr)
                 all_ok = False
         if args.output:

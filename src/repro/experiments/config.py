@@ -55,6 +55,7 @@ FIGURE_IDS: Tuple[str, ...] = (
     "fig8",
     "fig3",
     "coordination-law",
+    "strategy-compare",
 )
 
 PRESETS: Dict[str, SimulationPlan] = {

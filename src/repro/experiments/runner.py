@@ -340,6 +340,10 @@ def run_sweep(
 
     total = len(points)
     notes: List[str] = []
+    if plan.strategy != "flat":
+        # Flat sweeps carry no note so pre-zoo archives stay
+        # bit-identical; non-flat runs are visibly labelled.
+        notes.append(f"checkpoint strategy: {plan.strategy}")
     completed: Dict[Tuple[str, float], Outcome] = {}
     journal: Optional[CheckpointJournal] = None
     if options.checkpoint_dir:

@@ -1,0 +1,40 @@
+"""The ``flat`` strategy: the paper's protocol, extracted as the
+reference.
+
+Every checkpoint dumps the full per-node state and recovery reads one
+full checkpoint back — exactly the behaviour the DSN 2005 model
+describes and every other strategy is validated against. ``configure``
+is the identity, which is what keeps pre-zoo figure archives
+bit-identical: a flat plan never touches the model parameters at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.parameters import ModelParameters
+from .base import CheckpointStrategy, Number, StrategyCapabilities
+
+__all__ = ["FlatCheckpointStrategy"]
+
+
+class FlatCheckpointStrategy(CheckpointStrategy):
+    """The paper's flat coordinated checkpoint protocol."""
+
+    id = "flat"
+    strategy_version = 1
+    capabilities = StrategyCapabilities(
+        description=(
+            "the paper's coordinated checkpoint protocol: every "
+            "checkpoint dumps the full per-node state at the fixed "
+            "configured interval"
+        ),
+        parameters=(),
+        reduction="is the reference protocol every variant reduces to",
+    )
+
+    def params_dict(self) -> Dict[str, Number]:
+        return {}
+
+    def configure(self, params: ModelParameters) -> ModelParameters:
+        return params

@@ -31,9 +31,11 @@ from .differential import (
     PairComparison,
     apply_perturbation,
     default_cases,
+    filter_cases_by_backends,
     parse_perturbation,
     run_case,
     run_cases,
+    split_backend_label,
     summarize_result,
 )
 from .gof import (
@@ -47,6 +49,9 @@ from .gof import (
 )
 from .metamorphic import (
     MetamorphicCheck,
+    check_adaptive_reduction,
+    check_compression_monotonicity,
+    check_incremental_reduction,
     check_merge_of_replications,
     check_place_relabeling,
     check_seed_determinism,
@@ -89,6 +94,9 @@ __all__ = [
     "check_time_rescaling",
     "check_place_relabeling",
     "check_merge_of_replications",
+    "check_incremental_reduction",
+    "check_adaptive_reduction",
+    "check_compression_monotonicity",
     "run_metamorphic_checks",
     # differential
     "DifferentialCase",
@@ -96,6 +104,8 @@ __all__ = [
     "CaseResult",
     "apply_perturbation",
     "parse_perturbation",
+    "split_backend_label",
+    "filter_cases_by_backends",
     "summarize_result",
     "run_case",
     "run_cases",

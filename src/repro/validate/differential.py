@@ -22,6 +22,17 @@ Mutation testing hook: :func:`run_case` accepts a ``perturb`` map of
 The exact oracles keep the reference configuration, so any real
 perturbation must surface as a DISAGREE — this is how the CI smoke
 test proves the differential harness has teeth.
+
+The strategy zoo rides on the same machinery: a participant label may
+carry a checkpointing-strategy suffix, ``"backend@strategyspec"``
+(e.g. ``"san-sim@incremental:compression_ratio=1,..."``), in which
+case that participant evaluates under a plan whose
+``simulation.strategy`` is the suffix — same backend code, different
+protocol. Perturbation keys prefixed ``strategy.`` multiply the named
+spec parameter of every sampled strategy-suffixed participant; plain
+(flat) participants do not carry the parameter, so they stay the
+honest reference, exactly like the exact oracles do for ordinary
+field perturbations.
 """
 
 from __future__ import annotations
@@ -37,7 +48,7 @@ from ..backends import (
     USEFUL_WORK_FRACTION,
     get_backend,
 )
-from ..core.parameters import HOUR, ModelParameters
+from ..core.parameters import HOUR, MINUTE, ModelParameters
 from ..core.simulation import SimulationPlan
 from .stats import (
     AGREE,
@@ -55,6 +66,8 @@ __all__ = [
     "CaseResult",
     "apply_perturbation",
     "parse_perturbation",
+    "split_backend_label",
+    "filter_cases_by_backends",
     "summarize_result",
     "run_case",
     "run_cases",
@@ -77,8 +90,10 @@ class DifferentialCase:
     metric:
         The metric compared across backends.
     backends:
-        Backend ids that must participate (subject to their own
-        ``supports`` veto at this configuration).
+        Participant labels: backend ids, optionally suffixed with a
+        checkpointing-strategy spec as ``"backend@strategyspec"``
+        (subject to each backend's own ``supports`` veto at this
+        configuration and strategy).
     plan:
         Evaluation effort for the stochastic backends.
     policy:
@@ -160,6 +175,51 @@ class CaseResult:
         return self.verdict != DISAGREE
 
 
+def split_backend_label(label: str) -> Tuple[str, Optional[str]]:
+    """Split a participant label into ``(backend_id, strategy_spec)``.
+
+    ``"san-sim"`` is ``("san-sim", None)`` — the flat protocol;
+    ``"san-sim@incremental:compression_ratio=1"`` names the same
+    backend running under that strategy spec.
+    """
+    backend_id, _, strategy = label.partition("@")
+    return backend_id, (strategy or None)
+
+
+def filter_cases_by_backends(
+    cases: Sequence[DifferentialCase], backends: Sequence[str]
+) -> List[DifferentialCase]:
+    """Cases restricted to participants whose **base** backend id is
+    in ``backends`` (a strategy-suffixed participant counts under the
+    id before its ``@``).
+
+    A case left with fewer than two participants has nothing to
+    compare and is dropped. Unknown backend ids are a loud
+    :class:`ValueError` — a typo'd ``--backends`` silently matching
+    nothing would look like a green run.
+    """
+    from ..backends import backend_ids
+
+    allowed = set(backends)
+    known = set(backend_ids())
+    unknown = sorted(allowed - known)
+    if unknown:
+        raise ValueError(
+            f"unknown backend(s) in filter: {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    filtered: List[DifferentialCase] = []
+    for case in cases:
+        keep = tuple(
+            label
+            for label in case.backends
+            if split_backend_label(label)[0] in allowed
+        )
+        if len(keep) >= 2:
+            filtered.append(replace(case, backends=keep))
+    return filtered
+
+
 def parse_perturbation(spec: str) -> "Dict[str, float]":
     """Parse ``FIELD=FACTOR[,FIELD=FACTOR...]`` mutation specs."""
     perturb: Dict[str, float] = {}
@@ -196,6 +256,63 @@ def apply_perturbation(
     return replace(params, **changes)
 
 
+#: Perturbation keys with this prefix target strategy spec parameters
+#: instead of model-parameter fields.
+_STRATEGY_PERTURB_PREFIX = "strategy."
+
+
+def _split_perturbation(
+    perturb: Optional[Mapping[str, float]],
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """``perturb`` split into (model-field, strategy-parameter) maps,
+    with unknown strategy parameters rejected up front."""
+    params: Dict[str, float] = {}
+    strategy: Dict[str, float] = {}
+    for key, factor in (perturb or {}).items():
+        if key.startswith(_STRATEGY_PERTURB_PREFIX):
+            strategy[key[len(_STRATEGY_PERTURB_PREFIX):]] = factor
+        else:
+            params[key] = factor
+    if strategy:
+        from ..strategies import all_strategies
+
+        known: set = set()
+        for instance in all_strategies():
+            known.update(instance.capabilities.parameters)
+        unknown = sorted(set(strategy) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown strategy parameter(s) in perturbation: "
+                f"{', '.join('strategy.' + name for name in unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+    return params, strategy
+
+
+def _perturb_strategy_spec(
+    spec: str, perturb: Mapping[str, float]
+) -> str:
+    """``spec`` with each named strategy parameter multiplied by its
+    factor (value types are preserved, so an integer
+    ``full_checkpoint_period`` stays an integer). Parameters the
+    strategy does not carry are left alone — an adaptive participant
+    is unmoved by ``strategy.compression_ratio``."""
+    from ..strategies import format_spec, parse_spec, resolve
+
+    name, _ = parse_spec(spec)
+    params = resolve(spec).params_dict()
+    changed = False
+    for key, factor in perturb.items():
+        if key not in params:
+            continue
+        current = params[key]
+        params[key] = type(current)(current * factor)
+        changed = True
+    if not changed:
+        return spec
+    return format_spec(name, params)
+
+
 def summarize_result(
     backend: Backend, result: EvaluationResult, metric: str
 ) -> SampleSummary:
@@ -220,17 +337,18 @@ def summarize_result(
 
 
 def _evaluate_participants(
-    participants: Sequence[Tuple[str, ModelParameters]],
-    plan: EvaluationPlan,
+    participants: Sequence[Tuple[str, str, ModelParameters, EvaluationPlan]],
     seed: int,
     executor,
 ) -> Dict[str, EvaluationResult]:
-    """Evaluate ``(backend_id, params)`` pairs through an executor.
+    """Evaluate ``(label, backend_id, params, plan)`` participants
+    through an executor.
 
     Each participant becomes one :class:`~repro.exec.EvaluationTask`
-    (``series`` = backend id, ``base_seed`` = the case seed, so the
-    derived attempt-0 seed matches the inline path exactly); the
-    executor is drained and each serialised result is rebuilt into the
+    (``series`` = the full label, ``base_seed`` = the case seed, so
+    the derived attempt-0 seed matches the inline path exactly; the
+    per-participant plan carries any strategy suffix); the executor is
+    drained and each serialised result is rebuilt into the
     :class:`~repro.backends.EvaluationResult` the comparison layer
     expects. An error envelope is re-raised — a differential case that
     cannot evaluate a backend must fail loudly, exactly as the inline
@@ -242,11 +360,11 @@ def _evaluate_participants(
     instance = make_executor(executor) if owned else executor
     results: Dict[str, EvaluationResult] = {}
     try:
-        for index, (backend_id, params) in enumerate(participants):
+        for index, (label, backend_id, params, plan) in enumerate(participants):
             instance.submit(
                 EvaluationTask(
                     index=index,
-                    series=backend_id,
+                    series=label,
                     x=0.0,
                     params=params,
                     plan=plan,
@@ -294,37 +412,53 @@ def run_case(
     as-is and left open, so a persistent queue can coalesce repeated
     validation runs.
     """
-    plan = case.plan.with_seed(seed)
+    param_perturb, strategy_perturb = _split_perturbation(perturb)
     summaries: Dict[str, SampleSummary] = {}
     skipped: Dict[str, str] = {}
     perturbed: List[str] = []
 
-    participants: List[Tuple[str, ModelParameters]] = []
-    for backend_id in case.backends:
+    # (label, backend_id, params, unseeded per-participant plan)
+    participants: List[Tuple[str, str, ModelParameters, EvaluationPlan]] = []
+    for label in case.backends:
+        backend_id, strategy_spec = split_backend_label(label)
         backend = get_backend(backend_id)
         if not backend.capabilities.supports_metric(case.metric):
-            skipped[backend_id] = f"does not produce metric {case.metric!r}"
+            skipped[label] = f"does not produce metric {case.metric!r}"
             continue
+        sampled = backend.capabilities.kind == "sampled"
         params = case.parameters
-        if perturb and backend.capabilities.kind == "sampled":
-            params = apply_perturbation(params, perturb)
-            perturbed.append(backend_id)
-        reason = backend.supports(params, plan)
+        if param_perturb and sampled:
+            params = apply_perturbation(params, param_perturb)
+            perturbed.append(label)
+        base_plan = case.plan
+        if strategy_spec is not None:
+            if strategy_perturb and sampled:
+                mutated = _perturb_strategy_spec(strategy_spec, strategy_perturb)
+                if mutated != strategy_spec and label not in perturbed:
+                    perturbed.append(label)
+                strategy_spec = mutated
+            base_plan = replace(
+                case.plan,
+                simulation=replace(case.plan.simulation, strategy=strategy_spec),
+            )
+        reason = backend.supports(params, base_plan.with_seed(seed))
         if reason is not None:
-            skipped[backend_id] = reason
+            skipped[label] = reason
             continue
-        participants.append((backend_id, params))
+        participants.append((label, backend_id, params, base_plan))
 
     if executor is None:
         evaluated = {
-            backend_id: get_backend(backend_id).evaluate(params, plan)
-            for backend_id, params in participants
+            label: get_backend(backend_id).evaluate(
+                params, base_plan.with_seed(seed)
+            )
+            for label, backend_id, params, base_plan in participants
         }
     else:
-        evaluated = _evaluate_participants(participants, case.plan, seed, executor)
-    for backend_id, result in evaluated.items():
-        summaries[backend_id] = summarize_result(
-            get_backend(backend_id), result, case.metric
+        evaluated = _evaluate_participants(participants, seed, executor)
+    for label, result in evaluated.items():
+        summaries[label] = summarize_result(
+            get_backend(split_backend_label(label)[0]), result, case.metric
         )
 
     pairs = [
@@ -377,6 +511,23 @@ def default_cases(scale: float = 1.0) -> List[DifferentialCase]:
     """
     exact_policy = TolerancePolicy(alpha=0.01, rel_tolerance=0.0,
                                    abs_tolerance=0.02)
+    # Strategy-zoo configurations. The incremental case checkpoints
+    # every 15 minutes so the dump overhead is a large enough slice of
+    # the renewal cycle for the strategy.* mutation smoke to surface
+    # as a statistically unambiguous DISAGREE.
+    incremental_params = ModelParameters(
+        n_processors=2048, processors_per_node=8,
+        checkpoint_interval=15 * MINUTE,
+    )
+    adaptive_params = ModelParameters(n_processors=2048, processors_per_node=8)
+    # Freeze the adaptive strategy's failure-rate input at
+    # 2*delta/interval^2, the rate at which its optimal-interval rule
+    # sqrt(2*delta/rate) lands exactly on the flat case's 30-minute
+    # interval — the variant then reduces to the flat protocol up to
+    # floating-point ulps in the chosen interval.
+    _delta = adaptive_params.mttq + adaptive_params.checkpoint_dump_time
+    _interval = adaptive_params.checkpoint_interval
+    adaptive_frozen_rate = 2.0 * _delta / (_interval * _interval)
     cases = [
         DifferentialCase(
             name="san-vs-exact-small",
@@ -485,6 +636,58 @@ def default_cases(scale: float = 1.0) -> List[DifferentialCase]:
                     replications=8,
                 ),
                 duration=200 * HOUR,
+            ),
+            policy=exact_policy,
+        ),
+        DifferentialCase(
+            name="incremental-vs-flat",
+            description=(
+                "incremental checkpointing at its reduction point "
+                "(compression_ratio=1, full_checkpoint_period=1) against "
+                "the flat protocol on the same backend and seeds — the "
+                "write/read factors are exactly 1.0, so the samples must "
+                "be bit-identical, like the kernel-equivalence case"
+            ),
+            parameters=incremental_params,
+            backends=(
+                "san-sim",
+                "san-sim@incremental:compression_ratio=1,"
+                "full_checkpoint_period=1",
+            ),
+            plan=EvaluationPlan(
+                metrics=(USEFUL_WORK_FRACTION,),
+                simulation=SimulationPlan(
+                    warmup=1 * HOUR,
+                    observation=120 * HOUR,
+                    replications=8,
+                ),
+            ),
+            policy=TolerancePolicy(alpha=0.01, rel_tolerance=0.0,
+                                   abs_tolerance=1e-12),
+        ),
+        DifferentialCase(
+            name="adaptive-vs-flat",
+            description=(
+                "failure-rate-adaptive checkpoint interval with the rate "
+                "frozen at 2*delta/interval^2, so the chosen interval "
+                "equals the flat case's 30 minutes up to ulps; must agree "
+                "within the modeling band with flat san-sim and the exact "
+                "CTMC anchor (the adaptive participant runs on san-sim "
+                "because the exact backends model only the flat protocol)"
+            ),
+            parameters=adaptive_params,
+            backends=(
+                "san-sim",
+                f"san-sim@adaptive:failure_rate={adaptive_frozen_rate!r}",
+                "ctmc",
+            ),
+            plan=EvaluationPlan(
+                metrics=(USEFUL_WORK_FRACTION,),
+                simulation=SimulationPlan(
+                    warmup=2 * HOUR,
+                    observation=300 * HOUR,
+                    replications=12,
+                ),
             ),
             policy=exact_policy,
         ),

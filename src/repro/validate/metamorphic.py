@@ -18,6 +18,15 @@ if every individual result still looks plausible:
   same seed policy and pooling; the per-replication samples are
   byte-identical and the pooled mean is the grand mean.
 
+The checkpointing-strategy zoo (:mod:`repro.strategies`) adds three
+strategy-level invariances: every variant must **reduce** to the flat
+protocol at its reduction point (incremental at
+``compression_ratio=1, full_checkpoint_period=1``; adaptive with its
+failure rate frozen so the interval rule lands on a fixed interval),
+bit-identically, because strategies parameterise the one model builder
+instead of forking it; and the incremental variant's effective
+checkpoint overhead must be **monotone** in its compression ratio.
+
 Each check returns a :class:`MetamorphicCheck` so the validation CLI
 and the test suite share one implementation.
 """
@@ -47,6 +56,9 @@ __all__ = [
     "check_time_rescaling",
     "check_place_relabeling",
     "check_merge_of_replications",
+    "check_incremental_reduction",
+    "check_adaptive_reduction",
+    "check_compression_monotonicity",
     "run_metamorphic_checks",
 ]
 
@@ -230,6 +242,140 @@ def check_merge_of_replications(
     )
 
 
+#: The small configuration the strategy-reduction checks simulate.
+_ZOO_PARAMS = dict(n_processors=1024, processors_per_node=8)
+_ZOO_PLAN = dict(warmup=3600.0, observation=40 * 3600.0, replications=4)
+
+
+def check_incremental_reduction(seed: int = 0) -> MetamorphicCheck:
+    """Incremental checkpointing at ``compression_ratio=1,
+    full_checkpoint_period=1`` *is* the flat protocol.
+
+    At the reduction point the derived write/read factors are exactly
+    1.0 (IEEE-exact multiplications), so the per-replication samples
+    must be bit-identical, not merely statistically close.
+    """
+    params = ModelParameters(**_ZOO_PARAMS)
+    flat = simulate(params, SimulationPlan(**_ZOO_PLAN), seed=seed)
+    reduced = simulate(
+        params,
+        SimulationPlan(
+            **_ZOO_PLAN,
+            strategy="incremental:compression_ratio=1.0,full_checkpoint_period=1",
+        ),
+        seed=seed,
+    )
+    passed = flat.samples == reduced.samples
+    return MetamorphicCheck(
+        "incremental-flat-reduction",
+        passed,
+        (
+            "bit-identical samples at the reduction point"
+            if passed
+            else f"diverged: {flat.samples} vs {reduced.samples}"
+        ),
+    )
+
+
+def check_adaptive_reduction(
+    seed: int = 0, target_interval: float = 1800.0
+) -> MetamorphicCheck:
+    """Adaptive checkpointing with a frozen failure rate reduces to
+    the flat protocol at the equivalent fixed interval.
+
+    Freezing the rate at ``2 * delta / target^2`` makes the interval
+    rule ``sqrt(2 * delta / rate)`` choose ``target`` (up to ulps);
+    simulating flat at exactly the interval the strategy chose must
+    then be bit-identical to simulating the strategy itself.
+    """
+    from ..strategies import resolve
+
+    params = ModelParameters(**_ZOO_PARAMS)
+    delta = params.mttq + params.checkpoint_dump_time
+    rate = 2.0 * delta / (target_interval * target_interval)
+    spec = f"adaptive:failure_rate={rate!r}"
+    chosen = resolve(spec).interval_for(params)
+    close = math.isclose(chosen, target_interval, rel_tol=1e-9)
+    adaptive = simulate(
+        params, SimulationPlan(**_ZOO_PLAN, strategy=spec), seed=seed
+    )
+    flat = simulate(
+        params.with_overrides(checkpoint_interval=chosen),
+        SimulationPlan(**_ZOO_PLAN),
+        seed=seed,
+    )
+    identical = adaptive.samples == flat.samples
+    return MetamorphicCheck(
+        "adaptive-flat-reduction",
+        close and identical,
+        (
+            f"chosen interval {chosen:.6f}s "
+            f"{'~=' if close else 'FAR FROM'} target {target_interval:g}s; "
+            f"samples {'bit-identical' if identical else 'DIVERGED'} "
+            "vs flat at that interval"
+        ),
+    )
+
+
+def check_compression_monotonicity() -> MetamorphicCheck:
+    """The incremental strategy's effective checkpoint dump time is
+    monotone non-decreasing in its compression ratio (a smaller delta
+    — better compression — can only shrink the write), and exactly the
+    flat dump time at ratio 1 with period 1.
+
+    Pure configuration-level arithmetic over a dense grid — no
+    simulation — so the check is instant.
+    """
+    from ..strategies import get_strategy
+
+    params = ModelParameters(**_ZOO_PARAMS)
+    flat_dump = params.checkpoint_dump_time
+    violations: List[str] = []
+    points = 0
+    for period in (1, 2, 4, 8, 16):
+        previous = None
+        for percent in range(5, 101, 5):
+            ratio = percent / 100.0
+            configured = get_strategy(
+                "incremental",
+                compression_ratio=ratio,
+                full_checkpoint_period=period,
+            ).configure(params)
+            dump = configured.checkpoint_dump_time
+            points += 1
+            if dump > flat_dump + 1e-12:
+                violations.append(
+                    f"c={ratio:g},P={period}: dump {dump:g} exceeds flat "
+                    f"{flat_dump:g}"
+                )
+            if previous is not None and dump < previous - 1e-12:
+                violations.append(
+                    f"c={ratio:g},P={period}: dump decreased "
+                    f"({previous:g} -> {dump:g}) as the ratio grew"
+                )
+            previous = dump
+    exact_at_one = (
+        get_strategy(
+            "incremental", compression_ratio=1.0, full_checkpoint_period=1
+        )
+        .configure(params)
+        .checkpoint_dump_time
+        == flat_dump
+    )
+    if not exact_at_one:
+        violations.append("dump at c=1,P=1 is not exactly the flat dump")
+    return MetamorphicCheck(
+        "compression-monotonicity",
+        not violations,
+        (
+            f"dump time monotone over {points} (ratio, period) points, "
+            "exact flat reduction at c=1,P=1"
+            if not violations
+            else "; ".join(violations[:3])
+        ),
+    )
+
+
 def run_metamorphic_checks(seed: int = 0) -> List[MetamorphicCheck]:
     """Every engine-invariance check at one root seed."""
     return [
@@ -237,4 +383,7 @@ def run_metamorphic_checks(seed: int = 0) -> List[MetamorphicCheck]:
         check_time_rescaling(seed),
         check_place_relabeling(seed),
         check_merge_of_replications(seed),
+        check_incremental_reduction(seed),
+        check_adaptive_reduction(seed),
+        check_compression_monotonicity(),
     ]

@@ -145,9 +145,17 @@ def run_full_suite(
     include_metamorphic: bool = True,
     include_differential: bool = True,
     case_names: Optional[List[str]] = None,
+    backends: Optional[List[str]] = None,
 ) -> ValidationReport:
-    """Run the standing validation suite at one root seed."""
-    from .differential import default_cases, run_cases
+    """Run the standing validation suite at one root seed.
+
+    ``backends`` restricts the differential layer's cases to
+    participants whose base backend id (the part before any
+    ``@strategy`` suffix) is in the list; cases left with fewer than
+    two participants are dropped entirely (see
+    :func:`~repro.validate.differential.filter_cases_by_backends`).
+    """
+    from .differential import default_cases, filter_cases_by_backends, run_cases
     from .gof import run_distribution_checks, run_failure_process_checks
     from .metamorphic import run_metamorphic_checks
 
@@ -168,5 +176,7 @@ def run_full_suite(
                     f"known: {', '.join(sorted(known))}"
                 )
             cases = [case for case in cases if case.name in case_names]
+        if backends is not None:
+            cases = filter_cases_by_backends(cases, backends)
         report.differential.extend(run_cases(cases, seed=seed, perturb=perturb))
     return report

@@ -1,0 +1,234 @@
+"""Tests for the individual strategy variants' math and validation.
+
+Each variant's ``configure`` must be a pure, idempotent
+parameterisation of :class:`ModelParameters`; the factor/interval
+formulas are pinned against hand-computed values; and every documented
+reduction point must hold *exactly* (IEEE bit-for-bit), because the
+differential cases certify bit-identity there.
+"""
+
+import math
+
+import pytest
+
+from repro.core.parameters import HOUR, ModelParameters
+from repro.core.simulation import SimulationPlan
+from repro.strategies import (
+    AdaptiveCheckpointStrategy,
+    FlatCheckpointStrategy,
+    IncrementalCheckpointStrategy,
+    StrategyError,
+    StrategySpecError,
+)
+
+PARAMS = ModelParameters(n_processors=2048, processors_per_node=8)
+
+
+class TestFlat:
+    def test_configure_is_identity(self):
+        strategy = FlatCheckpointStrategy()
+        assert strategy.configure(PARAMS) is PARAMS
+
+    def test_no_parameters(self):
+        assert FlatCheckpointStrategy().params_dict() == {}
+        assert FlatCheckpointStrategy().spec() == "flat"
+
+
+class TestIncrementalFactors:
+    def test_write_factor_formula(self):
+        # One full dump + (P-1) deltas of ratio c over a period of P.
+        strategy = IncrementalCheckpointStrategy(
+            compression_ratio=0.5, full_checkpoint_period=4
+        )
+        assert strategy.write_factor == pytest.approx((1 + 3 * 0.5) / 4)
+
+    def test_read_factor_formula(self):
+        # Full checkpoint + an expected (P-1)/2 deltas of the chain.
+        strategy = IncrementalCheckpointStrategy(
+            compression_ratio=0.5, full_checkpoint_period=4
+        )
+        assert strategy.read_factor == pytest.approx(1 + 0.5 * 3 / 2)
+
+    def test_reduction_point_is_exactly_flat(self):
+        strategy = IncrementalCheckpointStrategy(
+            compression_ratio=1.0, full_checkpoint_period=1
+        )
+        assert strategy.write_factor == 1.0
+        assert strategy.read_factor == 1.0
+        configured = strategy.configure(PARAMS)
+        assert configured.checkpoint_dump_time == PARAMS.checkpoint_dump_time
+        assert (
+            configured.checkpoint_fs_read_time
+            == PARAMS.checkpoint_fs_read_time
+        )
+
+    def test_configure_sets_both_factors(self):
+        strategy = IncrementalCheckpointStrategy(
+            compression_ratio=0.5, full_checkpoint_period=4
+        )
+        configured = strategy.configure(PARAMS)
+        assert configured.checkpoint_write_factor == strategy.write_factor
+        assert configured.recovery_read_factor == strategy.read_factor
+
+    def test_configure_is_idempotent(self):
+        strategy = IncrementalCheckpointStrategy(
+            compression_ratio=0.5, full_checkpoint_period=4
+        )
+        once = strategy.configure(PARAMS)
+        twice = strategy.configure(once)
+        assert twice == once
+
+    def test_compression_shrinks_writes_but_grows_reads(self):
+        strategy = IncrementalCheckpointStrategy(
+            compression_ratio=0.25, full_checkpoint_period=8
+        )
+        assert strategy.write_factor < 1.0
+        assert strategy.read_factor > 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(compression_ratio=0.0),
+            dict(compression_ratio=-0.5),
+            dict(compression_ratio=1.5),
+            dict(compression_ratio="wide"),
+            dict(full_checkpoint_period=0),
+            dict(full_checkpoint_period=-1),
+            dict(full_checkpoint_period=2.5),
+            dict(full_checkpoint_period=True),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(StrategySpecError):
+            IncrementalCheckpointStrategy(**kwargs)
+
+    def test_integral_float_period_accepted(self):
+        # Spec strings can only carry numbers; 4.0 means 4.
+        strategy = IncrementalCheckpointStrategy(full_checkpoint_period=4.0)
+        assert strategy.full_checkpoint_period == 4
+        assert isinstance(strategy.full_checkpoint_period, int)
+
+
+class TestAdaptiveInterval:
+    def test_young_optimum_with_frozen_rate(self):
+        delta = PARAMS.mttq + PARAMS.checkpoint_dump_time
+        rate = 2.0 * delta / (1800.0 * 1800.0)
+        strategy = AdaptiveCheckpointStrategy(failure_rate=rate)
+        assert strategy.interval_for(PARAMS) == pytest.approx(
+            1800.0, rel=1e-12
+        )
+
+    def test_observed_rate_tracks_node_count(self):
+        # More nodes -> higher system failure rate -> shorter interval.
+        strategy = AdaptiveCheckpointStrategy()
+        small = ModelParameters(n_processors=1024, processors_per_node=8)
+        large = ModelParameters(n_processors=65536, processors_per_node=8)
+        assert strategy.interval_for(large) < strategy.interval_for(small)
+
+    def test_observed_rate_matches_formula(self):
+        strategy = AdaptiveCheckpointStrategy(
+            min_interval=1.0, max_interval=1e9
+        )
+        delta = PARAMS.mttq + PARAMS.checkpoint_dump_time
+        expected = math.sqrt(2.0 * delta / PARAMS.compute_failure_rate)
+        assert strategy.interval_for(PARAMS) == pytest.approx(expected)
+
+    def test_clamped_at_min_interval(self):
+        strategy = AdaptiveCheckpointStrategy(failure_rate=1e6)
+        assert strategy.interval_for(PARAMS) == strategy.min_interval
+
+    def test_clamped_at_max_interval(self):
+        strategy = AdaptiveCheckpointStrategy(failure_rate=1e-12)
+        assert strategy.interval_for(PARAMS) == strategy.max_interval
+
+    def test_configure_sets_only_the_interval(self):
+        strategy = AdaptiveCheckpointStrategy(failure_rate=1e-4)
+        configured = strategy.configure(PARAMS)
+        assert configured.checkpoint_interval == strategy.interval_for(PARAMS)
+        assert configured.checkpoint_write_factor == 1.0
+        assert configured.recovery_read_factor == 1.0
+
+    def test_params_dict_omits_unset_rate(self):
+        assert "failure_rate" not in AdaptiveCheckpointStrategy().params_dict()
+        assert (
+            AdaptiveCheckpointStrategy(failure_rate=0.5).params_dict()[
+                "failure_rate"
+            ]
+            == 0.5
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(failure_rate=0.0),
+            dict(failure_rate=-1.0),
+            dict(failure_rate=float("nan")),
+            dict(failure_rate="often"),
+            dict(min_interval=0.0),
+            dict(min_interval=-5.0),
+            dict(min_interval=2 * HOUR, max_interval=1 * HOUR),
+            dict(min_interval="soon"),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(StrategySpecError):
+            AdaptiveCheckpointStrategy(**kwargs)
+
+
+class TestPlanIntegration:
+    def test_plan_canonicalises_strategy_spelling(self):
+        plan = SimulationPlan(
+            strategy=(
+                "incremental:full_checkpoint_period=4,compression_ratio=.5"
+            )
+        )
+        assert plan.strategy == (
+            "incremental:compression_ratio=0.5,full_checkpoint_period=4"
+        )
+
+    def test_flat_default_untouched(self):
+        assert SimulationPlan().strategy == "flat"
+
+    def test_unknown_strategy_rejected_at_plan_construction(self):
+        with pytest.raises(StrategyError):
+            SimulationPlan(strategy="nope")
+
+    def test_malformed_spec_rejected_at_plan_construction(self):
+        with pytest.raises(StrategyError):
+            SimulationPlan(strategy="incremental:compression_ratio=teal")
+
+    def test_invalid_parameter_value_rejected_at_plan_construction(self):
+        with pytest.raises(StrategyError):
+            SimulationPlan(strategy="incremental:compression_ratio=0")
+
+    def test_resolve_strategy_returns_configured_instance(self):
+        plan = SimulationPlan(strategy="incremental:compression_ratio=0.25")
+        strategy = plan.resolve_strategy()
+        assert isinstance(strategy, IncrementalCheckpointStrategy)
+        assert strategy.compression_ratio == 0.25
+
+    def test_equivalent_spellings_compare_equal(self):
+        # Canonicalisation happens at construction, so two spellings
+        # of one parameterisation are one plan (and one cache key).
+        a = SimulationPlan(strategy="incremental:compression_ratio=0.50")
+        b = SimulationPlan(strategy="incremental:compression_ratio=.5")
+        assert a == b
+
+    def test_simulation_runs_reduction_point_bit_identical(self):
+        from repro.core.simulation import simulate
+
+        params = ModelParameters(n_processors=1024, processors_per_node=8)
+        effort = dict(warmup=1 * HOUR, observation=30 * HOUR, replications=3)
+        flat = simulate(params, SimulationPlan(**effort), seed=7)
+        reduced = simulate(
+            params,
+            SimulationPlan(
+                **effort,
+                strategy=(
+                    "incremental:compression_ratio=1.0,"
+                    "full_checkpoint_period=1"
+                ),
+            ),
+            seed=7,
+        )
+        assert flat.samples == reduced.samples

@@ -26,8 +26,17 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: including the batched structure-of-arrays driver, and
 #: ``src/repro/core``) are audited alongside tests and examples: every
 #: kernel must draw through per-replication ``StreamRegistry`` child
-#: streams, never through a generator it built itself.
-AUDITED = ("tests", "examples", "src/repro/san", "src/repro/core")
+#: streams, never through a generator it built itself. The strategy
+#: zoo (``src/repro/strategies``) is audited too: a strategy is a pure
+#: parameterisation of the model and must never hold randomness of its
+#: own.
+AUDITED = (
+    "tests",
+    "examples",
+    "src/repro/san",
+    "src/repro/core",
+    "src/repro/strategies",
+)
 
 #: path (relative, posix) -> why direct RNG construction is allowed.
 ALLOWLIST = {

@@ -1,0 +1,112 @@
+"""Property-based tests for the strategy zoo's metamorphic claims.
+
+``check_compression_monotonicity`` pins a fixed grid; this file lets
+hypothesis search the parameter space for the underlying properties:
+
+* the incremental write factor is monotone non-decreasing in the
+  compression ratio and never exceeds 1 (a delta can only shrink a
+  dump), so the effective checkpoint overhead is monotone too;
+* the incremental read factor never drops below 1 (recovery always
+  replays at least the full checkpoint);
+* the adaptive interval always lands inside its clamp bounds and is
+  monotone non-increasing in the failure rate;
+* spec canonicalisation is a projection over the whole accepted
+  parameter space, and parsing a canonical spec reproduces the exact
+  configured values.
+
+Skips gracefully when hypothesis is not installed (the tier-1 suite
+must run from a bare interpreter with only numpy/scipy).
+"""
+
+import pytest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    pytest.skip(
+        "hypothesis is not installed; property tests are optional",
+        allow_module_level=True,
+    )
+
+from repro.core.parameters import ModelParameters
+from repro.strategies import (
+    AdaptiveCheckpointStrategy,
+    IncrementalCheckpointStrategy,
+    canonical_spec,
+    parse_spec,
+    resolve,
+)
+
+PARAMS = ModelParameters(n_processors=2048, processors_per_node=8)
+
+ratios = st.floats(
+    min_value=1e-6, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+periods = st.integers(min_value=1, max_value=64)
+rates = st.floats(
+    min_value=1e-10, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(c1=ratios, c2=ratios, period=periods)
+def test_checkpoint_overhead_monotone_in_compression_ratio(c1, c2, period):
+    lo, hi = sorted((c1, c2))
+    better = IncrementalCheckpointStrategy(
+        compression_ratio=lo, full_checkpoint_period=period
+    )
+    worse = IncrementalCheckpointStrategy(
+        compression_ratio=hi, full_checkpoint_period=period
+    )
+    assert better.write_factor <= worse.write_factor
+    # The factor feeds the dump time multiplicatively, so the
+    # effective checkpoint overhead inherits the monotonicity.
+    assert (
+        better.configure(PARAMS).checkpoint_dump_time
+        <= worse.configure(PARAMS).checkpoint_dump_time
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(ratio=ratios, period=periods)
+def test_incremental_factors_bounded(ratio, period):
+    strategy = IncrementalCheckpointStrategy(
+        compression_ratio=ratio, full_checkpoint_period=period
+    )
+    assert 0.0 < strategy.write_factor <= 1.0
+    assert strategy.read_factor >= 1.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(rate=rates)
+def test_adaptive_interval_respects_clamp_bounds(rate):
+    strategy = AdaptiveCheckpointStrategy(failure_rate=rate)
+    interval = strategy.interval_for(PARAMS)
+    assert strategy.min_interval <= interval <= strategy.max_interval
+
+
+@settings(max_examples=200, deadline=None)
+@given(r1=rates, r2=rates)
+def test_adaptive_interval_monotone_in_failure_rate(r1, r2):
+    lo, hi = sorted((r1, r2))
+    calm = AdaptiveCheckpointStrategy(failure_rate=lo)
+    hectic = AdaptiveCheckpointStrategy(failure_rate=hi)
+    assert hectic.interval_for(PARAMS) <= calm.interval_for(PARAMS)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ratio=ratios, period=periods)
+def test_canonicalisation_is_a_projection(ratio, period):
+    spec = (
+        f"incremental:full_checkpoint_period={period},"
+        f"compression_ratio={ratio!r}"
+    )
+    once = canonical_spec(spec)
+    assert canonical_spec(once) == once
+    # Parsing the canonical form reproduces the configured values
+    # exactly (repr round-trip), so spelling never forks cache keys.
+    _, params = parse_spec(once)
+    strategy = resolve(spec)
+    assert params["compression_ratio"] == strategy.compression_ratio
+    assert params["full_checkpoint_period"] == strategy.full_checkpoint_period
